@@ -1,0 +1,274 @@
+// Package als is the public facade of the timing-driven approximate logic
+// synthesis framework (DATE 2025, "Timing-driven Approximate Logic
+// Synthesis Based on Double-chase Grey Wolf Optimizer").
+//
+// The full flow mirrors the paper's Fig. 2:
+//
+//  1. Circuit representation — a gate-level netlist stored as gate fan-in
+//     adjacency lists (package internal/netlist), read from structural
+//     Verilog or produced by the built-in benchmark generators.
+//  2. DCGWO — the double-chase grey wolf optimizer explores LACs under an
+//     ER or NMED constraint, optimizing critical-path depth and area
+//     simultaneously (package internal/core). The baselines of the
+//     paper's tables are available through the same entry point.
+//  3. Post-optimization — dangling-gate deletion and gate resizing under
+//     an area constraint convert area savings into further critical-path
+//     delay reduction (package internal/sizing).
+//
+// A three-line quickstart:
+//
+//	circuit := als.Benchmark("Adder16")
+//	res, _ := als.Flow(circuit, als.NewLibrary(), als.FlowConfig{
+//		Metric: als.MetricNMED, ErrorBudget: 0.0244})
+//	fmt.Printf("Ratio_cpd = %.4f\n", res.RatioCPD)
+package als
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/sizing"
+	"repro/internal/sta"
+	"repro/internal/verilog"
+)
+
+// Metric selects the constrained error measure (ER or NMED).
+type Metric = core.Metric
+
+// Re-exported metric constants.
+const (
+	// MetricER constrains the error rate (random/control circuits).
+	MetricER = core.MetricER
+	// MetricNMED constrains the normalized mean error distance
+	// (arithmetic circuits).
+	MetricNMED = core.MetricNMED
+)
+
+// Method selects the optimizer driving step 2 of the flow.
+type Method uint8
+
+const (
+	// MethodDCGWO is the paper's contribution (default).
+	MethodDCGWO Method = iota
+	// MethodVecbeeSasimi is the area-driven greedy baseline.
+	MethodVecbeeSasimi
+	// MethodVaACS is the genetic depth-driven baseline.
+	MethodVaACS
+	// MethodHEDALS is the delay-driven greedy baseline.
+	MethodHEDALS
+	// MethodSingleChaseGWO is the traditional grey wolf optimizer.
+	MethodSingleChaseGWO
+)
+
+// String names the method as in the paper's tables.
+func (m Method) String() string {
+	switch m {
+	case MethodDCGWO:
+		return "Ours"
+	case MethodVecbeeSasimi:
+		return baselines.VecbeeSasimi.String()
+	case MethodVaACS:
+		return baselines.VaACS.String()
+	case MethodHEDALS:
+		return baselines.HEDALS.String()
+	case MethodSingleChaseGWO:
+		return baselines.SingleChaseGWO.String()
+	}
+	return fmt.Sprintf("Method(%d)", uint8(m))
+}
+
+// AllMethods lists every optimizer in the tables' column order.
+func AllMethods() []Method {
+	return []Method{MethodVecbeeSasimi, MethodVaACS, MethodHEDALS, MethodSingleChaseGWO, MethodDCGWO}
+}
+
+// Scale presets the run budget.
+type Scale uint8
+
+const (
+	// ScaleQuick targets seconds per benchmark (CI, tests, go test
+	// -bench): smaller population, fewer iterations, fewer vectors.
+	ScaleQuick Scale = iota
+	// ScalePaper uses the paper's parameters (N=30, Imax=20) and a large
+	// Monte-Carlo sample.
+	ScalePaper
+)
+
+// FlowConfig configures one end-to-end run.
+type FlowConfig struct {
+	// Metric and ErrorBudget set the error constraint.
+	Metric      core.Metric
+	ErrorBudget float64
+	// Method picks the optimizer; zero value is DCGWO.
+	Method Method
+	// Scale presets population/iterations/vectors; individual overrides
+	// below win when non-zero.
+	Scale Scale
+	// AreaConRatio scales the post-optimization area constraint relative
+	// to the accurate circuit's area (paper Fig. 8 sweeps 0.8-1.2);
+	// zero means 1.0 — the paper's TABLE II/III setting Areacon ≈ Areaori.
+	AreaConRatio float64
+	// DepthWeight overrides wd (zero keeps the paper's 0.8).
+	DepthWeight float64
+	// Population, Iterations, Vectors override the scale preset.
+	Population, Iterations, Vectors int
+	// Seed fixes all stochastic choices.
+	Seed int64
+}
+
+func (f FlowConfig) resolve() FlowConfig {
+	if f.AreaConRatio == 0 {
+		f.AreaConRatio = 1.0
+	}
+	if f.DepthWeight == 0 {
+		f.DepthWeight = 0.8
+	}
+	pop, iters, vecs := 10, 8, 2048
+	if f.Scale == ScalePaper {
+		pop, iters, vecs = 30, 20, 1<<17
+	}
+	if f.Population == 0 {
+		f.Population = pop
+	}
+	if f.Iterations == 0 {
+		f.Iterations = iters
+	}
+	if f.Vectors == 0 {
+		f.Vectors = vecs
+	}
+	if f.Seed == 0 {
+		f.Seed = 1
+	}
+	return f
+}
+
+// FlowResult reports one end-to-end run in the units of the paper's
+// tables.
+type FlowResult struct {
+	// Circuit names the design.
+	Circuit string
+	// Method names the optimizer.
+	Method Method
+	// CPDOri and AreaOri describe the accurate circuit.
+	CPDOri, AreaOri float64
+	// CPDFac is the final critical path delay after post-optimization.
+	CPDFac float64
+	// RatioCPD = CPDFac / CPDOri — the paper's headline metric.
+	RatioCPD float64
+	// AreaCon is the post-optimization area budget; AreaFinal the result.
+	AreaCon, AreaFinal float64
+	// Err is the best individual's error under the configured metric.
+	Err float64
+	// Runtime is the wall-clock optimization + post-optimization time.
+	Runtime time.Duration
+	// Evaluations counts circuit evaluations.
+	Evaluations int
+	// Approx is the optimizer's best netlist before post-optimization;
+	// Final is the compacted, resized netlist.
+	Approx, Final *netlist.Circuit
+	// History is DCGWO's convergence trace (nil for baselines).
+	History []core.IterStats
+}
+
+// NewLibrary returns the synthetic 28nm-class cell library.
+func NewLibrary() *cell.Library { return cell.Default28nm() }
+
+// Benchmark builds one of the paper's TABLE I circuits by name
+// (e.g. "Adder16", "c6288"); it panics on unknown names.
+func Benchmark(name string) *netlist.Circuit { return gen.MustBuild(name) }
+
+// BenchmarkNames lists the TABLE I circuit names in paper order.
+func BenchmarkNames() []string { return gen.Names() }
+
+// ParseVerilog reads a structural-Verilog netlist over the cell library.
+func ParseVerilog(src string) (*netlist.Circuit, error) { return verilog.Parse(src) }
+
+// WriteVerilog renders a netlist as structural Verilog.
+func WriteVerilog(c *netlist.Circuit) string { return verilog.Write(c) }
+
+// Flow runs the complete three-step framework on an accurate circuit and
+// returns the paper's reporting metrics.
+func Flow(accurate *netlist.Circuit, lib *cell.Library, cfg FlowConfig) (*FlowResult, error) {
+	cfg = cfg.resolve()
+	ref, err := sta.Analyze(accurate, lib)
+	if err != nil {
+		return nil, fmt.Errorf("als: accurate circuit: %w", err)
+	}
+	areaOri := accurate.Area(lib)
+	areaCon := areaOri * cfg.AreaConRatio
+
+	start := time.Now()
+	var best *core.Individual
+	var history []core.IterStats
+	evaluations := 0
+	if cfg.Method == MethodDCGWO {
+		ccfg := core.DefaultConfig(cfg.Metric, cfg.ErrorBudget)
+		ccfg.PopulationSize = cfg.Population
+		ccfg.MaxIter = cfg.Iterations
+		ccfg.Vectors = cfg.Vectors
+		ccfg.DepthWeight = cfg.DepthWeight
+		ccfg.Seed = cfg.Seed
+		opt, err := core.New(accurate, lib, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := opt.Run()
+		if err != nil {
+			return nil, err
+		}
+		best, history, evaluations = res.Best, res.History, res.Evaluations
+	} else {
+		bcfg := baselines.DefaultConfig(cfg.Metric, cfg.ErrorBudget)
+		bcfg.Rounds = cfg.Iterations
+		bcfg.Population = cfg.Population
+		bcfg.Vectors = cfg.Vectors
+		bcfg.DepthWeight = cfg.DepthWeight
+		bcfg.Seed = cfg.Seed
+		method := map[Method]baselines.Method{
+			MethodVecbeeSasimi:   baselines.VecbeeSasimi,
+			MethodVaACS:          baselines.VaACS,
+			MethodHEDALS:         baselines.HEDALS,
+			MethodSingleChaseGWO: baselines.SingleChaseGWO,
+		}[cfg.Method]
+		res, err := baselines.Run(method, accurate, lib, bcfg)
+		if err != nil {
+			return nil, err
+		}
+		best, evaluations = res.Best, res.Evaluations
+	}
+	if best == nil {
+		return nil, fmt.Errorf("als: no feasible approximate circuit under budget %v", cfg.ErrorBudget)
+	}
+
+	post, err := sizing.PostOptimize(best.Circuit, lib, sizing.Options{AreaCon: areaCon})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	ratio := 1.0
+	if ref.CPD > 0 {
+		ratio = post.Report.CPD / ref.CPD
+	}
+	return &FlowResult{
+		Circuit:     accurate.Name,
+		Method:      cfg.Method,
+		CPDOri:      ref.CPD,
+		AreaOri:     areaOri,
+		CPDFac:      post.Report.CPD,
+		RatioCPD:    ratio,
+		AreaCon:     areaCon,
+		AreaFinal:   post.Area,
+		Err:         best.Err,
+		Runtime:     elapsed,
+		Evaluations: evaluations,
+		Approx:      best.Circuit,
+		Final:       post.Circuit,
+		History:     history,
+	}, nil
+}

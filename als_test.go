@@ -1,0 +1,140 @@
+package als_test
+
+import (
+	"strings"
+	"testing"
+
+	als "repro"
+)
+
+func quickCfg(metric als.Metric, budget float64) als.FlowConfig {
+	return als.FlowConfig{
+		Metric:      metric,
+		ErrorBudget: budget,
+		Scale:       als.ScaleQuick,
+		Population:  6,
+		Iterations:  4,
+		Vectors:     1024,
+		Seed:        9,
+	}
+}
+
+func TestFlowEveryMethod(t *testing.T) {
+	lib := als.NewLibrary()
+	for _, method := range als.AllMethods() {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := quickCfg(als.MetricER, 0.05)
+			cfg.Method = method
+			res, err := als.Flow(als.Benchmark("c880"), lib, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RatioCPD <= 0 || res.RatioCPD > 1.2 {
+				t.Errorf("implausible Ratio_cpd %v", res.RatioCPD)
+			}
+			if res.Err > 0.05 {
+				t.Errorf("error %v exceeds budget", res.Err)
+			}
+			if res.AreaFinal > res.AreaCon+1e-9 {
+				t.Errorf("final area %v exceeds constraint %v", res.AreaFinal, res.AreaCon)
+			}
+			if err := res.Final.Validate(); err != nil {
+				t.Errorf("final netlist invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestFlowVerilogRoundTrip(t *testing.T) {
+	lib := als.NewLibrary()
+	res, err := als.Flow(als.Benchmark("Max16"), lib, quickCfg(als.MetricNMED, 0.0244))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := als.WriteVerilog(res.Final)
+	back, err := als.ParseVerilog(src)
+	if err != nil {
+		t.Fatalf("final netlist does not round-trip: %v", err)
+	}
+	if len(back.POs) != len(res.Final.POs) || len(back.PIs) != len(res.Final.PIs) {
+		t.Error("round trip changed the interface")
+	}
+	if !strings.Contains(src, "module Max16") {
+		t.Error("module name lost")
+	}
+}
+
+func TestFlowDeterministic(t *testing.T) {
+	lib := als.NewLibrary()
+	run := func() float64 {
+		res, err := als.Flow(als.Benchmark("Adder16"), lib, quickCfg(als.MetricNMED, 0.0244))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RatioCPD
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed, different ratios: %v vs %v", a, b)
+	}
+}
+
+func TestFlowHistoryOnlyForDCGWO(t *testing.T) {
+	lib := als.NewLibrary()
+	cfg := quickCfg(als.MetricER, 0.05)
+	res, err := als.Flow(als.Benchmark("c880"), lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != cfg.Iterations {
+		t.Errorf("DCGWO history has %d entries, want %d", len(res.History), cfg.Iterations)
+	}
+	cfg.Method = als.MethodHEDALS
+	res, err = als.Flow(als.Benchmark("c880"), lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History != nil {
+		t.Error("baselines have no convergence history")
+	}
+}
+
+func TestBenchmarkNamesMatchTable1(t *testing.T) {
+	names := als.BenchmarkNames()
+	if len(names) != 15 {
+		t.Fatalf("got %d benchmarks, want 15", len(names))
+	}
+	if names[0] != "Cavlc" || names[len(names)-1] != "Sqrt" {
+		t.Error("benchmark order must follow TABLE I")
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	if als.MethodDCGWO.String() != "Ours" {
+		t.Error("DCGWO is the paper's 'Ours' column")
+	}
+	if als.MethodHEDALS.String() != "HEDALS" {
+		t.Error("HEDALS name")
+	}
+}
+
+func TestFlowAreaConstraintSweepMonotone(t *testing.T) {
+	lib := als.NewLibrary()
+	prev := 10.0
+	for _, ratio := range []float64{0.9, 1.0, 1.2} {
+		cfg := quickCfg(als.MetricNMED, 0.0244)
+		cfg.AreaConRatio = ratio
+		res, err := als.Flow(als.Benchmark("Max16"), lib, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AreaFinal > res.AreaCon+1e-9 {
+			t.Errorf("ratio %v: area %v exceeds budget %v", ratio, res.AreaFinal, res.AreaCon)
+		}
+		if res.RatioCPD > prev+0.05 {
+			t.Errorf("more area headroom made timing clearly worse at ratio %v", ratio)
+		}
+		prev = res.RatioCPD
+	}
+}

@@ -1,0 +1,128 @@
+// Command alsflow runs the complete timing-driven ALS flow on one circuit:
+// representation → DCGWO (or a baseline) → post-optimization, and writes
+// the final approximate netlist as structural Verilog.
+//
+// Usage:
+//
+//	alsflow -bench Adder16 -metric nmed -budget 0.0244 -out approx.v
+//	alsflow -in design.v -metric er -budget 0.05 -method hedals
+//	alsflow -bench c6288 -scale paper -areacon 1.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	als "repro"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "built-in benchmark name (see -list)")
+		in      = flag.String("in", "", "structural Verilog input file")
+		out     = flag.String("out", "", "write the final approximate netlist here (default: stdout summary only)")
+		metric  = flag.String("metric", "er", "error metric: er|nmed")
+		budget  = flag.Float64("budget", 0.05, "error budget (e.g. 0.05 = 5% ER)")
+		method  = flag.String("method", "dcgwo", "optimizer: dcgwo|sasimi|vaacs|hedals|gwo")
+		scale   = flag.String("scale", "quick", "run budget: quick|paper")
+		areacon = flag.Float64("areacon", 1.0, "area constraint as a ratio of the accurate area")
+		seed    = flag.Int64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list built-in benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range als.BenchmarkNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	circuit, err := loadCircuit(*bench, *in)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := als.FlowConfig{
+		ErrorBudget:  *budget,
+		AreaConRatio: *areacon,
+		Seed:         *seed,
+	}
+	switch *metric {
+	case "er":
+		cfg.Metric = als.MetricER
+	case "nmed":
+		cfg.Metric = als.MetricNMED
+	default:
+		fatal(fmt.Errorf("unknown metric %q", *metric))
+	}
+	switch *method {
+	case "dcgwo":
+		cfg.Method = als.MethodDCGWO
+	case "sasimi":
+		cfg.Method = als.MethodVecbeeSasimi
+	case "vaacs":
+		cfg.Method = als.MethodVaACS
+	case "hedals":
+		cfg.Method = als.MethodHEDALS
+	case "gwo":
+		cfg.Method = als.MethodSingleChaseGWO
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	switch *scale {
+	case "quick":
+		cfg.Scale = als.ScaleQuick
+	case "paper":
+		cfg.Scale = als.ScalePaper
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	res, err := als.Flow(circuit, als.NewLibrary(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("circuit   : %s (%d gates)\n", res.Circuit, circuit.NumPhysical())
+	fmt.Printf("method    : %s under %s <= %.4g\n", res.Method, cfg.Metric, cfg.ErrorBudget)
+	fmt.Printf("CPD       : %.2f ps -> %.2f ps   (Ratio_cpd = %.4f)\n", res.CPDOri, res.CPDFac, res.RatioCPD)
+	fmt.Printf("area      : %.2f um2 -> %.2f um2 (budget %.2f)\n", res.AreaOri, res.AreaFinal, res.AreaCon)
+	fmt.Printf("error     : %.5f\n", res.Err)
+	fmt.Printf("runtime   : %v (%d evaluations)\n", res.Runtime, res.Evaluations)
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(als.WriteVerilog(res.Final)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote     : %s\n", *out)
+	}
+}
+
+func loadCircuit(bench, in string) (*netlist.Circuit, error) {
+	switch {
+	case bench != "" && in != "":
+		return nil, fmt.Errorf("pass either -bench or -in, not both")
+	case bench != "":
+		for _, n := range als.BenchmarkNames() {
+			if n == bench {
+				return als.Benchmark(bench), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown benchmark %q (use -list)", bench)
+	case in != "":
+		src, err := os.ReadFile(in)
+		if err != nil {
+			return nil, err
+		}
+		return als.ParseVerilog(string(src))
+	}
+	return nil, fmt.Errorf("pass -bench <name> or -in <file.v>")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alsflow:", err)
+	os.Exit(1)
+}

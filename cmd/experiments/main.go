@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp table1
+//	experiments -exp table2 -scale paper
+//	experiments -exp fig7 -circuits c880,Max16 -seed 7
+//	experiments -exp all
+//
+// -scale quick (default) runs a reduced optimizer budget suitable for a
+// laptop; -scale paper uses the paper's N=30, Imax=20 and a 1e5-class
+// Monte-Carlo sample.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	als "repro"
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		expName  = flag.String("exp", "all", "experiment: table1|table2|table3|fig6|fig7|fig8|all")
+		scale    = flag.String("scale", "quick", "optimizer budget: quick|paper")
+		circuits = flag.String("circuits", "", "comma-separated benchmark subset (default: all)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		compare  = flag.Bool("paper", true, "print paper reference values next to measurements")
+		pop      = flag.Int("pop", 0, "override population size")
+		iters    = flag.Int("iters", 0, "override iterations/rounds")
+		vectors  = flag.Int("vectors", 0, "override Monte-Carlo vector count")
+	)
+	flag.Parse()
+
+	opts := exp.Opts{Seed: *seed, Population: *pop, Iterations: *iters, Vectors: *vectors}
+	switch *scale {
+	case "quick":
+		opts.Scale = als.ScaleQuick
+	case "paper":
+		opts.Scale = als.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *circuits != "" {
+		opts.Circuits = strings.Split(*circuits, ",")
+	}
+
+	run := func(name string) {
+		if err := runExperiment(name, opts, *compare); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *expName == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "fig6", "fig7", "fig8"} {
+			run(name)
+		}
+		return
+	}
+	run(*expName)
+}
+
+func runExperiment(name string, opts exp.Opts, compare bool) error {
+	switch name {
+	case "table1":
+		rows, err := exp.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== TABLE I: benchmark statistics ==")
+		fmt.Print(exp.RenderTable1(rows))
+
+	case "table2":
+		tab, err := exp.Table2(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== TABLE II: 5% ER constraint, random/control circuits ==")
+		fmt.Print(exp.RenderCompare(tab))
+		if compare {
+			printPaperAverages(exp.PaperTable2)
+		}
+
+	case "table3":
+		tab, err := exp.Table3(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== TABLE III: 2.44% NMED constraint, arithmetic circuits ==")
+		fmt.Print(exp.RenderCompare(tab))
+		if compare {
+			printPaperAverages(exp.PaperTable3)
+		}
+
+	case "fig6":
+		series, err := exp.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.RenderWeights(series))
+
+	case "fig7":
+		er, nmed, err := exp.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.RenderSweep("Fig. 7(a): Ratiocpd vs ER constraint (random/control)", "ER", er))
+		fmt.Print(exp.RenderSweep("Fig. 7(b): Ratiocpd vs NMED constraint (arithmetic)", "NMED", nmed))
+
+	case "fig8":
+		er, nmed, err := exp.Fig8(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.RenderSweep("Fig. 8(a): Ratiocpd vs area constraint (5% ER)", "Areacon ratio", er))
+		fmt.Print(exp.RenderSweep("Fig. 8(b): Ratiocpd vs area constraint (2.44% NMED)", "Areacon ratio", nmed))
+
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printPaperAverages(table map[string]map[string]exp.PaperCell) {
+	avg := exp.PaperAverages(table)
+	fmt.Printf("Paper averages:    ")
+	for _, m := range als.AllMethods() {
+		fmt.Printf(" | %8.4f %9s", avg[m.String()], "")
+	}
+	fmt.Println()
+}

@@ -1,0 +1,144 @@
+// Command netlist is a utility for the benchmark netlists: generate them
+// as structural Verilog, print TABLE I-style statistics, or run a timing
+// report.
+//
+// Usage:
+//
+//	netlist gen -bench c6288 -out c6288.v
+//	netlist stats -bench Sqrt
+//	netlist sta -in design.v -paths 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	als "repro"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	case "sta":
+		cmdSTA(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: netlist <gen|stats|sta> [flags]")
+	os.Exit(2)
+}
+
+func load(bench, in string) *netlist.Circuit {
+	switch {
+	case bench != "":
+		return als.Benchmark(bench)
+	case in != "":
+		src, err := os.ReadFile(in)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := als.ParseVerilog(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		return c
+	}
+	fatal(fmt.Errorf("pass -bench <name> or -in <file.v>"))
+	return nil
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	out := fs.String("out", "", "output .v path (default stdout)")
+	fs.Parse(args)
+	c := load(*bench, "")
+	src := als.WriteVerilog(c)
+	if *out == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	in := fs.String("in", "", "input .v")
+	fs.Parse(args)
+	c := load(*bench, *in)
+	lib := als.NewLibrary()
+	s := c.Summarize(lib)
+	rep, err := sta.Analyze(c, lib)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("name   : %s\n", s.Name)
+	fmt.Printf("gates  : %d\n", s.Gates)
+	fmt.Printf("PI/PO  : %d/%d\n", s.PIs, s.POs)
+	fmt.Printf("CPD    : %.2f ps (depth %d levels)\n", rep.CPD, rep.MaxDepth)
+	fmt.Printf("area   : %.2f um2\n", s.Area)
+}
+
+func cmdSTA(args []string) {
+	fs := flag.NewFlagSet("sta", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	in := fs.String("in", "", "input .v")
+	paths := fs.Int("paths", 1, "report the worst path of the slowest N POs")
+	fs.Parse(args)
+	c := load(*bench, *in)
+	lib := als.NewLibrary()
+	rep, err := sta.Analyze(c, lib)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("CPD %.2f ps, logic depth %d\n", rep.CPD, rep.MaxDepth)
+
+	// Rank POs by arrival.
+	type poArr struct {
+		idx int
+		ta  float64
+	}
+	order := make([]poArr, len(c.POs))
+	for i := range c.POs {
+		order[i] = poArr{i, rep.POArrival[i]}
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if order[j].ta > order[i].ta {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	if *paths > len(order) {
+		*paths = len(order)
+	}
+	for k := 0; k < *paths; k++ {
+		po := order[k]
+		fmt.Printf("\npath to PO %q (Ta = %.2f ps):\n", c.Gates[c.POs[po.idx]].Name, po.ta)
+		for _, id := range rep.CriticalPathForPO(c, po.idx) {
+			g := c.Gates[id]
+			fmt.Printf("  %6d  %-8s arr %8.2f  delay %6.2f  load %5.2f\n",
+				id, g.Func.String()+g.Drive.String(), rep.Arrival[id], rep.Delay[id], rep.Load[id])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netlist:", err)
+	os.Exit(1)
+}

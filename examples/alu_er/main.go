@@ -1,0 +1,52 @@
+// alu_er: the paper's random/control scenario — approximate an 8-bit ALU
+// (the c880 stand-in) under error-rate constraints, comparing all five
+// optimizers of TABLE II on an identical substrate.
+//
+// Run with:
+//
+//	go run ./examples/alu_er
+package main
+
+import (
+	"fmt"
+	"log"
+
+	als "repro"
+)
+
+func main() {
+	lib := als.NewLibrary()
+
+	fmt.Println("c880 (8-bit ALU) under 5% ER, post-optimization at 1.0x area")
+	fmt.Printf("%-20s %10s %10s %10s %12s\n", "method", "Ratio_cpd", "ER", "area", "runtime")
+	for _, method := range als.AllMethods() {
+		res, err := als.Flow(als.Benchmark("c880"), lib, als.FlowConfig{
+			Metric:      als.MetricER,
+			ErrorBudget: 0.05,
+			Method:      method,
+			Scale:       als.ScaleQuick,
+			Seed:        7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %10.4f %10.4f %10.2f %12v\n",
+			method.String(), res.RatioCPD, res.Err, res.AreaFinal, res.Runtime)
+	}
+
+	// Tightening the constraint leaves less approximation headroom —
+	// the trend of the paper's Fig. 7(a).
+	fmt.Println("\nDCGWO across ER constraints (Fig. 7(a) trend):")
+	for _, budget := range []float64{0.01, 0.02, 0.03, 0.04, 0.05} {
+		res, err := als.Flow(als.Benchmark("c880"), lib, als.FlowConfig{
+			Metric:      als.MetricER,
+			ErrorBudget: budget,
+			Scale:       als.ScaleQuick,
+			Seed:        7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ER <= %4.1f%%: Ratio_cpd = %.4f (err %.4f)\n", budget*100, res.RatioCPD, res.Err)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: the three-step flow of the paper on a 16-bit adder.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+//
+// It generates the Adder16 benchmark, runs DCGWO under a 2.44% NMED
+// constraint, post-optimizes under the accurate circuit's area, and prints
+// the paper's reporting metrics plus the convergence trace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	als "repro"
+)
+
+func main() {
+	lib := als.NewLibrary()
+	circuit := als.Benchmark("Adder16")
+
+	res, err := als.Flow(circuit, lib, als.FlowConfig{
+		Metric:      als.MetricNMED,
+		ErrorBudget: 0.0244,
+		Method:      als.MethodDCGWO,
+		Scale:       als.ScaleQuick,
+		Seed:        42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Adder16 under NMED <= 2.44%%\n")
+	fmt.Printf("  CPD:   %8.2f ps -> %8.2f ps  (Ratio_cpd = %.4f)\n", res.CPDOri, res.CPDFac, res.RatioCPD)
+	fmt.Printf("  area:  %8.2f    -> %8.2f um2 (budget %.2f)\n", res.AreaOri, res.AreaFinal, res.AreaCon)
+	fmt.Printf("  NMED:  %.5f\n", res.Err)
+	fmt.Printf("  time:  %v, %d circuit evaluations\n\n", res.Runtime, res.Evaluations)
+
+	fmt.Println("DCGWO convergence (best fitness per iteration):")
+	for _, h := range res.History {
+		fmt.Printf("  iter %2d: fit %.4f, delay %7.2f ps, area %6.2f, err %.5f (allowed %.5f)\n",
+			h.Iter, h.BestFit, h.BestDelay, h.BestArea, h.BestErr, h.ErrAllowed)
+	}
+}

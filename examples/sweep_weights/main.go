@@ -1,0 +1,45 @@
+// sweep_weights: the paper's Fig. 6 parameter study — how the fitness
+// depth weight wd trades critical-path depth against area, and why the
+// paper settles on wd = 0.8.
+//
+// Run with:
+//
+//	go run ./examples/sweep_weights
+package main
+
+import (
+	"fmt"
+	"log"
+
+	als "repro"
+)
+
+func main() {
+	lib := als.NewLibrary()
+	weights := []float64{1e-9, 0.2, 0.4, 0.6, 0.8, 1.0} // 1e-9 stands for wd = 0
+
+	fmt.Println("Max16 under 2.44% NMED: Ratio_cpd vs depth weight wd")
+	bestW, bestR := 0.0, 2.0
+	for _, wd := range weights {
+		res, err := als.Flow(als.Benchmark("Max16"), lib, als.FlowConfig{
+			Metric:      als.MetricNMED,
+			ErrorBudget: 0.0244,
+			DepthWeight: wd,
+			Scale:       als.ScaleQuick,
+			Seed:        13,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		shown := wd
+		if wd < 1e-6 {
+			shown = 0
+		}
+		fmt.Printf("  wd = %.1f: Ratio_cpd = %.4f (area %.2f, err %.5f)\n",
+			shown, res.RatioCPD, res.AreaFinal, res.Err)
+		if res.RatioCPD < bestR {
+			bestW, bestR = shown, res.RatioCPD
+		}
+	}
+	fmt.Printf("\nbest wd on this run: %.1f (Ratio_cpd %.4f) — the paper reports 0.8\n", bestW, bestR)
+}

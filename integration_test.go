@@ -1,0 +1,181 @@
+package als_test
+
+import (
+	"math/rand"
+	"testing"
+
+	als "repro"
+	"repro/internal/errest"
+	"repro/internal/gen"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+)
+
+// TestAllBenchmarksRoundTripVerilog writes every TABLE I netlist as
+// Verilog, parses it back, and checks functional equivalence on a shared
+// random sample — the writer and parser must agree on the whole library.
+func TestAllBenchmarksRoundTripVerilog(t *testing.T) {
+	for _, b := range gen.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			c := b.Build()
+			back, err := verilog.Parse(verilog.Write(c))
+			if err != nil {
+				t.Fatalf("round trip: %v", err)
+			}
+			v := sim.Random(rand.New(rand.NewSource(77)), len(c.PIs), 512)
+			r1, err := sim.Run(c, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := sim.Run(back, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p1, p2 := sim.POSignals(c, r1), sim.POSignals(back, r2)
+			for i := range p1 {
+				if sim.CountDiff(p1[i], p2[i]) != 0 {
+					t.Fatalf("PO %d differs after round trip", i)
+				}
+			}
+		})
+	}
+}
+
+// TestFlowErrorHoldsOnFreshSample validates the end-to-end error
+// guarantee: the final approximate netlist's error, measured on a fresh
+// vector sample the optimizer never saw, stays near the budget (within
+// Monte-Carlo tolerance).
+func TestFlowErrorHoldsOnFreshSample(t *testing.T) {
+	lib := als.NewLibrary()
+	acc := als.Benchmark("c1908")
+	res, err := als.Flow(acc, lib, als.FlowConfig{
+		Metric:      als.MetricER,
+		ErrorBudget: 0.05,
+		Population:  8,
+		Iterations:  6,
+		Vectors:     4096,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := sim.Random(rand.New(rand.NewSource(999)), len(acc.PIs), 1<<15)
+	est, err := errest.New(acc, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the pre-compaction approximate circuit: it shares
+	// the accurate circuit's interface.
+	m, _, err := est.Evaluate(res.Approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ER > 0.05+0.01 {
+		t.Errorf("fresh-sample ER %.4f blows the 5%% budget beyond MC tolerance", m.ER)
+	}
+	// Post-optimization must be function-preserving: the compacted,
+	// resized netlist has the same error as the approximate one.
+	mFinal, err2 := func() (errest.Metrics, error) {
+		e2, err := errest.New(acc, fresh)
+		if err != nil {
+			return errest.Metrics{}, err
+		}
+		m, _, err := e2.Evaluate(res.Final)
+		return m, err
+	}()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if mFinal.ER != m.ER {
+		t.Errorf("post-optimization changed the function: ER %.5f -> %.5f", m.ER, mFinal.ER)
+	}
+}
+
+// TestNMEDNeverExceedsER checks the structural property NMED <= ER on
+// randomly approximated circuits: each erroneous vector contributes at
+// most (2^n-1)/(2^n-1) = 1 to the ED sum.
+func TestNMEDNeverExceedsER(t *testing.T) {
+	acc := als.Benchmark("Adder16")
+	v := sim.Random(rand.New(rand.NewSource(4)), len(acc.PIs), 4096)
+	est, err := errest.New(acc, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		app := acc.Clone()
+		// Cut a few random gates to constants.
+		for k := 0; k < 3; k++ {
+			id := rng.Intn(len(app.Gates))
+			if app.Gates[id].Func.IsPseudo() {
+				continue
+			}
+			app.ReplaceFanin(id, app.Const0())
+		}
+		m, _, err := est.Evaluate(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NMED > m.ER+1e-12 {
+			t.Fatalf("trial %d: NMED %v > ER %v", trial, m.NMED, m.ER)
+		}
+		// ER must also be at least every per-PO rate.
+		for i, p := range m.PerPO {
+			if p > m.ER+1e-12 {
+				t.Fatalf("trial %d: PerPO[%d]=%v exceeds ER=%v", trial, i, p, m.ER)
+			}
+		}
+	}
+}
+
+// TestFlowOnParsedVerilog drives the flow from a Verilog file rather than
+// a generator — the downstream-user path.
+func TestFlowOnParsedVerilog(t *testing.T) {
+	lib := als.NewLibrary()
+	src := als.WriteVerilog(als.Benchmark("Max16"))
+	c, err := als.ParseVerilog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := als.Flow(c, lib, als.FlowConfig{
+		Metric:      als.MetricNMED,
+		ErrorBudget: 0.0244,
+		Population:  6,
+		Iterations:  4,
+		Vectors:     1024,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RatioCPD <= 0 || res.Err > 0.0244 {
+		t.Errorf("flow on parsed netlist: ratio %v err %v", res.RatioCPD, res.Err)
+	}
+}
+
+// TestFlowDegenerateCircuit exercises the flow on a netlist whose POs are
+// wired straight to PIs (no physical gates): every stage must cope.
+func TestFlowDegenerateCircuit(t *testing.T) {
+	c := als.Benchmark("Adder16")
+	// Strip logic: wire each PO to a PI.
+	for i, po := range c.POs {
+		c.Gates[po].Fanin[0] = c.PIs[i%len(c.PIs)]
+	}
+	res, err := als.Flow(c, als.NewLibrary(), als.FlowConfig{
+		Metric:      als.MetricER,
+		ErrorBudget: 0.05,
+		Population:  6,
+		Iterations:  3,
+		Vectors:     512,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatalf("degenerate circuit must not break the flow: %v", err)
+	}
+	if res.CPDOri != 0 {
+		// PI->PO wires have zero delay; Ratio is 0/0 guarded upstream.
+		t.Logf("CPDOri = %v", res.CPDOri)
+	}
+}

@@ -1,0 +1,406 @@
+// Package baselines implements the four comparison methods of the paper's
+// evaluation on the same substrate (simulation, STA, LACs, error
+// estimation) as DCGWO, so the experiments compare optimizer strategies
+// and nothing else:
+//
+//   - VECBEE-SASIMI [Su et al., TCAD'22]: area-driven greedy
+//     substitution — repeatedly apply the highest-similarity LAC with the
+//     best area saving that keeps the error within budget.
+//   - VaACS [Balaskas et al., TCSI'22]: genetic optimization of
+//     approximate circuits, depth-driven fitness.
+//   - HEDALS [Meng et al., TCAD'23]: delay-driven greedy — apply the LAC
+//     on the critical path with the best delay reduction under the error
+//     budget.
+//   - Single-chase GWO [Mirjalili et al.]: the traditional grey wolf
+//     optimizer with one guidance hierarchy and plain fitness-truncation
+//     selection (no population division, no non-dominated sorting).
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/lac"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/sta"
+)
+
+// Method identifies one baseline optimizer.
+type Method uint8
+
+const (
+	// VecbeeSasimi is the area-driven greedy method.
+	VecbeeSasimi Method = iota
+	// VaACS is the genetic depth-driven method.
+	VaACS
+	// HEDALS is the delay-driven greedy method.
+	HEDALS
+	// SingleChaseGWO is the traditional grey wolf optimizer.
+	SingleChaseGWO
+)
+
+// String names the method as in the paper's tables.
+func (m Method) String() string {
+	switch m {
+	case VecbeeSasimi:
+		return "VECBEE-S"
+	case VaACS:
+		return "VaACS"
+	case HEDALS:
+		return "HEDALS"
+	case SingleChaseGWO:
+		return "GWO (single-chase)"
+	}
+	return fmt.Sprintf("Method(%d)", uint8(m))
+}
+
+// Methods lists all baselines in the tables' column order.
+func Methods() []Method { return []Method{VecbeeSasimi, VaACS, HEDALS, SingleChaseGWO} }
+
+// Config tunes a baseline run. Rounds/population are scaled so every
+// method gets a comparable evaluation budget to DCGWO.
+type Config struct {
+	// Metric and ErrorBudget mirror core.Config.
+	Metric      core.Metric
+	ErrorBudget float64
+	// Rounds bounds greedy iterations / GA generations / GWO iterations.
+	Rounds int
+	// Population is the GA/GWO population size.
+	Population int
+	// CandidatesPerRound bounds how many LAC candidates a greedy method
+	// evaluates per round.
+	CandidatesPerRound int
+	// Vectors is the Monte-Carlo sample size.
+	Vectors int
+	// CritMargin widens the critical-path candidate set.
+	CritMargin float64
+	// DepthWeight is the fitness weight used for reporting Fit; greedy
+	// baselines optimize their own single objective regardless.
+	DepthWeight float64
+	// Seed fixes the run.
+	Seed int64
+}
+
+// DefaultConfig mirrors the evaluation budget of core.DefaultConfig.
+func DefaultConfig(m core.Metric, budget float64) Config {
+	return Config{
+		Metric:             m,
+		ErrorBudget:        budget,
+		Rounds:             20,
+		Population:         30,
+		CandidatesPerRound: 24,
+		Vectors:            1 << 14,
+		CritMargin:         0.05,
+		DepthWeight:        0.8,
+		Seed:               1,
+	}
+}
+
+// Result mirrors core.Result for a baseline run.
+type Result struct {
+	Best        *core.Individual
+	Evaluations int
+}
+
+// Run executes the selected baseline on the accurate circuit.
+func Run(method Method, accurate *netlist.Circuit, lib *cell.Library, cfg Config) (*Result, error) {
+	base := accurate.Clone()
+	base.Const0()
+	base.Const1()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vectors := sim.Random(rng, len(base.PIs), cfg.Vectors)
+	eval, err := core.NewEvaluator(base, lib, cfg.Metric, cfg.DepthWeight, vectors)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{cfg: cfg, lib: lib, base: base, eval: eval, rng: rng}
+	switch method {
+	case VecbeeSasimi:
+		return r.greedy(objectiveArea)
+	case HEDALS:
+		return r.greedy(objectiveDelay)
+	case VaACS:
+		return r.genetic()
+	case SingleChaseGWO:
+		return r.singleChaseGWO()
+	}
+	return nil, fmt.Errorf("baselines: unknown method %v", method)
+}
+
+type runner struct {
+	cfg  Config
+	lib  *cell.Library
+	base *netlist.Circuit
+	eval *core.Evaluator
+	rng  *rand.Rand
+}
+
+// objective scores a candidate individual for the greedy methods; lower is
+// better.
+type objective func(ind *core.Individual) float64
+
+func objectiveArea(ind *core.Individual) float64  { return ind.Area }
+func objectiveDelay(ind *core.Individual) float64 { return ind.Delay }
+
+// greedy implements both VECBEE-SASIMI (area objective, targets anywhere)
+// and HEDALS (delay objective, targets on critical paths): per round,
+// enumerate candidate LACs, evaluate each on a clone, and commit the best
+// feasible improvement. Rounds without a feasible improvement end the run.
+func (r *runner) greedy(score objective) (*Result, error) {
+	cur, err := r.eval.Evaluate(r.base.Clone())
+	if err != nil {
+		return nil, err
+	}
+	best := cur
+	failures := 0
+	for round := 0; round < r.cfg.Rounds; round++ {
+		res, err := sim.Run(cur.Circuit, r.eval.Vectors())
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sta.Analyze(cur.Circuit, r.lib)
+		if err != nil {
+			return nil, err
+		}
+		targets := r.pickTargets(cur.Circuit, rep, score)
+		improved := false
+		var bestChild *core.Individual
+		for _, target := range targets {
+			// The greedy methods use SASIMI's full catalogue including
+			// the inverted-wire substitution.
+			ch, ok := lac.BestSwitchInv(cur.Circuit, res, rep, target)
+			if !ok {
+				continue
+			}
+			clone := cur.Circuit.Clone()
+			lac.Apply(clone, ch)
+			child, err := r.eval.Evaluate(clone)
+			if err != nil {
+				return nil, err
+			}
+			if child.Err > r.cfg.ErrorBudget {
+				continue
+			}
+			if score(child) >= score(cur) {
+				continue
+			}
+			if bestChild == nil || score(child) < score(bestChild) {
+				bestChild = child
+			}
+		}
+		if bestChild != nil {
+			cur = bestChild
+			improved = true
+			if cur.Fit > best.Fit {
+				best = cur
+			}
+		}
+		// A dry round may just be an unlucky target sample; give the
+		// greedy a few more draws before concluding it has converged.
+		if improved {
+			failures = 0
+		} else if failures++; failures >= 3 {
+			break
+		}
+	}
+	return &Result{Best: best, Evaluations: r.eval.Count()}, nil
+}
+
+// pickTargets selects candidate target gates for one greedy round: HEDALS
+// draws from the critical paths; SASIMI samples live physical gates
+// uniformly. Both are capped at CandidatesPerRound.
+func (r *runner) pickTargets(c *netlist.Circuit, rep *sta.Report, score objective) []int {
+	var pool []int
+	if isDelayObjective(score) {
+		pool = rep.CriticalGates(c, r.cfg.CritMargin)
+	} else {
+		live := c.Live()
+		for id, g := range c.Gates {
+			if live[id] && !g.Func.IsPseudo() {
+				pool = append(pool, id)
+			}
+		}
+	}
+	r.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > r.cfg.CandidatesPerRound {
+		pool = pool[:r.cfg.CandidatesPerRound]
+	}
+	return pool
+}
+
+func isDelayObjective(score objective) bool {
+	probe := &core.Individual{Delay: 2, Area: 1}
+	return score(probe) == 2
+}
+
+// genetic implements the VaACS-style GA: elitist selection on a
+// delay-driven fitness, offspring by LAC mutation and reproduction-style
+// crossover, infeasible individuals discarded.
+func (r *runner) genetic() (*Result, error) {
+	popSize := r.cfg.Population
+	exact, err := r.eval.Evaluate(r.base.Clone())
+	if err != nil {
+		return nil, err
+	}
+	pop := []*core.Individual{exact}
+	for len(pop) < popSize {
+		child, err := r.mutate(exact)
+		if err != nil {
+			return nil, err
+		}
+		pop = append(pop, child)
+	}
+	best := exact
+	wt := 0.9 * r.eval.RefDelay()
+	for gen := 0; gen < r.cfg.Rounds; gen++ {
+		// Delay-driven fitness: feasible first, then faster first.
+		sort.Slice(pop, func(i, j int) bool {
+			fi, fj := pop[i].Err <= r.cfg.ErrorBudget, pop[j].Err <= r.cfg.ErrorBudget
+			if fi != fj {
+				return fi
+			}
+			return pop[i].Delay < pop[j].Delay
+		})
+		if pop[0].Err <= r.cfg.ErrorBudget && pop[0].Fit > best.Fit {
+			best = pop[0]
+		}
+		elite := pop[:max(2, popSize/4)]
+		next := append([]*core.Individual(nil), elite...)
+		for len(next) < popSize {
+			p1 := elite[r.rng.Intn(len(elite))]
+			if r.rng.Float64() < 0.5 {
+				p2 := pop[r.rng.Intn(len(pop))]
+				if child := core.Reproduce(p1, p2, wt, 0.1); child != nil {
+					ind, err := r.eval.Evaluate(child)
+					if err != nil {
+						return nil, err
+					}
+					next = append(next, ind)
+					continue
+				}
+			}
+			child, err := r.mutate(p1)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, child)
+		}
+		pop = next
+	}
+	for _, ind := range pop {
+		if ind.Err <= r.cfg.ErrorBudget && ind.Fit > best.Fit {
+			best = ind
+		}
+	}
+	return &Result{Best: best, Evaluations: r.eval.Count()}, nil
+}
+
+// mutate clones the individual and applies one similarity-guided LAC.
+func (r *runner) mutate(ind *core.Individual) (*core.Individual, error) {
+	clone := ind.Circuit.Clone()
+	res, err := sim.Run(clone, r.eval.Vectors())
+	if err != nil {
+		return nil, err
+	}
+	lac.RandomChange(clone, res, r.rng)
+	return r.eval.Evaluate(clone)
+}
+
+// singleChaseGWO implements the traditional GWO baseline: every non-alpha
+// wolf consults the alpha only (one chase), actions decided by the same
+// W-threshold rule, survivors picked by plain fitness truncation — no
+// population division and no Pareto selection.
+func (r *runner) singleChaseGWO() (*Result, error) {
+	popSize := r.cfg.Population
+	exact, err := r.eval.Evaluate(r.base.Clone())
+	if err != nil {
+		return nil, err
+	}
+	pop := []*core.Individual{exact}
+	for len(pop) < popSize {
+		child, err := r.mutate(exact)
+		if err != nil {
+			return nil, err
+		}
+		pop = append(pop, child)
+	}
+	best := bestFeasible(pop, r.cfg.ErrorBudget)
+	wt := 0.9 * r.eval.RefDelay()
+	const threshold = 0.5
+	for iter := 1; iter <= r.cfg.Rounds; iter++ {
+		a := 2 - 2*float64(iter)/float64(r.cfg.Rounds)
+		sort.Slice(pop, func(i, j int) bool { return pop[i].Fit > pop[j].Fit })
+		alpha := pop[0]
+		candidates := append([]*core.Individual(nil), pop...)
+		for _, ci := range pop[1:] {
+			d := math.Abs(r.rng.Float64()*2*alpha.Fit - ci.Fit)
+			w := (2*r.rng.Float64() - 1) * a * d
+			var childC *netlist.Circuit
+			if w > threshold {
+				childC = core.Reproduce(ci, alpha, wt, 0.1)
+			}
+			if childC == nil {
+				clone := ci.Circuit.Clone()
+				res, err := sim.Run(clone, r.eval.Vectors())
+				if err != nil {
+					return nil, err
+				}
+				rep, err := sta.Analyze(clone, r.lib)
+				if err != nil {
+					return nil, err
+				}
+				if _, ok := lac.Search(clone, res, rep, r.rng, r.cfg.CritMargin); !ok {
+					lac.RandomChange(clone, res, r.rng)
+				}
+				childC = clone
+			}
+			child, err := r.eval.Evaluate(childC)
+			if err != nil {
+				return nil, err
+			}
+			candidates = append(candidates, child)
+		}
+		// Plain truncation: feasible under the FULL budget (no asymptotic
+		// relaxation — that refinement is DCGWO's), fittest first.
+		feasible := candidates[:0:0]
+		for _, ind := range candidates {
+			if ind.Err <= r.cfg.ErrorBudget {
+				feasible = append(feasible, ind)
+			}
+		}
+		if len(feasible) == 0 {
+			feasible = append(feasible, exact)
+		}
+		sort.Slice(feasible, func(i, j int) bool { return feasible[i].Fit > feasible[j].Fit })
+		if len(feasible) > popSize {
+			feasible = feasible[:popSize]
+		}
+		pop = feasible
+		if b := bestFeasible(pop, r.cfg.ErrorBudget); b != nil && (best == nil || b.Fit > best.Fit) {
+			best = b
+		}
+	}
+	return &Result{Best: best, Evaluations: r.eval.Count()}, nil
+}
+
+func bestFeasible(pop []*core.Individual, budget float64) *core.Individual {
+	var best *core.Individual
+	for _, ind := range pop {
+		if ind.Err <= budget && (best == nil || ind.Fit > best.Fit) {
+			best = ind
+		}
+	}
+	return best
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

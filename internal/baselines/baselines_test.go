@@ -1,0 +1,162 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+var lib = cell.Default28nm()
+
+// adder8 mirrors the core test workload.
+func adder8() *netlist.Circuit {
+	c := netlist.New("adder8")
+	a := make([]int, 8)
+	b := make([]int, 8)
+	for i := range a {
+		a[i] = c.AddInput("a")
+	}
+	for i := range b {
+		b[i] = c.AddInput("b")
+	}
+	carry := -1
+	for i := 0; i < 8; i++ {
+		var sum int
+		if carry < 0 {
+			sum = c.AddGate(cell.Xor2, a[i], b[i])
+			carry = c.AddGate(cell.And2, a[i], b[i])
+		} else {
+			x := c.AddGate(cell.Xor2, a[i], b[i])
+			sum = c.AddGate(cell.Xor2, x, carry)
+			carry = c.AddGate(cell.Maj3, a[i], b[i], carry)
+		}
+		c.AddOutput("s", sum)
+	}
+	c.AddOutput("cout", carry)
+	return c
+}
+
+func smallConfig(m core.Metric, budget float64) Config {
+	cfg := DefaultConfig(m, budget)
+	cfg.Rounds = 5
+	cfg.Population = 8
+	cfg.CandidatesPerRound = 10
+	cfg.Vectors = 1024
+	cfg.Seed = 5
+	return cfg
+}
+
+func TestMethodNames(t *testing.T) {
+	want := map[Method]string{
+		VecbeeSasimi:   "VECBEE-S",
+		VaACS:          "VaACS",
+		HEDALS:         "HEDALS",
+		SingleChaseGWO: "GWO (single-chase)",
+	}
+	for m, name := range want {
+		if m.String() != name {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), name)
+		}
+	}
+	if len(Methods()) != 4 {
+		t.Error("Methods() must list all four baselines")
+	}
+}
+
+func TestAllBaselinesRespectBudget(t *testing.T) {
+	for _, m := range Methods() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(m, adder8(), lib, smallConfig(core.MetricNMED, 0.0244))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Best == nil {
+				t.Fatal("no result")
+			}
+			if res.Best.Err > 0.0244 {
+				t.Errorf("error %v exceeds budget", res.Best.Err)
+			}
+			if err := res.Best.Circuit.Validate(); err != nil {
+				t.Errorf("best circuit invalid: %v", err)
+			}
+			if res.Evaluations == 0 {
+				t.Error("no evaluations recorded")
+			}
+		})
+	}
+}
+
+func TestGreedySasimiReducesArea(t *testing.T) {
+	res, err := Run(VecbeeSasimi, adder8(), lib, smallConfig(core.MetricNMED, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accurateArea := adder8().Area(lib)
+	if res.Best.Area > accurateArea {
+		t.Errorf("area-driven greedy grew the area: %v > %v", res.Best.Area, accurateArea)
+	}
+}
+
+func TestHedalsTargetsDelay(t *testing.T) {
+	cfg := smallConfig(core.MetricER, 0.05)
+	res, err := Run(HEDALS, adder8(), lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HEDALS must never return something slower than the exact circuit
+	// (it only commits strict delay improvements).
+	opt, err := core.New(adder8(), lib, core.DefaultConfig(core.MetricER, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Delay > opt.RefDelay()+1e-9 {
+		t.Errorf("HEDALS result slower than accurate: %v > %v", res.Best.Delay, opt.RefDelay())
+	}
+}
+
+func TestZeroBudgetKeepsExact(t *testing.T) {
+	for _, m := range Methods() {
+		res, err := Run(m, adder8(), lib, smallConfig(core.MetricER, 0))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Best.Err != 0 {
+			t.Errorf("%v: zero budget but error %v", m, res.Best.Err)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	for _, m := range Methods() {
+		a, err := Run(m, adder8(), lib, smallConfig(core.MetricNMED, 0.0244))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(m, adder8(), lib, smallConfig(core.MetricNMED, 0.0244))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Best.Fit != b.Best.Fit {
+			t.Errorf("%v: same seed, different fitness (%v vs %v)", m, a.Best.Fit, b.Best.Fit)
+		}
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	if _, err := Run(Method(99), adder8(), lib, smallConfig(core.MetricER, 0.05)); err == nil {
+		t.Error("unknown method must error")
+	}
+	if Method(99).String() == "" {
+		t.Error("unknown method must still stringify")
+	}
+}
+
+func TestObjectiveProbe(t *testing.T) {
+	if !isDelayObjective(objectiveDelay) || isDelayObjective(objectiveArea) {
+		t.Error("objective probe misclassifies")
+	}
+}

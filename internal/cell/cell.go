@@ -1,0 +1,308 @@
+// Package cell provides a synthetic 28nm-class standard-cell library used
+// by the whole flow: combinational cell functions, drive strengths, and a
+// linear RC timing/area model.
+//
+// The library substitutes for the TSMC 28nm library the paper synthesizes
+// against. The ALS framework only consumes relative orderings — upsizing a
+// cell makes it faster but larger, deeper paths are slower — so a monotone
+// NLDM-like model (delay = intrinsic + Rdrive·Cload) preserves the
+// optimization landscape without proprietary data.
+package cell
+
+import "fmt"
+
+// Func identifies the logic function of a cell (or pseudo-cell).
+type Func uint8
+
+// Cell functions. Input, Const0/Const1 and OutPort are pseudo-cells: they
+// occupy gate slots in a netlist but have zero area and zero delay.
+const (
+	// Input is a primary-input pseudo-cell with no fan-in.
+	Input Func = iota
+	// OutPort is a primary-output pseudo-cell with exactly one fan-in.
+	OutPort
+	// Const0 is the constant logic 0 pseudo-cell.
+	Const0
+	// Const1 is the constant logic 1 pseudo-cell.
+	Const1
+	// Buf is a non-inverting buffer.
+	Buf
+	// Inv is an inverter.
+	Inv
+	// And2 is a 2-input AND.
+	And2
+	// Nand2 is a 2-input NAND.
+	Nand2
+	// Or2 is a 2-input OR.
+	Or2
+	// Nor2 is a 2-input NOR.
+	Nor2
+	// Xor2 is a 2-input XOR.
+	Xor2
+	// Xnor2 is a 2-input XNOR.
+	Xnor2
+	// Mux2 selects fan-in 0 when the select (fan-in 2) is 0, else fan-in 1.
+	Mux2
+	// Aoi21 computes NOT((a AND b) OR c).
+	Aoi21
+	// Oai21 computes NOT((a OR b) AND c).
+	Oai21
+	// Maj3 is the 3-input majority function (full-adder carry).
+	Maj3
+	// NumFuncs is the number of defined functions.
+	NumFuncs
+)
+
+var funcNames = [NumFuncs]string{
+	Input: "INPUT", OutPort: "OUTPORT", Const0: "CONST0", Const1: "CONST1",
+	Buf: "BUF", Inv: "INV", And2: "AND2", Nand2: "NAND2", Or2: "OR2",
+	Nor2: "NOR2", Xor2: "XOR2", Xnor2: "XNOR2", Mux2: "MUX2",
+	Aoi21: "AOI21", Oai21: "OAI21", Maj3: "MAJ3",
+}
+
+var funcArity = [NumFuncs]int{
+	Input: 0, OutPort: 1, Const0: 0, Const1: 0,
+	Buf: 1, Inv: 1, And2: 2, Nand2: 2, Or2: 2, Nor2: 2,
+	Xor2: 2, Xnor2: 2, Mux2: 3, Aoi21: 3, Oai21: 3, Maj3: 3,
+}
+
+// String returns the library name of the function, e.g. "NAND2".
+func (f Func) String() string {
+	if f >= NumFuncs {
+		return fmt.Sprintf("FUNC(%d)", uint8(f))
+	}
+	return funcNames[f]
+}
+
+// Arity returns the number of fan-ins the function requires.
+func (f Func) Arity() int {
+	if f >= NumFuncs {
+		return 0
+	}
+	return funcArity[f]
+}
+
+// Valid reports whether f is a defined function.
+func (f Func) Valid() bool { return f < NumFuncs }
+
+// IsPseudo reports whether f is a port or constant pseudo-cell that has no
+// physical implementation (zero area, zero delay).
+func (f Func) IsPseudo() bool {
+	return f == Input || f == OutPort || f == Const0 || f == Const1
+}
+
+// IsConst reports whether f is one of the constant pseudo-cells.
+func (f Func) IsConst() bool { return f == Const0 || f == Const1 }
+
+// FuncByName returns the function with the given library name.
+func FuncByName(name string) (Func, bool) {
+	for f := Func(0); f < NumFuncs; f++ {
+		if funcNames[f] == name {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// Eval64 evaluates the function over 64 parallel input patterns packed in
+// uint64 words. in must hold Arity() words. Pseudo-cells evaluate to their
+// defining value (Input returns 0 and must be overridden by the caller).
+func (f Func) Eval64(in []uint64) uint64 {
+	switch f {
+	case Input:
+		return 0
+	case OutPort, Buf:
+		return in[0]
+	case Const0:
+		return 0
+	case Const1:
+		return ^uint64(0)
+	case Inv:
+		return ^in[0]
+	case And2:
+		return in[0] & in[1]
+	case Nand2:
+		return ^(in[0] & in[1])
+	case Or2:
+		return in[0] | in[1]
+	case Nor2:
+		return ^(in[0] | in[1])
+	case Xor2:
+		return in[0] ^ in[1]
+	case Xnor2:
+		return ^(in[0] ^ in[1])
+	case Mux2:
+		// in[2] selects: 0 -> in[0], 1 -> in[1].
+		return (in[0] &^ in[2]) | (in[1] & in[2])
+	case Aoi21:
+		return ^((in[0] & in[1]) | in[2])
+	case Oai21:
+		return ^((in[0] | in[1]) & in[2])
+	case Maj3:
+		return (in[0] & in[1]) | (in[1] & in[2]) | (in[0] & in[2])
+	}
+	return 0
+}
+
+// EvalBool evaluates the function on single boolean inputs.
+func (f Func) EvalBool(in []bool) bool {
+	words := make([]uint64, len(in))
+	for i, b := range in {
+		if b {
+			words[i] = 1
+		}
+	}
+	return f.Eval64(words)&1 == 1
+}
+
+// Drive is a cell drive-strength index (X1..X8).
+type Drive uint8
+
+// Drive strengths available for every physical cell.
+const (
+	X1 Drive = iota
+	X2
+	X4
+	X8
+	NumDrives
+)
+
+var driveNames = [NumDrives]string{"X1", "X2", "X4", "X8"}
+
+// String returns the drive suffix, e.g. "X4".
+func (d Drive) String() string {
+	if d >= NumDrives {
+		return fmt.Sprintf("X(%d)", uint8(d))
+	}
+	return driveNames[d]
+}
+
+// Valid reports whether d is a defined drive strength.
+func (d Drive) Valid() bool { return d < NumDrives }
+
+// DriveByName returns the drive with the given suffix.
+func DriveByName(name string) (Drive, bool) {
+	for d := Drive(0); d < NumDrives; d++ {
+		if driveNames[d] == name {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// Timing holds the linear delay model of one cell variant:
+//
+//	delay(ps) = Intrinsic + Resistance × Cload(fF)
+type Timing struct {
+	// Intrinsic is the zero-load propagation delay in picoseconds.
+	Intrinsic float64
+	// Resistance is the effective output resistance in ps per fF of load.
+	Resistance float64
+	// InputCap is the capacitance each input pin presents, in fF.
+	InputCap float64
+	// Area is the cell footprint in square micrometres.
+	Area float64
+}
+
+// Variant names one physical cell: a function at a drive strength.
+type Variant struct {
+	Func  Func
+	Drive Drive
+}
+
+// Name returns the library cell name, e.g. "NAND2X2".
+func (v Variant) Name() string { return v.Func.String() + v.Drive.String() }
+
+// Library is an immutable standard-cell library: timing and area for every
+// (Func, Drive) pair plus the constant wire load per fan-out connection.
+type Library struct {
+	timing [NumFuncs][NumDrives]Timing
+	// WireCap is the fixed interconnect capacitance charged per fan-out
+	// connection, in fF.
+	WireCap float64
+	// DefaultPOLoad is the capacitive load presented by a primary output.
+	DefaultPOLoad float64
+}
+
+// base parameters per function for the X1 variant. Derived loosely from
+// public 28nm-class numbers: an X1 inverter is ~0.6 µm², ~10 ps intrinsic.
+var baseParams = [NumFuncs]Timing{
+	//                Intrinsic  Resist  InCap  Area
+	Input:   {0, 0, 0, 0},
+	OutPort: {0, 0, 0, 0},
+	Const0:  {0, 0, 0, 0},
+	Const1:  {0, 0, 0, 0},
+	Buf:     {14.0, 5.2, 0.9, 0.89},
+	Inv:     {9.0, 5.8, 1.0, 0.59},
+	And2:    {19.0, 6.0, 1.1, 1.18},
+	Nand2:   {13.0, 6.4, 1.1, 0.89},
+	Or2:     {21.0, 6.2, 1.1, 1.18},
+	Nor2:    {15.0, 7.0, 1.1, 0.89},
+	Xor2:    {28.0, 7.4, 1.7, 1.78},
+	Xnor2:   {28.0, 7.4, 1.7, 1.78},
+	Mux2:    {26.0, 6.8, 1.4, 2.08},
+	Aoi21:   {18.0, 7.2, 1.2, 1.18},
+	Oai21:   {18.0, 7.2, 1.2, 1.18},
+	Maj3:    {30.0, 7.6, 1.5, 2.37},
+}
+
+// driveScale maps a Drive to its relative strength (1, 2, 4, 8).
+var driveScale = [NumDrives]float64{1, 2, 4, 8}
+
+// Default28nm returns the synthetic 28nm-class library used across the
+// repository. Upsizing by one step halves the drive resistance, grows the
+// area sub-linearly (×1.6) and the input capacitance (×1.5), and trims a
+// little intrinsic delay — the standard shape of a real cell family.
+func Default28nm() *Library {
+	lib := &Library{WireCap: 0.6, DefaultPOLoad: 2.0}
+	for f := Func(0); f < NumFuncs; f++ {
+		for d := Drive(0); d < NumDrives; d++ {
+			b := baseParams[f]
+			if f.IsPseudo() {
+				lib.timing[f][d] = Timing{}
+				continue
+			}
+			s := driveScale[d]
+			lib.timing[f][d] = Timing{
+				Intrinsic:  b.Intrinsic * (1 - 0.04*float64(d)),
+				Resistance: b.Resistance / s,
+				InputCap:   b.InputCap * pow(1.5, float64(d)),
+				Area:       b.Area * pow(1.6, float64(d)),
+			}
+		}
+	}
+	return lib
+}
+
+func pow(base, exp float64) float64 {
+	// Tiny integer-ish power helper to avoid importing math for 3 calls.
+	r := 1.0
+	for i := 0; i < int(exp+0.5); i++ {
+		r *= base
+	}
+	return r
+}
+
+// Timing returns the timing/area record for the variant. Pseudo-cells
+// return the zero Timing.
+func (l *Library) Timing(f Func, d Drive) Timing {
+	if !f.Valid() || !d.Valid() {
+		return Timing{}
+	}
+	return l.timing[f][d]
+}
+
+// Area returns the area of the variant in µm².
+func (l *Library) Area(f Func, d Drive) float64 { return l.Timing(f, d).Area }
+
+// InputCap returns the input pin capacitance of the variant in fF.
+func (l *Library) InputCap(f Func, d Drive) float64 { return l.Timing(f, d).InputCap }
+
+// Delay returns the propagation delay in ps of the variant driving load fF.
+func (l *Library) Delay(f Func, d Drive, load float64) float64 {
+	t := l.Timing(f, d)
+	if f.IsPseudo() {
+		return 0
+	}
+	return t.Intrinsic + t.Resistance*load
+}

@@ -1,0 +1,209 @@
+package cell
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFuncArity(t *testing.T) {
+	cases := map[Func]int{
+		Input: 0, OutPort: 1, Const0: 0, Const1: 0,
+		Buf: 1, Inv: 1, And2: 2, Nand2: 2, Or2: 2, Nor2: 2,
+		Xor2: 2, Xnor2: 2, Mux2: 3, Aoi21: 3, Oai21: 3, Maj3: 3,
+	}
+	for f, want := range cases {
+		if got := f.Arity(); got != want {
+			t.Errorf("%v.Arity() = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestFuncByNameRoundTrip(t *testing.T) {
+	for f := Func(0); f < NumFuncs; f++ {
+		got, ok := FuncByName(f.String())
+		if !ok || got != f {
+			t.Errorf("FuncByName(%q) = %v, %v; want %v, true", f.String(), got, ok, f)
+		}
+	}
+	if _, ok := FuncByName("NAND9"); ok {
+		t.Error("FuncByName accepted unknown name")
+	}
+}
+
+func TestDriveByNameRoundTrip(t *testing.T) {
+	for d := Drive(0); d < NumDrives; d++ {
+		got, ok := DriveByName(d.String())
+		if !ok || got != d {
+			t.Errorf("DriveByName(%q) = %v, %v; want %v, true", d.String(), got, ok, d)
+		}
+	}
+	if _, ok := DriveByName("X3"); ok {
+		t.Error("DriveByName accepted unknown name")
+	}
+}
+
+func TestVariantName(t *testing.T) {
+	v := Variant{Nand2, X4}
+	if v.Name() != "NAND2X4" {
+		t.Errorf("Name() = %q, want NAND2X4", v.Name())
+	}
+}
+
+// truth tables per function, indexed by input bits packed little-endian.
+var truth = map[Func][]bool{
+	Buf:   {false, true},
+	Inv:   {true, false},
+	And2:  {false, false, false, true},
+	Nand2: {true, true, true, false},
+	Or2:   {false, true, true, true},
+	Nor2:  {true, false, false, false},
+	Xor2:  {false, true, true, false},
+	Xnor2: {true, false, false, true},
+	// inputs (a,b,s): out = s ? b : a
+	Mux2: {false, true, false, true, false, false, true, true},
+	// NOT((a AND b) OR c)
+	Aoi21: {true, true, true, false, false, false, false, false},
+	// NOT((a OR b) AND c)
+	Oai21: {true, true, true, true, true, false, false, false},
+	Maj3:  {false, false, false, true, false, true, true, true},
+}
+
+func TestEvalBoolTruthTables(t *testing.T) {
+	for f, table := range truth {
+		n := f.Arity()
+		for pat := 0; pat < 1<<n; pat++ {
+			in := make([]bool, n)
+			for i := 0; i < n; i++ {
+				in[i] = pat>>i&1 == 1
+			}
+			if got := f.EvalBool(in); got != table[pat] {
+				t.Errorf("%v(%v) = %v, want %v", f, in, got, table[pat])
+			}
+		}
+	}
+}
+
+func TestEval64MatchesEvalBool(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for f := Buf; f < NumFuncs; f++ {
+		n := f.Arity()
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		out := f.Eval64(words)
+		for bit := 0; bit < 64; bit++ {
+			in := make([]bool, n)
+			for i := 0; i < n; i++ {
+				in[i] = words[i]>>bit&1 == 1
+			}
+			want := f.EvalBool(in)
+			if got := out>>bit&1 == 1; got != want {
+				t.Fatalf("%v bit %d: Eval64 = %v, EvalBool = %v", f, bit, got, want)
+			}
+		}
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	if Const0.Eval64(nil) != 0 {
+		t.Error("Const0 must evaluate to all-zero word")
+	}
+	if Const1.Eval64(nil) != ^uint64(0) {
+		t.Error("Const1 must evaluate to all-one word")
+	}
+}
+
+func TestDefaultLibraryMonotoneDrives(t *testing.T) {
+	lib := Default28nm()
+	for f := Buf; f < NumFuncs; f++ {
+		for d := X1; d < X8; d++ {
+			lo, hi := lib.Timing(f, d), lib.Timing(f, d+1)
+			if hi.Resistance >= lo.Resistance {
+				t.Errorf("%v%v: resistance must drop when upsizing (%.2f -> %.2f)", f, d, lo.Resistance, hi.Resistance)
+			}
+			if hi.Area <= lo.Area {
+				t.Errorf("%v%v: area must grow when upsizing", f, d)
+			}
+			if hi.InputCap <= lo.InputCap {
+				t.Errorf("%v%v: input cap must grow when upsizing", f, d)
+			}
+		}
+	}
+}
+
+func TestPseudoCellsAreFree(t *testing.T) {
+	lib := Default28nm()
+	for _, f := range []Func{Input, OutPort, Const0, Const1} {
+		if lib.Area(f, X1) != 0 || lib.Delay(f, X1, 10) != 0 {
+			t.Errorf("pseudo-cell %v must have zero area and delay", f)
+		}
+	}
+}
+
+func TestDelayIncreasesWithLoad(t *testing.T) {
+	lib := Default28nm()
+	for f := Buf; f < NumFuncs; f++ {
+		if lib.Delay(f, X2, 8) <= lib.Delay(f, X2, 1) {
+			t.Errorf("%v: delay must increase with load", f)
+		}
+	}
+}
+
+func TestUpsizingReducesLoadedDelay(t *testing.T) {
+	lib := Default28nm()
+	const heavyLoad = 20.0
+	for f := Buf; f < NumFuncs; f++ {
+		for d := X1; d < X8; d++ {
+			if lib.Delay(f, d+1, heavyLoad) >= lib.Delay(f, d, heavyLoad) {
+				t.Errorf("%v: upsizing %v->%v must reduce delay under heavy load", f, d, d+1)
+			}
+		}
+	}
+}
+
+func TestInvalidLookupsReturnZero(t *testing.T) {
+	lib := Default28nm()
+	if lib.Timing(NumFuncs, X1) != (Timing{}) {
+		t.Error("invalid func must return zero Timing")
+	}
+	if lib.Timing(Inv, NumDrives) != (Timing{}) {
+		t.Error("invalid drive must return zero Timing")
+	}
+}
+
+// Property: Mux2 equals (a AND NOT s) OR (b AND s) for random words.
+func TestMuxProperty(t *testing.T) {
+	f := func(a, b, s uint64) bool {
+		got := Mux2.Eval64([]uint64{a, b, s})
+		want := (a &^ s) | (b & s)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Maj3 is symmetric under input permutation.
+func TestMajSymmetry(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x := Maj3.Eval64([]uint64{a, b, c})
+		return x == Maj3.Eval64([]uint64{b, c, a}) && x == Maj3.Eval64([]uint64{c, a, b})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan — NAND2(a,b) == NOT(AND2(a,b)), NOR2 == NOT(OR2).
+func TestDeMorganPairs(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return Nand2.Eval64([]uint64{a, b}) == ^And2.Eval64([]uint64{a, b}) &&
+			Nor2.Eval64([]uint64{a, b}) == ^Or2.Eval64([]uint64{a, b}) &&
+			Xnor2.Eval64([]uint64{a, b}) == ^Xor2.Eval64([]uint64{a, b})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

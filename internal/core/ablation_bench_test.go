@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// Ablation benches: each disables one DCGWO design choice DESIGN.md calls
+// out and reports the resulting best fitness on the 8-bit adder workload,
+// so `go test -bench=Ablation` quantifies what every ingredient buys.
+//
+//	AblationFull           — the full algorithm
+//	AblationNoRelaxation   — error budget fully open from iteration 1
+//	AblationSingleDraw     — searching samples one target (no best-of-K)
+//	AblationNoReproduction — thresholds force searching-only actions
+//	AblationTinyPopulation — N=5 (degenerate pack, no real ω group)
+func ablationConfig() Config {
+	cfg := DefaultConfig(MetricNMED, 0.0244)
+	cfg.PopulationSize = 12
+	cfg.MaxIter = 10
+	cfg.Vectors = 2048
+	cfg.Seed = 3
+	return cfg
+}
+
+func runAblation(b *testing.B, mutate func(*Config)) {
+	b.Helper()
+	var fit float64
+	for i := 0; i < b.N; i++ {
+		cfg := ablationConfig()
+		mutate(&cfg)
+		opt, err := New(adder8(), lib, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := opt.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fit = res.Best.Fit
+	}
+	b.ReportMetric(fit, "best_fit")
+}
+
+func BenchmarkAblationFull(b *testing.B) {
+	runAblation(b, func(*Config) {})
+}
+
+func BenchmarkAblationNoRelaxation(b *testing.B) {
+	runAblation(b, func(cfg *Config) { cfg.InitErrorFrac = 1.0 })
+}
+
+func BenchmarkAblationSingleDraw(b *testing.B) {
+	runAblation(b, func(cfg *Config) { cfg.SearchTries = 1 })
+}
+
+func BenchmarkAblationNoReproduction(b *testing.B) {
+	runAblation(b, func(cfg *Config) { cfg.DisableReproduction = true })
+}
+
+func BenchmarkAblationTinyPopulation(b *testing.B) {
+	runAblation(b, func(cfg *Config) { cfg.PopulationSize = 5 })
+}

@@ -1,0 +1,300 @@
+// Package core implements the paper's contribution: the double-chase grey
+// wolf optimizer (DCGWO) for timing-driven approximate logic synthesis.
+//
+// DCGWO evolves a population of approximate circuits (clones of the
+// accurate netlist mutated by LACs) to simultaneously minimize critical
+// path delay and area under an ER or NMED constraint:
+//
+//   - Population division (Fig. 4): the best-fitness circuit is the
+//     leader, ranks 2-4 are the elite group Ge, the rest form the ω group
+//     Gω.
+//   - Two approximate actions: circuit searching (similarity-guided LACs
+//     on critical-path gates) and circuit reproduction (per-PO TFI
+//     crossover scored by the Level function, Eq. 3).
+//   - Per-hierarchy decision rules (Eqs. 4-7): the fitness distance D to
+//     the guiding hierarchy, scaled by the GWO encircling coefficient
+//     A = (2·r1 - 1)·a with a decaying 2 → 0, yields W; comparing W with
+//     thresholds Se/Sω picks the action.
+//   - Candidates (old ∪ new population) are filtered by the current
+//     relaxed error constraint, non-dominated sorted on the depth/area
+//     ratio objectives with crowding distance (Eq. 9), and the best N
+//     survive.
+//   - Asymptotic error relaxation: Err(iter) = b·iter² + Err0 grows
+//     quadratically to the user budget, preventing an early rush to the
+//     constraint boundary.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/errest"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/sta"
+)
+
+// Metric selects which error measure constrains the optimization.
+type Metric uint8
+
+const (
+	// MetricER constrains the error rate (random/control circuits).
+	MetricER Metric = iota
+	// MetricNMED constrains the normalized mean error distance
+	// (arithmetic circuits).
+	MetricNMED
+)
+
+// String names the metric as in the paper.
+func (m Metric) String() string {
+	if m == MetricER {
+		return "ER"
+	}
+	return "NMED"
+}
+
+// Config holds every DCGWO parameter. The zero value is invalid; use
+// DefaultConfig and override fields as needed.
+type Config struct {
+	// Metric is the constrained error measure.
+	Metric Metric
+	// ErrorBudget is the user-specified maximum error constraint
+	// (e.g. 0.05 for a 5% ER).
+	ErrorBudget float64
+	// PopulationSize is N (paper: 30).
+	PopulationSize int
+	// MaxIter is Imax (paper: 20).
+	MaxIter int
+	// DepthWeight is wd in the fitness (Eq. 8; paper sweeps Fig. 6 and
+	// settles on 0.8). The area weight is 1 - DepthWeight.
+	DepthWeight float64
+	// WeightErr is we in the Level function (paper: 0.1 under ER, 0.2
+	// under NMED). WeightTa (wt) is fixed at 0.9·CPDori by the paper and
+	// computed internally.
+	WeightErr float64
+	// EliteThreshold is Se, the decision threshold of the elite group.
+	EliteThreshold float64
+	// OmegaThreshold is Sω, the decision threshold of the ω group.
+	OmegaThreshold float64
+	// InitErrorFrac sets Err0, the starting error constraint, as a
+	// fraction of ErrorBudget.
+	InitErrorFrac float64
+	// RelaxAt is the fraction of MaxIter at which the quadratic
+	// relaxation reaches the full budget (the paper's "appropriate
+	// empirical parameter b"); the constraint stays at the budget
+	// afterwards.
+	RelaxAt float64
+	// InitLACs is how many random LACs seed each initial individual.
+	InitLACs int
+	// CritMargin widens the searching targets set to paths within this
+	// fraction of the CPD.
+	CritMargin float64
+	// SearchTries is how many Tc samples one searching action considers
+	// before applying the highest-similarity change (1 = the paper's
+	// single random draw).
+	SearchTries int
+	// Vectors is the Monte-Carlo sample size (paper: 1e5).
+	Vectors int
+	// DisableReproduction replaces every reproduction action with a
+	// searching action (ablation of the crossover operator).
+	DisableReproduction bool
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's parameter setting for the given
+// metric and budget.
+func DefaultConfig(m Metric, budget float64) Config {
+	we := 0.1
+	if m == MetricNMED {
+		we = 0.2
+	}
+	return Config{
+		Metric:         m,
+		ErrorBudget:    budget,
+		PopulationSize: 30,
+		MaxIter:        20,
+		DepthWeight:    0.8,
+		WeightErr:      we,
+		EliteThreshold: 0.5,
+		OmegaThreshold: 0.3,
+		InitErrorFrac:  0.5,
+		RelaxAt:        0.5,
+		InitLACs:       2,
+		CritMargin:     0.1,
+		SearchTries:    4,
+		Vectors:        1 << 14,
+		Seed:           1,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.ErrorBudget < 0 {
+		return fmt.Errorf("core: negative error budget %v", c.ErrorBudget)
+	}
+	if c.PopulationSize < 5 {
+		return fmt.Errorf("core: population size %d < 5 (need leader + 3 elite + ω)", c.PopulationSize)
+	}
+	if c.MaxIter < 1 {
+		return fmt.Errorf("core: MaxIter must be positive")
+	}
+	if c.DepthWeight < 0 || c.DepthWeight > 1 {
+		return fmt.Errorf("core: DepthWeight %v outside [0,1]", c.DepthWeight)
+	}
+	if c.Vectors < 64 {
+		return fmt.Errorf("core: need at least 64 simulation vectors")
+	}
+	return nil
+}
+
+// Individual is one approximate circuit with its evaluation.
+type Individual struct {
+	// Circuit shares the accurate circuit's gate ID space (constants
+	// pre-materialized), so reproduction can merge adjacency by ID.
+	Circuit *netlist.Circuit
+	// Fit is the fitness of Eq. 8.
+	Fit float64
+	// Delay is the critical path delay ("depth" term, obtained by STA).
+	Delay float64
+	// Depth is the logic depth in gate levels (reported alongside).
+	Depth int
+	// Area is the live area (accurate area minus dangling gates).
+	Area float64
+	// Err is the constrained error metric's value.
+	Err float64
+	// PerPO is the per-output error rate (for the Level function).
+	PerPO []float64
+	// POArrival is Ta per PO (for the Level function).
+	POArrival []float64
+}
+
+// fd and fa are the two objectives of the non-dominated sort: the depth
+// function Depthori/Depthapp and the area function Areaori/Areaapp
+// (both maximized).
+func (ind *Individual) fd(refDelay float64) float64 { return refDelay / ind.Delay }
+func (ind *Individual) fa(refArea float64) float64  { return refArea / ind.Area }
+
+// IterStats records one iteration for convergence reporting.
+type IterStats struct {
+	Iter        int
+	BestFit     float64
+	BestDelay   float64
+	BestArea    float64
+	BestErr     float64
+	ErrAllowed  float64
+	Evaluations int
+}
+
+// Result is the outcome of one DCGWO run.
+type Result struct {
+	// Best is the highest-fitness individual meeting the final budget.
+	Best *Individual
+	// History holds per-iteration convergence stats.
+	History []IterStats
+	// Evaluations counts circuit evaluations performed.
+	Evaluations int
+}
+
+// Evaluator bundles the fixed evaluation context of one optimization run:
+// the cell library, the error estimator bound to the accurate circuit, the
+// error metric, the fitness depth weight, and the accurate circuit's
+// reference delay/area. The baseline optimizers share it so every method
+// is compared on an identical substrate (as in the paper's experiments).
+type Evaluator struct {
+	lib      *cell.Library
+	est      *errest.Estimator
+	metric   Metric
+	wd       float64
+	refDelay float64
+	refArea  float64
+	count    int
+}
+
+// NewEvaluator simulates the accurate circuit on n sampled vectors and
+// measures its reference timing and area. The accurate circuit must
+// already have its constant gates materialized if population members will
+// share its ID space.
+func NewEvaluator(accurate *netlist.Circuit, lib *cell.Library, metric Metric,
+	depthWeight float64, vectors *sim.Vectors) (*Evaluator, error) {
+
+	est, err := errest.New(accurate, vectors)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sta.Analyze(accurate, lib)
+	if err != nil {
+		return nil, err
+	}
+	refDelay := rep.CPD
+	if refDelay <= 0 {
+		refDelay = 1 // degenerate PI→PO netlist: keep ratios finite
+	}
+	refArea := accurate.Area(lib)
+	if refArea <= 0 {
+		refArea = 1
+	}
+	return &Evaluator{
+		lib:      lib,
+		est:      est,
+		metric:   metric,
+		wd:       depthWeight,
+		refDelay: refDelay,
+		refArea:  refArea,
+	}, nil
+}
+
+// Lib returns the cell library of this evaluation context.
+func (e *Evaluator) Lib() *cell.Library { return e.lib }
+
+// Vectors returns the shared Monte-Carlo input sample.
+func (e *Evaluator) Vectors() *sim.Vectors { return e.est.Vectors() }
+
+// Metric returns the constrained error metric.
+func (e *Evaluator) Metric() Metric { return e.metric }
+
+// RefDelay returns CPDori of the accurate circuit.
+func (e *Evaluator) RefDelay() float64 { return e.refDelay }
+
+// RefArea returns Areaori of the accurate circuit.
+func (e *Evaluator) RefArea() float64 { return e.refArea }
+
+// Count returns how many circuit evaluations have been performed.
+func (e *Evaluator) Count() int { return e.count }
+
+// Evaluate runs STA and error estimation on one circuit and fills an
+// Individual.
+func (e *Evaluator) Evaluate(c *netlist.Circuit) (*Individual, error) {
+	m, _, err := e.est.Evaluate(c)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sta.Analyze(c, e.lib)
+	if err != nil {
+		return nil, err
+	}
+	e.count++
+	ind := &Individual{
+		Circuit:   c,
+		Delay:     rep.CPD,
+		Depth:     rep.MaxDepth,
+		Area:      c.Area(e.lib),
+		PerPO:     m.PerPO,
+		POArrival: append([]float64(nil), rep.POArrival...),
+	}
+	if e.metric == MetricER {
+		ind.Err = m.ER
+	} else {
+		ind.Err = m.NMED
+	}
+	// Degenerate approximations (POs rewired to PIs/constants) reach zero
+	// delay or area; floor both so fitness stays finite and comparable.
+	delay, area := ind.Delay, ind.Area
+	if delay <= 0 {
+		delay = 1e-6
+	}
+	if area <= 0 {
+		area = 1e-6
+	}
+	ind.Fit = e.wd*(e.refDelay/delay) + (1-e.wd)*(e.refArea/area)
+	return ind, nil
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+var lib = cell.Default28nm()
+
+// adder8 builds a small ripple adder (the arithmetic test workload).
+func adder8() *netlist.Circuit {
+	c := netlist.New("adder8")
+	a := make([]int, 8)
+	b := make([]int, 8)
+	for i := range a {
+		a[i] = c.AddInput("a")
+	}
+	for i := range b {
+		b[i] = c.AddInput("b")
+	}
+	carry := -1
+	for i := 0; i < 8; i++ {
+		var sum int
+		if carry < 0 {
+			sum = c.AddGate(cell.Xor2, a[i], b[i])
+			carry = c.AddGate(cell.And2, a[i], b[i])
+		} else {
+			x := c.AddGate(cell.Xor2, a[i], b[i])
+			sum = c.AddGate(cell.Xor2, x, carry)
+			carry = c.AddGate(cell.Maj3, a[i], b[i], carry)
+		}
+		c.AddOutput("s", sum)
+	}
+	c.AddOutput("cout", carry)
+	return c
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	er := DefaultConfig(MetricER, 0.05)
+	if er.PopulationSize != 30 || er.MaxIter != 20 {
+		t.Error("paper uses N=30, Imax=20")
+	}
+	if er.DepthWeight != 0.8 {
+		t.Error("paper settles on wd=0.8 (Fig. 6)")
+	}
+	if er.WeightErr != 0.1 {
+		t.Error("paper uses we=0.1 under ER")
+	}
+	nmed := DefaultConfig(MetricNMED, 0.0244)
+	if nmed.WeightErr != 0.2 {
+		t.Error("paper uses we=0.2 under NMED")
+	}
+	if MetricER.String() != "ER" || MetricNMED.String() != "NMED" {
+		t.Error("metric names")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{ErrorBudget: -1, PopulationSize: 10, MaxIter: 5, Vectors: 1024},
+		{ErrorBudget: 0.05, PopulationSize: 3, MaxIter: 5, Vectors: 1024},
+		{ErrorBudget: 0.05, PopulationSize: 10, MaxIter: 0, Vectors: 1024},
+		{ErrorBudget: 0.05, PopulationSize: 10, MaxIter: 5, DepthWeight: 2, Vectors: 1024},
+		{ErrorBudget: 0.05, PopulationSize: 10, MaxIter: 5, Vectors: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(adder8(), lib, cfg); err == nil {
+			t.Errorf("config %d must be rejected", i)
+		}
+	}
+}
+
+// ---- non-dominated sorting ---------------------------------------------
+
+func ind(delay, area float64) *Individual { return &Individual{Delay: delay, Area: area} }
+
+func TestDominates(t *testing.T) {
+	// Lower delay and lower area -> higher fd and fa -> dominates.
+	a, b := ind(50, 50), ind(100, 100)
+	if !dominates(a, b, 100, 100) {
+		t.Error("strictly better circuit must dominate")
+	}
+	if dominates(b, a, 100, 100) {
+		t.Error("dominance must be asymmetric")
+	}
+	// Trade-off pair: no dominance either way.
+	c, d := ind(50, 100), ind(100, 50)
+	if dominates(c, d, 100, 100) || dominates(d, c, 100, 100) {
+		t.Error("trade-off circuits must be incomparable")
+	}
+	// Equal circuits do not dominate each other.
+	if dominates(a, ind(50, 50), 100, 100) {
+		t.Error("equal objectives must not dominate")
+	}
+}
+
+func TestNonDominatedSortFronts(t *testing.T) {
+	cands := []*Individual{
+		ind(50, 50),   // front 0 (dominates everything)
+		ind(60, 80),   // front 1
+		ind(80, 60),   // front 1
+		ind(90, 90),   // front 2
+		ind(100, 100), // front 3
+	}
+	fronts := nonDominatedSort(cands, 100, 100)
+	if len(fronts) != 4 {
+		t.Fatalf("got %d fronts, want 4", len(fronts))
+	}
+	if len(fronts[0]) != 1 || fronts[0][0] != cands[0] {
+		t.Error("front 0 must contain exactly the dominant circuit")
+	}
+	if len(fronts[1]) != 2 {
+		t.Errorf("front 1 size = %d, want 2", len(fronts[1]))
+	}
+	// No member of a front may dominate another member of the same front.
+	for _, front := range fronts {
+		for _, x := range front {
+			for _, y := range front {
+				if x != y && dominates(x, y, 100, 100) {
+					t.Error("intra-front dominance found")
+				}
+			}
+		}
+	}
+}
+
+func TestCrowdingDistanceExtremes(t *testing.T) {
+	front := []*Individual{ind(50, 100), ind(70, 80), ind(100, 50)}
+	dist := crowdingDistance(front, 100, 100)
+	if !math.IsInf(dist[0], 1) || !math.IsInf(dist[2], 1) {
+		t.Error("objective extremes must get infinite distance")
+	}
+	if math.IsInf(dist[1], 1) || dist[1] <= 0 {
+		t.Errorf("middle circuit distance = %v, want finite positive", dist[1])
+	}
+}
+
+func TestCrowdingDistanceSmallFronts(t *testing.T) {
+	for _, n := range []int{1, 2} {
+		front := make([]*Individual, n)
+		for i := range front {
+			front[i] = ind(50+float64(i), 50)
+		}
+		for _, d := range crowdingDistance(front, 100, 100) {
+			if !math.IsInf(d, 1) {
+				t.Error("fronts of <=2 must be all infinite")
+			}
+		}
+	}
+}
+
+func TestSelectSurvivorsCountAndRankOrder(t *testing.T) {
+	cands := []*Individual{
+		ind(50, 50), ind(60, 80), ind(80, 60), ind(90, 90), ind(100, 100), ind(110, 110),
+	}
+	out := selectSurvivors(cands, 3, 100, 100)
+	if len(out) != 3 {
+		t.Fatalf("got %d survivors, want 3", len(out))
+	}
+	if out[0] != cands[0] {
+		t.Error("rank-0 circuit must survive first")
+	}
+	// The two front-1 circuits come next.
+	got := map[*Individual]bool{out[1]: true, out[2]: true}
+	if !got[cands[1]] || !got[cands[2]] {
+		t.Error("front-1 circuits must fill the remaining slots")
+	}
+}
+
+func TestSelectSurvivorsFewerCandidates(t *testing.T) {
+	cands := []*Individual{ind(50, 50)}
+	if got := len(selectSurvivors(cands, 5, 100, 100)); got != 1 {
+		t.Errorf("got %d, want 1 (cannot invent circuits)", got)
+	}
+}
+
+// ---- Level function ------------------------------------------------------
+
+func TestLevelsPreferFastAndAccurate(t *testing.T) {
+	indv := &Individual{
+		POArrival: []float64{100, 50, 100},
+		PerPO:     []float64{0.10, 0.10, 0.01},
+	}
+	l := levels(indv, 90, 0.1)
+	if l[1] <= l[0] {
+		t.Error("faster PO must score a higher Level")
+	}
+	if l[2] <= l[0] {
+		t.Error("more accurate PO must score a higher Level")
+	}
+}
+
+func TestLevelsGuardZeroes(t *testing.T) {
+	indv := &Individual{POArrival: []float64{0}, PerPO: []float64{0}}
+	l := levels(indv, 90, 0.1)
+	if math.IsInf(l[0], 1) || math.IsNaN(l[0]) {
+		t.Error("zero Ta/Error must not blow up the Level")
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// dominates reports whether a Pareto-dominates b under maximization of the
+// depth function fd and area function fa: not inferior in either, strictly
+// superior in at least one.
+func dominates(a, b *Individual, refDelay, refArea float64) bool {
+	afd, afa := a.fd(refDelay), a.fa(refArea)
+	bfd, bfa := b.fd(refDelay), b.fa(refArea)
+	if afd < bfd || afa < bfa {
+		return false
+	}
+	return afd > bfd || afa > bfa
+}
+
+// nonDominatedSort partitions the candidates into Pareto fronts
+// (0-ranked first) using the dominated-list construction of the paper:
+// each circuit keeps the list Ld of circuits dominating it; circuits with
+// empty Ld form the next front and are removed.
+func nonDominatedSort(cands []*Individual, refDelay, refArea float64) [][]*Individual {
+	n := len(cands)
+	dominatedBy := make([][]int, n) // Ld: indices of dominators
+	dominatesList := make([][]int, n)
+	remaining := make([]bool, n)
+	for i := range cands {
+		remaining[i] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dominates(cands[i], cands[j], refDelay, refArea) {
+				dominatedBy[j] = append(dominatedBy[j], i)
+				dominatesList[i] = append(dominatesList[i], j)
+			} else if dominates(cands[j], cands[i], refDelay, refArea) {
+				dominatedBy[i] = append(dominatedBy[i], j)
+				dominatesList[j] = append(dominatesList[j], i)
+			}
+		}
+	}
+	count := make([]int, n)
+	for i := range count {
+		count[i] = len(dominatedBy[i])
+	}
+	var fronts [][]*Individual
+	left := n
+	for left > 0 {
+		var frontIdx []int
+		for i := 0; i < n; i++ {
+			if remaining[i] && count[i] == 0 {
+				frontIdx = append(frontIdx, i)
+			}
+		}
+		if len(frontIdx) == 0 {
+			// Cannot happen with a strict partial order; guard anyway.
+			for i := 0; i < n; i++ {
+				if remaining[i] {
+					frontIdx = append(frontIdx, i)
+				}
+			}
+		}
+		front := make([]*Individual, 0, len(frontIdx))
+		for _, i := range frontIdx {
+			remaining[i] = false
+			left--
+			front = append(front, cands[i])
+			for _, j := range dominatesList[i] {
+				count[j]--
+			}
+		}
+		fronts = append(fronts, front)
+	}
+	return fronts
+}
+
+// crowdingDistance computes Eq. 9 for one Pareto front: per objective,
+// sort the front, pin the extremes to +Inf, and accumulate the normalized
+// gap between each circuit's neighbours.
+func crowdingDistance(front []*Individual, refDelay, refArea float64) []float64 {
+	n := len(front)
+	dist := make([]float64, n)
+	if n <= 2 {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		return dist
+	}
+	idx := make([]int, n)
+	for _, objective := range []func(*Individual) float64{
+		func(ind *Individual) float64 { return ind.fd(refDelay) },
+		func(ind *Individual) float64 { return ind.fa(refArea) },
+	} {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return objective(front[idx[a]]) < objective(front[idx[b]])
+		})
+		lo, hi := objective(front[idx[0]]), objective(front[idx[n-1]])
+		dist[idx[0]] = math.Inf(1)
+		dist[idx[n-1]] = math.Inf(1)
+		span := hi - lo
+		if span <= 0 {
+			continue
+		}
+		for k := 1; k < n-1; k++ {
+			gap := objective(front[idx[k+1]]) - objective(front[idx[k-1]])
+			dist[idx[k]] += gap / span
+		}
+	}
+	return dist
+}
+
+// selectSurvivors picks the next population of size n: fronts in rank
+// order, each front sorted by descending crowding distance (with fitness
+// as the tiebreaker so the selection is deterministic).
+func selectSurvivors(cands []*Individual, n int, refDelay, refArea float64) []*Individual {
+	fronts := nonDominatedSort(cands, refDelay, refArea)
+	out := make([]*Individual, 0, n)
+	for _, front := range fronts {
+		dist := crowdingDistance(front, refDelay, refArea)
+		order := make([]int, len(front))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			da, db := dist[order[a]], dist[order[b]]
+			if da != db {
+				return da > db
+			}
+			return front[order[a]].Fit > front[order[b]].Fit
+		})
+		for _, i := range order {
+			if len(out) == n {
+				return out
+			}
+			out = append(out, front[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+// Package errest implements VECBEE-style batch error estimation by
+// Monte-Carlo simulation: error rate (ER), normalized mean error distance
+// (NMED), per-PO error rates (for the reproduction Level function), and
+// target/switch signal similarity.
+//
+// An Estimator caches the accurate circuit's simulated signals once; every
+// approximate candidate is then evaluated against the cached golden outputs
+// on the same shared vector sample. With the paper's 1e5 sampled vectors
+// the estimates are unbiased with negligible variance; the sample size is
+// configurable so tests and benchmarks can trade accuracy for speed.
+package errest
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Metrics bundles every error figure computed from one simulation of an
+// approximate circuit.
+type Metrics struct {
+	// ER is the probability that any PO differs from the accurate circuit
+	// (Eq. 1 of the paper).
+	ER float64
+	// NMED is the mean |Vori-Vapp| normalized by 2^n - 1 (Eq. 2).
+	NMED float64
+	// PerPO is the per-output bit error rate, used by the reproduction
+	// Level function (Eq. 3).
+	PerPO []float64
+}
+
+// Estimator evaluates approximate circuits against one accurate circuit on
+// a fixed shared vector sample.
+type Estimator struct {
+	vectors  *sim.Vectors
+	goldenPO [][]uint64
+	// goldenRes keeps the full accurate-circuit simulation for callers
+	// that need internal signals (e.g. similarity of the untouched
+	// accurate netlist).
+	goldenRes *sim.Result
+	nPO       int
+	norm      float64 // 2^nPO - 1 in float64
+}
+
+// New simulates the accurate circuit on the given vectors and returns an
+// estimator bound to them.
+func New(accurate *netlist.Circuit, v *sim.Vectors) (*Estimator, error) {
+	res, err := sim.Run(accurate, v)
+	if err != nil {
+		return nil, fmt.Errorf("errest: simulating accurate circuit: %w", err)
+	}
+	nPO := len(accurate.POs)
+	return &Estimator{
+		vectors:   v,
+		goldenPO:  sim.POSignals(accurate, res),
+		goldenRes: res,
+		nPO:       nPO,
+		norm:      math.Pow(2, float64(nPO)) - 1,
+	}, nil
+}
+
+// Vectors returns the shared input sample.
+func (e *Estimator) Vectors() *sim.Vectors { return e.vectors }
+
+// GoldenResult returns the cached accurate-circuit simulation.
+func (e *Estimator) GoldenResult() *sim.Result { return e.goldenRes }
+
+// N returns the number of sampled vectors.
+func (e *Estimator) N() int { return e.vectors.N }
+
+// Evaluate simulates the approximate circuit and returns all metrics plus
+// the simulation result for reuse (similarity queries, Level computation).
+func (e *Estimator) Evaluate(app *netlist.Circuit) (Metrics, *sim.Result, error) {
+	res, err := sim.Run(app, e.vectors)
+	if err != nil {
+		return Metrics{}, nil, fmt.Errorf("errest: simulating %q: %w", app.Name, err)
+	}
+	m, err := e.MetricsFromResult(app, res)
+	return m, res, err
+}
+
+// MetricsFromResult computes metrics from an existing simulation result of
+// the approximate circuit.
+func (e *Estimator) MetricsFromResult(app *netlist.Circuit, res *sim.Result) (Metrics, error) {
+	if len(app.POs) != e.nPO {
+		return Metrics{}, fmt.Errorf("errest: circuit %q has %d POs, accurate has %d", app.Name, len(app.POs), e.nPO)
+	}
+	appPO := sim.POSignals(app, res)
+	n := e.vectors.N
+	words := e.vectors.Words()
+
+	perPO := make([]float64, e.nPO)
+	for i := range appPO {
+		perPO[i] = float64(sim.CountDiff(appPO[i], e.goldenPO[i])) / float64(n)
+	}
+
+	// ER and NMED share a scan over differing vectors: for each word,
+	// OR the per-PO XOR words; set bits mark vectors with any mismatch.
+	erCount := 0
+	sumED := 0.0
+	for w := 0; w < words; w++ {
+		var anyDiff uint64
+		for i := range appPO {
+			anyDiff |= appPO[i][w] ^ e.goldenPO[i][w]
+		}
+		if anyDiff == 0 {
+			continue
+		}
+		erCount += bits.OnesCount64(anyDiff)
+		for rest := anyDiff; rest != 0; rest &= rest - 1 {
+			k := w*64 + bits.TrailingZeros64(rest)
+			vOri := sim.OutputValue(e.goldenPO, k)
+			vApp := sim.OutputValue(appPO, k)
+			sumED += math.Abs(vOri - vApp)
+		}
+	}
+	return Metrics{
+		ER:    float64(erCount) / float64(n),
+		NMED:  sumED / e.norm / float64(n),
+		PerPO: perPO,
+	}, nil
+}
+
+// ER is a convenience wrapper returning only the error rate.
+func (e *Estimator) ER(app *netlist.Circuit) (float64, error) {
+	m, _, err := e.Evaluate(app)
+	return m.ER, err
+}
+
+// NMED is a convenience wrapper returning only the normalized mean error
+// distance.
+func (e *Estimator) NMED(app *netlist.Circuit) (float64, error) {
+	m, _, err := e.Evaluate(app)
+	return m.NMED, err
+}
+
+// Similarity returns the fraction of vectors on which two simulated gate
+// signals agree — the paper's switch-gate selection criterion.
+func Similarity(res *sim.Result, a, b int) float64 {
+	return 1 - float64(sim.CountDiff(res.Signals[a], res.Signals[b]))/float64(res.N)
+}
+
+// ConstSimilarity returns the fraction of vectors on which the gate's
+// signal equals the constant value (false = 0, true = 1).
+func ConstSimilarity(res *sim.Result, id int, value bool) float64 {
+	ones := sim.CountOnes(res.Signals[id])
+	if value {
+		return float64(ones) / float64(res.N)
+	}
+	return 1 - float64(ones)/float64(res.N)
+}

@@ -1,0 +1,246 @@
+package errest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// adder2 builds an exact 2-bit adder: s = a + b, 3 output bits.
+func adder2() *netlist.Circuit {
+	c := netlist.New("adder2")
+	a0, a1 := c.AddInput("a0"), c.AddInput("a1")
+	b0, b1 := c.AddInput("b0"), c.AddInput("b1")
+	s0 := c.AddGate(cell.Xor2, a0, b0)
+	c0 := c.AddGate(cell.And2, a0, b0)
+	x1 := c.AddGate(cell.Xor2, a1, b1)
+	s1 := c.AddGate(cell.Xor2, x1, c0)
+	c1 := c.AddGate(cell.Maj3, a1, b1, c0)
+	c.AddOutput("s0", s0)
+	c.AddOutput("s1", s1)
+	c.AddOutput("s2", c1)
+	return c
+}
+
+func exhaustiveEstimator(t *testing.T, c *netlist.Circuit) *Estimator {
+	t.Helper()
+	v, err := sim.Exhaustive(len(c.PIs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestZeroErrorOnIdenticalCircuit(t *testing.T) {
+	acc := adder2()
+	e := exhaustiveEstimator(t, acc)
+	m, _, err := e.Evaluate(acc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ER != 0 || m.NMED != 0 {
+		t.Errorf("identical circuit must have zero error, got ER=%v NMED=%v", m.ER, m.NMED)
+	}
+	for i, p := range m.PerPO {
+		if p != 0 {
+			t.Errorf("PerPO[%d] = %v, want 0", i, p)
+		}
+	}
+}
+
+// TestERExactHandComputed checks ER against a hand-enumerated truth table:
+// approximating s2 (carry-out) with constant 0 makes exactly the vectors
+// with a+b >= 4 erroneous.
+func TestERExactHandComputed(t *testing.T) {
+	acc := adder2()
+	e := exhaustiveEstimator(t, acc)
+
+	app := acc.Clone()
+	carryGate := app.Gates[app.POs[2]].Fanin[0]
+	app.ReplaceFanin(carryGate, app.Const0())
+	m, _, err := e.Evaluate(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a,b in 0..3: a+b>=4 for (1,3),(3,1),(2,2),(2,3),(3,2),(3,3) = 6/16.
+	if want := 6.0 / 16.0; math.Abs(m.ER-want) > 1e-12 {
+		t.Errorf("ER = %v, want %v", m.ER, want)
+	}
+	// Each erroneous vector loses exactly 4 (the carry bit): NMED =
+	// (6*4)/7/16.
+	if want := 6.0 * 4 / 7 / 16; math.Abs(m.NMED-want) > 1e-12 {
+		t.Errorf("NMED = %v, want %v", m.NMED, want)
+	}
+	if m.PerPO[0] != 0 || m.PerPO[1] != 0 {
+		t.Error("s0/s1 must be error-free")
+	}
+	if want := 6.0 / 16.0; math.Abs(m.PerPO[2]-want) > 1e-12 {
+		t.Errorf("PerPO[2] = %v, want %v", m.PerPO[2], want)
+	}
+}
+
+func TestNMEDWeighsBitSignificance(t *testing.T) {
+	acc := adder2()
+	e := exhaustiveEstimator(t, acc)
+
+	// Forcing s0 to 0 flips only bit 0 (weight 1) on half the vectors.
+	appLow := acc.Clone()
+	s0 := appLow.Gates[appLow.POs[0]].Fanin[0]
+	appLow.ReplaceFanin(s0, appLow.Const0())
+	mLow, _, err := e.Evaluate(appLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forcing s2 to 0 flips bit 2 (weight 4) on 6/16 vectors.
+	appHigh := acc.Clone()
+	s2 := appHigh.Gates[appHigh.POs[2]].Fanin[0]
+	appHigh.ReplaceFanin(s2, appHigh.Const0())
+	mHigh, _, err := e.Evaluate(appHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if mLow.ER <= mHigh.ER {
+		t.Errorf("LSB cut must have higher ER: %v vs %v", mLow.ER, mHigh.ER)
+	}
+	if mLow.NMED >= mHigh.NMED {
+		t.Errorf("MSB cut must have higher NMED: %v vs %v", mLow.NMED, mHigh.NMED)
+	}
+}
+
+func TestEvaluateRejectsPOMismatch(t *testing.T) {
+	acc := adder2()
+	e := exhaustiveEstimator(t, acc)
+	other := netlist.New("tiny")
+	a := other.AddInput("a")
+	other.AddInput("b")
+	other.AddInput("c")
+	other.AddInput("d")
+	other.AddOutput("y", a)
+	if _, _, err := e.Evaluate(other); err == nil {
+		t.Error("Evaluate must reject PO-count mismatch")
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	c := adder2()
+	v, _ := sim.Exhaustive(4)
+	res, err := sim.Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range c.Gates {
+		if s := Similarity(res, id, id); s != 1 {
+			t.Errorf("self-similarity of gate %d = %v, want 1", id, s)
+		}
+	}
+	// a0 and NOT pattern: similarity of a0 with itself is 1; with b0 it
+	// should be 0.5 on the exhaustive sample.
+	if s := Similarity(res, c.PIs[0], c.PIs[2]); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("similarity(a0,b0) = %v, want 0.5", s)
+	}
+}
+
+func TestConstSimilarity(t *testing.T) {
+	c := adder2()
+	v, _ := sim.Exhaustive(4)
+	res, err := sim.Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AND2(a0,b0) is 1 on 4/16 vectors.
+	var andGate int = -1
+	for id, g := range c.Gates {
+		if g.Func == cell.And2 {
+			andGate = id
+			break
+		}
+	}
+	if s := ConstSimilarity(res, andGate, false); math.Abs(s-12.0/16) > 1e-12 {
+		t.Errorf("const0 similarity = %v, want 0.75", s)
+	}
+	if s := ConstSimilarity(res, andGate, true); math.Abs(s-4.0/16) > 1e-12 {
+		t.Errorf("const1 similarity = %v, want 0.25", s)
+	}
+}
+
+// TestPaperSimilarityExample reproduces Fig. 5's wire-by-constant pick: a
+// gate outputting 14 cycles of '0' out of 16 has const0 similarity 0.875.
+func TestPaperSimilarityExample(t *testing.T) {
+	c := netlist.New("fig5")
+	pis := make([]int, 4)
+	for i := range pis {
+		pis[i] = c.AddInput("i")
+	}
+	// AND of all four inputs is 1 on exactly 1/16 vectors; AND of three is
+	// 2/16. Build the 2/16 case: 14 cycles of '0'.
+	g1 := c.AddGate(cell.And2, pis[0], pis[1])
+	g2 := c.AddGate(cell.And2, g1, pis[2])
+	c.AddOutput("y", g2)
+	v, _ := sim.Exhaustive(4)
+	res, err := sim.Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ConstSimilarity(res, g2, false); math.Abs(s-0.875) > 1e-12 {
+		t.Errorf("const0 similarity = %v, want 0.875 (paper Fig. 5)", s)
+	}
+}
+
+// TestMonteCarloConvergesToExhaustive checks that sampled ER approaches
+// the exact exhaustive ER within Monte-Carlo tolerance.
+func TestMonteCarloConvergesToExhaustive(t *testing.T) {
+	acc := adder2()
+	app := acc.Clone()
+	carryGate := app.Gates[app.POs[2]].Fanin[0]
+	app.ReplaceFanin(carryGate, app.Const0())
+
+	exact := exhaustiveEstimator(t, acc)
+	mExact, _, err := exact.Evaluate(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := sim.Random(rand.New(rand.NewSource(11)), 4, 1<<16)
+	sampled, err := New(acc, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mMC, _, err := sampled.Evaluate(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mMC.ER-mExact.ER) > 0.01 {
+		t.Errorf("MC ER %v deviates from exact %v", mMC.ER, mExact.ER)
+	}
+	if math.Abs(mMC.NMED-mExact.NMED) > 0.01 {
+		t.Errorf("MC NMED %v deviates from exact %v", mMC.NMED, mExact.NMED)
+	}
+}
+
+func BenchmarkEvaluateAdder2(b *testing.B) {
+	acc := adder2()
+	v := sim.Random(rand.New(rand.NewSource(2)), 4, 1<<14)
+	e, err := New(acc, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := acc.Clone()
+	carryGate := app.Gates[app.POs[2]].Fanin[0]
+	app.ReplaceFanin(carryGate, app.Const0())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Evaluate(app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	als "repro"
+)
+
+// tinyOpts keeps experiment tests to a couple of small circuits.
+func tinyOpts() Opts {
+	return Opts{
+		Circuits:   []string{"c880", "Max16"},
+		Methods:    []als.Method{als.MethodDCGWO, als.MethodHEDALS},
+		Seed:       3,
+		Population: 6,
+		Iterations: 4,
+		Vectors:    1024,
+	}
+}
+
+func TestTable1AllRows(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("TABLE I has %d rows, want 15", len(rows))
+	}
+	for _, r := range rows {
+		if r.Gates <= 0 || r.CPDOri <= 0 || r.AreaOri <= 0 {
+			t.Errorf("%s: non-positive stats %+v", r.Circuit, r)
+		}
+	}
+	text := RenderTable1(rows)
+	for _, want := range []string{"Cavlc", "Sqrt", "CPDori"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered TABLE I missing %q", want)
+		}
+	}
+}
+
+func TestTable2Subset(t *testing.T) {
+	tab, err := Table2(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || tab.Rows[0].Circuit != "c880" {
+		t.Fatalf("expected only c880 in the random/control subset, got %+v", tab.Rows)
+	}
+	for _, m := range tab.Methods {
+		cell := tab.Rows[0].Cells[m]
+		if cell.RatioCPD <= 0 || cell.RatioCPD > 1.5 {
+			t.Errorf("%v: implausible Ratiocpd %v", m, cell.RatioCPD)
+		}
+		if cell.Err > 0.05 {
+			t.Errorf("%v: error %v exceeds the 5%% ER budget", m, cell.Err)
+		}
+		if tab.Avg[m] != cell.RatioCPD {
+			t.Errorf("single-row average must equal the cell")
+		}
+	}
+	if !strings.Contains(RenderCompare(tab), "c880") {
+		t.Error("rendered table missing circuit")
+	}
+}
+
+func TestTable3Subset(t *testing.T) {
+	tab, err := Table3(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || tab.Rows[0].Circuit != "Max16" {
+		t.Fatalf("expected only Max16 in the arithmetic subset, got %+v", tab.Rows)
+	}
+	for _, m := range tab.Methods {
+		if tab.Rows[0].Cells[m].Err > 0.0244 {
+			t.Errorf("%v: NMED budget violated", m)
+		}
+	}
+}
+
+func TestFig7Sweep(t *testing.T) {
+	opts := tinyOpts()
+	opts.Methods = []als.Method{als.MethodHEDALS}
+	er, nmed, err := Fig7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er) != 1 || len(nmed) != 1 {
+		t.Fatal("one series per method expected")
+	}
+	if len(er[0].Ratio) != len(ERConstraints) {
+		t.Error("ER sweep must cover all constraint points")
+	}
+	// Looser constraints can only help (within stochastic noise the
+	// greedy HEDALS is monotone because a looser budget admits a
+	// superset of moves). Allow small tolerance.
+	r := er[0].Ratio
+	if r[len(r)-1] > r[0]+0.05 {
+		t.Errorf("loosest ER should not be clearly worse than tightest: %v", r)
+	}
+	if !strings.Contains(RenderSweep("Fig7a", "ER", er), "HEDALS") {
+		t.Error("rendered sweep missing method")
+	}
+}
+
+func TestFig8Sweep(t *testing.T) {
+	opts := tinyOpts()
+	opts.Methods = []als.Method{als.MethodDCGWO}
+	er, nmed, err := Fig8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er[0].Ratio) != len(AreaRatios) || len(nmed[0].Ratio) != len(AreaRatios) {
+		t.Fatal("area sweep must cover all ratio points")
+	}
+	// More area headroom can only help the sizing step.
+	r := er[0].Ratio
+	if r[len(r)-1] > r[0]+0.05 {
+		t.Errorf("1.2x area budget should not be clearly worse than 0.8x: %v", r)
+	}
+}
+
+func TestFig6SmallSweep(t *testing.T) {
+	opts := tinyOpts()
+	series, err := Fig6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("Fig. 6 has %d curves, want 4 (ER/NMED x tight/loose)", len(series))
+	}
+	for _, s := range series {
+		if len(s.Ratio) != len(Fig6Weights) {
+			t.Errorf("%s: %d points, want %d", s.Label, len(s.Ratio), len(Fig6Weights))
+		}
+		for _, r := range s.Ratio {
+			if r <= 0 || r > 1.5 {
+				t.Errorf("%s: implausible ratio %v", s.Label, r)
+			}
+		}
+	}
+	if !strings.Contains(RenderWeights(series), "NMED 2.44%") {
+		t.Error("rendered Fig. 6 missing series label")
+	}
+}
+
+func TestPaperReferenceTables(t *testing.T) {
+	if len(PaperTable2) != 7 || len(PaperTable3) != 8 {
+		t.Fatal("paper reference tables must cover every circuit row")
+	}
+	for name, row := range PaperTable2 {
+		if len(row) != 5 {
+			t.Errorf("%s: %d methods, want 5", name, len(row))
+		}
+	}
+	avg := PaperAverages(PaperTable2)
+	// The paper reports 0.7287 average for Ours in TABLE II.
+	if got := avg["Ours"]; got < 0.7286 || got > 0.7288 {
+		t.Errorf("paper TABLE II average for Ours = %v, want ~0.7287", got)
+	}
+	avg3 := PaperAverages(PaperTable3)
+	if got := avg3["Ours"]; got < 0.6145 || got > 0.6147 {
+		t.Errorf("paper TABLE III average for Ours = %v, want ~0.6146", got)
+	}
+	// Paper headline: ours beats every baseline on average in both tables.
+	for _, m := range []string{"VECBEE-S", "VaACS", "HEDALS", "GWO (single-chase)"} {
+		if avg["Ours"] >= avg[m] {
+			t.Errorf("TABLE II: paper's Ours (%v) must beat %s (%v)", avg["Ours"], m, avg[m])
+		}
+		if avg3["Ours"] >= avg3[m] {
+			t.Errorf("TABLE III: paper's Ours (%v) must beat %s (%v)", avg3["Ours"], m, avg3[m])
+		}
+	}
+}

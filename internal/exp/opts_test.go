@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"testing"
+
+	als "repro"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestOptsDefaults(t *testing.T) {
+	var o Opts
+	if got := o.methods(); len(got) != 5 {
+		t.Errorf("default methods = %d, want all 5", len(got))
+	}
+	if o.seed() != 1 {
+		t.Error("default seed must be 1")
+	}
+	cfg := o.flowConfig(core.MetricER, 0.05)
+	if cfg.ErrorBudget != 0.05 || cfg.Metric != core.MetricER {
+		t.Error("flowConfig must forward the constraint")
+	}
+}
+
+func TestOptsCircuitFiltering(t *testing.T) {
+	o := Opts{Circuits: []string{"Max16", "c880", "nonexistent"}}
+	rc := o.circuitSet(gen.RandomControl)
+	if len(rc) != 1 || rc[0] != "c880" {
+		t.Errorf("random/control subset = %v, want [c880]", rc)
+	}
+	arith := o.circuitSet(gen.Arithmetic)
+	if len(arith) != 1 || arith[0] != "Max16" {
+		t.Errorf("arithmetic subset = %v, want [Max16]", arith)
+	}
+	// nil filter keeps the full TABLE I sets.
+	full := Opts{}
+	if len(full.circuitSet(gen.RandomControl)) != 7 || len(full.circuitSet(gen.Arithmetic)) != 8 {
+		t.Error("nil filter must keep all circuits")
+	}
+}
+
+func TestOptsOverridesReachFlow(t *testing.T) {
+	o := Opts{Population: 6, Iterations: 3, Vectors: 512, Seed: 9}
+	cfg := o.flowConfig(core.MetricNMED, 0.01)
+	if cfg.Population != 6 || cfg.Iterations != 3 || cfg.Vectors != 512 || cfg.Seed != 9 {
+		t.Errorf("overrides lost: %+v", cfg)
+	}
+}
+
+func TestFig7MethodsOrder(t *testing.T) {
+	m := Fig7Methods()
+	if len(m) != 3 || m[2] != als.MethodDCGWO {
+		t.Error("Fig. 7 plots HEDALS, GWO, Ours")
+	}
+}
+
+func TestConstraintGrids(t *testing.T) {
+	if len(ERConstraints) != 5 || ERConstraints[4] != 0.05 {
+		t.Error("ER grid must end at the TABLE II setting")
+	}
+	if len(NMEDConstraints) != 5 || NMEDConstraints[4] != 0.0244 {
+		t.Error("NMED grid must end at the TABLE III setting")
+	}
+	if len(AreaRatios) != 5 || AreaRatios[0] != 0.8 || AreaRatios[4] != 1.2 {
+		t.Error("area grid must span 0.8-1.2")
+	}
+	if len(Fig6Weights) != 6 {
+		t.Error("Fig. 6 sweeps six weights")
+	}
+}
+
+func TestRenderSweepEmpty(t *testing.T) {
+	if got := RenderSweep("t", "x", nil); got == "" {
+		t.Error("empty sweep must still render a header")
+	}
+}

@@ -1,0 +1,95 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Arch selects an adder micro-architecture. The ALS literature's results
+// depend heavily on the adder structure (a ripple chain exposes one deep
+// critical path; a prefix tree exposes many shallow ones), so the
+// generators expose all three for architecture studies.
+type Arch uint8
+
+const (
+	// Ripple is the linear carry chain: minimal area, O(n) depth.
+	Ripple Arch = iota
+	// CarrySelect splits the adder into blocks computing both carry
+	// hypotheses, halving depth at ~2x block area.
+	CarrySelect
+	// KoggeStone is the parallel-prefix network: O(log n) depth, the
+	// structure timing-driven synthesis emits for wide fast adders.
+	KoggeStone
+)
+
+// String names the architecture.
+func (a Arch) String() string {
+	switch a {
+	case Ripple:
+		return "ripple"
+	case CarrySelect:
+		return "carry-select"
+	case KoggeStone:
+		return "kogge-stone"
+	}
+	return fmt.Sprintf("Arch(%d)", uint8(a))
+}
+
+// Arches lists all adder architectures.
+func Arches() []Arch { return []Arch{Ripple, CarrySelect, KoggeStone} }
+
+// AdderArch builds an n-bit adder with the selected architecture: inputs
+// a and b, outputs s (n+1 bits, carry out as MSB).
+func AdderArch(n int, arch Arch) *netlist.Circuit {
+	c := netlist.New(fmt.Sprintf("adder%d_%s", n, arch))
+	a := inputBus(c, "a", n)
+	b := inputBus(c, "b", n)
+	var sum []int
+	var cout int
+	switch arch {
+	case Ripple:
+		sum, cout = rippleAdd(c, a, b, -1)
+	case CarrySelect:
+		sum, cout = carrySelectAdd(c, a, b)
+	case KoggeStone:
+		sum, cout = prefixAdd(c, a, b, -1)
+	default:
+		panic(fmt.Sprintf("gen: unknown adder architecture %v", arch))
+	}
+	outputBus(c, "s", append(sum, cout))
+	return cleaned(c)
+}
+
+// carrySelectAdd implements a carry-select adder with sqrt(n)-ish blocks:
+// each block ripples both carry hypotheses and a mux chain picks the real
+// one.
+func carrySelectAdd(c *netlist.Circuit, a, b []int) (sum []int, cout int) {
+	n := len(a)
+	block := 4
+	for block*block < n {
+		block++
+	}
+	sum = make([]int, n)
+	carry := -1 // no carry into block 0
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		as, bs := a[lo:hi], b[lo:hi]
+		if lo == 0 {
+			s, cy := rippleAdd(c, as, bs, -1)
+			copy(sum[lo:hi], s)
+			carry = cy
+			continue
+		}
+		s0, c0 := rippleAdd(c, as, bs, c.Const0())
+		s1, c1 := rippleAdd(c, as, bs, c.Const1())
+		sel := muxBus(c, s0, s1, carry)
+		copy(sum[lo:hi], sel)
+		carry = c.AddGate(cell.Mux2, c0, c1, carry)
+	}
+	return sum, carry
+}

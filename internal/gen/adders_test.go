@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/sta"
+)
+
+func TestAdderArchExhaustive8(t *testing.T) {
+	for _, arch := range Arches() {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			c := AdderArch(8, arch)
+			if err := c.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			v, err := sim.Exhaustive(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(c, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < v.N; k++ {
+				a := piVal(v, 0, 8, k)
+				b := piVal(v, 8, 8, k)
+				if got := poVal(c, res, 0, 9, k); got != a+b {
+					t.Fatalf("%v: %d + %d = %d, want %d", arch, a, b, got, a+b)
+				}
+			}
+		})
+	}
+}
+
+func TestAdderArchRandom32(t *testing.T) {
+	for _, arch := range Arches() {
+		c := AdderArch(32, arch)
+		v, res := runRandom(t, c, 41, 2048)
+		for k := 0; k < v.N; k++ {
+			a := piVal(v, 0, 32, k)
+			b := piVal(v, 32, 32, k)
+			if got := poVal(c, res, 0, 33, k); got != a+b {
+				t.Fatalf("%v: add mismatch at vector %d", arch, k)
+			}
+		}
+	}
+}
+
+func TestAdderArchDepthOrdering(t *testing.T) {
+	lib := cell.Default28nm()
+	depth := map[Arch]int{}
+	for _, arch := range Arches() {
+		c := AdderArch(32, arch)
+		rep, err := sta.Analyze(c, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depth[arch] = rep.MaxDepth
+	}
+	// At 32 bits the sqrt-blocked carry-select lands near the prefix
+	// depth; the hard requirements are prefix <= select << ripple.
+	if !(depth[KoggeStone] <= depth[CarrySelect] && depth[CarrySelect] < depth[Ripple]) {
+		t.Errorf("depth ordering violated: KS %d, CS %d, RCA %d",
+			depth[KoggeStone], depth[CarrySelect], depth[Ripple])
+	}
+}
+
+func TestAdderArchAreaOrdering(t *testing.T) {
+	lib := cell.Default28nm()
+	area := map[Arch]float64{}
+	for _, arch := range Arches() {
+		area[arch] = AdderArch(32, arch).Area(lib)
+	}
+	if !(area[Ripple] < area[CarrySelect]) {
+		t.Errorf("ripple must be the smallest: RCA %.1f, CS %.1f", area[Ripple], area[CarrySelect])
+	}
+	if !(area[Ripple] < area[KoggeStone]) {
+		t.Errorf("prefix network must cost area over ripple: RCA %.1f, KS %.1f", area[Ripple], area[KoggeStone])
+	}
+}
+
+func TestArchString(t *testing.T) {
+	want := map[Arch]string{Ripple: "ripple", CarrySelect: "carry-select", KoggeStone: "kogge-stone"}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q", a, a.String())
+		}
+	}
+}
+
+func TestAdderArchUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown architecture must panic")
+		}
+	}()
+	AdderArch(8, Arch(9))
+}
+
+func TestCarrySelectOddWidth(t *testing.T) {
+	// Widths that do not divide evenly into blocks must still be exact.
+	c := AdderArch(13, CarrySelect)
+	v, res := runRandom(t, c, 43, 4096)
+	for k := 0; k < v.N; k++ {
+		a := piVal(v, 0, 13, k)
+		b := piVal(v, 13, 13, k)
+		if got := poVal(c, res, 0, 14, k); got != a+b {
+			t.Fatalf("13-bit CS: %d + %d = %d", a, b, got)
+		}
+	}
+}
+
+var sinkCircuit *netlist.Circuit
+
+func BenchmarkBuildAdder128KoggeStone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkCircuit = AdderArch(128, KoggeStone)
+	}
+}

@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// aluCore builds the shared n-bit ALU datapath: operands a and b, a 3-bit
+// opcode, returning the result bus and (carry, overflow) of the add/sub
+// ops. Opcodes (mirrored by the tests' reference model):
+//
+//	000 ADD   001 SUB   010 AND   011 OR
+//	100 XOR   101 NOR   110 SHL1  111 SHR1 (of a)
+func aluCore(c *netlist.Circuit, a, b, op []int) (result []int, carry, overflow int) {
+	n := len(a)
+	addSum, addC := rippleAdd(c, a, b, -1)
+	subDiff, borrow := rippleSub(c, a, b)
+	andB := bitwise(c, cell.And2, a, b)
+	orB := bitwise(c, cell.Or2, a, b)
+	xorB := bitwise(c, cell.Xor2, a, b)
+	norB := bitwise(c, cell.Nor2, a, b)
+	shl := shiftLeftConst(c, a, 1, c.Const0())
+	shr := shiftRightConst(c, a, 1, c.Const0())
+
+	// 8:1 result mux per bit using a 3-level mux tree on op bits.
+	lvl0a := muxBus(c, addSum, subDiff, op[0]) // 00x
+	lvl0b := muxBus(c, andB, orB, op[0])       // 01x
+	lvl0c := muxBus(c, xorB, norB, op[0])      // 10x
+	lvl0d := muxBus(c, shl, shr, op[0])        // 11x
+	lvl1a := muxBus(c, lvl0a, lvl0b, op[1])
+	lvl1b := muxBus(c, lvl0c, lvl0d, op[1])
+	result = muxBus(c, lvl1a, lvl1b, op[2])
+
+	carry = c.AddGate(cell.Mux2, addC, borrow, op[0])
+	// Signed overflow of a+b: carry into MSB xor carry out of MSB;
+	// equivalent form: (a.msb == b.msb) AND (sum.msb != a.msb).
+	sameSign := c.AddGate(cell.Xnor2, a[n-1], b[n-1])
+	flipped := c.AddGate(cell.Xor2, addSum[n-1], a[n-1])
+	overflow = c.AddGate(cell.And2, sameSign, flipped)
+	return result, carry, overflow
+}
+
+// aluFlags derives the standard flag bits from a result bus.
+func aluFlags(c *netlist.Circuit, result []int) (zero, negative, parity int) {
+	zero = isZero(c, result)
+	negative = result[len(result)-1]
+	parity = reduce(c, cell.Xor2, result)
+	return
+}
+
+// ALU8 builds the 8-bit ALU standing in for ISCAS c880: result bus plus
+// carry/overflow/zero/negative flags.
+func ALU8() *netlist.Circuit {
+	c := netlist.New("c880")
+	a := inputBus(c, "a", 8)
+	b := inputBus(c, "b", 8)
+	op := inputBus(c, "op", 3)
+	result, carry, overflow := aluCore(c, a, b, op)
+	zero, neg, par := aluFlags(c, result)
+	outputBus(c, "r", result)
+	c.AddOutput("carry", carry)
+	c.AddOutput("ovf", overflow)
+	c.AddOutput("zero", zero)
+	c.AddOutput("neg", neg)
+	c.AddOutput("par", par)
+	return cleaned(c)
+}
+
+// ALU12Ctrl builds the 12-bit ALU plus controller standing in for ISCAS
+// c2670: the ALU datapath, a 4→16 one-hot opcode decoder, comparator
+// outputs and branch-control logic.
+func ALU12Ctrl() *netlist.Circuit {
+	c := netlist.New("c2670")
+	a := inputBus(c, "a", 12)
+	b := inputBus(c, "b", 12)
+	op := inputBus(c, "op", 3)
+	cond := inputBus(c, "cond", 4)
+
+	result, carry, overflow := aluCore(c, a, b, op)
+	zero, neg, par := aluFlags(c, result)
+
+	// Controller: decode cond to one-hot (a 4→16 decoder built from the
+	// literals), then branch = OR of (decoded line AND matching flag).
+	lits := make([][2]int, 4)
+	for i, bit := range cond {
+		lits[i] = [2]int{c.AddGate(cell.Inv, bit), bit}
+	}
+	dec := make([]int, 16)
+	for v := 0; v < 16; v++ {
+		t1 := c.AddGate(cell.And2, lits[0][v&1], lits[1][v>>1&1])
+		t2 := c.AddGate(cell.And2, lits[2][v>>2&1], lits[3][v>>3&1])
+		dec[v] = c.AddGate(cell.And2, t1, t2)
+	}
+	flags := []int{zero, neg, carry, overflow}
+	var taken []int
+	for v := 0; v < 16; v++ {
+		taken = append(taken, c.AddGate(cell.And2, dec[v], flags[v%4]))
+	}
+	branch := reduce(c, cell.Or2, taken)
+
+	eq := equal(c, a, b)
+	lt := lessThan(c, a, b)
+
+	outputBus(c, "r", result)
+	outputBus(c, "dec", dec)
+	c.AddOutput("branch", branch)
+	c.AddOutput("eq", eq)
+	c.AddOutput("lt", lt)
+	c.AddOutput("carry", carry)
+	c.AddOutput("ovf", overflow)
+	c.AddOutput("zero", zero)
+	c.AddOutput("neg", neg)
+	c.AddOutput("par", par)
+	return cleaned(c)
+}
+
+// ALU8Shift builds the 8-bit ALU with a barrel shifter standing in for
+// ISCAS c3540: the ALU result is additionally rotated/shifted by a 3-bit
+// amount, with a mode bit selecting shift direction.
+func ALU8Shift() *netlist.Circuit {
+	c := netlist.New("c3540")
+	a := inputBus(c, "a", 8)
+	b := inputBus(c, "b", 8)
+	op := inputBus(c, "op", 3)
+	sh := inputBus(c, "sh", 3)
+	dir := c.AddInput("dir")
+
+	result, carry, overflow := aluCore(c, a, b, op)
+	left := barrelShift(c, result, sh, false)
+	right := barrelShift(c, result, sh, true)
+	shifted := muxBus(c, left, right, dir)
+	zero, neg, par := aluFlags(c, shifted)
+
+	outputBus(c, "r", shifted)
+	c.AddOutput("carry", carry)
+	c.AddOutput("ovf", overflow)
+	c.AddOutput("zero", zero)
+	c.AddOutput("neg", neg)
+	c.AddOutput("par", par)
+	return cleaned(c)
+}
+
+// ALU9 builds the 9-bit double-datapath ALU standing in for ISCAS c5315:
+// two independent 9-bit ALU slices whose results are cross-combined, plus
+// a comparator block — reproducing c5315's wide-I/O, many-output shape.
+func ALU9() *netlist.Circuit {
+	c := netlist.New("c5315")
+	a := inputBus(c, "a", 9)
+	b := inputBus(c, "b", 9)
+	d := inputBus(c, "d", 9)
+	e := inputBus(c, "e", 9)
+	op1 := inputBus(c, "op1", 3)
+	op2 := inputBus(c, "op2", 3)
+
+	r1, carry1, ovf1 := aluCore(c, a, b, op1)
+	r2, carry2, ovf2 := aluCore(c, d, e, op2)
+
+	// Cross combination: sum and xor of the two results.
+	cross, crossC := rippleAdd(c, r1, r2, -1)
+	mix := bitwise(c, cell.Xor2, r1, r2)
+	mx, less := maxBus(c, r1, r2)
+
+	z1, n1, p1 := aluFlags(c, r1)
+	z2, n2, p2 := aluFlags(c, r2)
+
+	outputBus(c, "r1", r1)
+	outputBus(c, "r2", r2)
+	outputBus(c, "sum", cross)
+	outputBus(c, "mix", mix)
+	outputBus(c, "mx", mx)
+	for i, f := range []int{carry1, ovf1, carry2, ovf2, crossC, less, z1, n1, p1, z2, n2, p2} {
+		c.AddOutput(fmt.Sprintf("f%d", i), f)
+	}
+	return cleaned(c)
+}
+
+// AdderCmp32 builds the 32-bit adder/comparator standing in for ISCAS
+// c7552: a 32-bit add with carry, a three-way comparison of a against a
+// third operand, and per-byte parity outputs.
+func AdderCmp32() *netlist.Circuit {
+	c := netlist.New("c7552")
+	a := inputBus(c, "a", 32)
+	b := inputBus(c, "b", 32)
+	d := inputBus(c, "d", 32)
+
+	sum, cout := prefixAdd(c, a, b, -1)
+	lt := lessThan(c, a, d)
+	eq := equal(c, a, d)
+	gtOrEq := c.AddGate(cell.Inv, lt)
+	gt := c.AddGate(cell.And2, gtOrEq, c.AddGate(cell.Inv, eq))
+
+	outputBus(c, "s", sum)
+	c.AddOutput("cout", cout)
+	c.AddOutput("lt", lt)
+	c.AddOutput("eq", eq)
+	c.AddOutput("gt", gt)
+	for byteIdx := 0; byteIdx < 4; byteIdx++ {
+		par := reduce(c, cell.Xor2, sum[byteIdx*8:byteIdx*8+8])
+		c.AddOutput(fmt.Sprintf("p%d", byteIdx), par)
+	}
+	return cleaned(c)
+}

@@ -1,0 +1,223 @@
+package gen
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// aluRef mirrors aluCore + aluFlags for width n. It returns the result and
+// the carry/overflow flags as produced by the hardware (carry = add carry
+// for even opcodes, subtract borrow for odd ones; overflow always derived
+// from the adder).
+func aluRef(op, a, b uint64, n uint) (r uint64, carry, ovf bool) {
+	mask := uint64(1)<<n - 1
+	add := (a + b) & mask
+	addC := (a+b)>>n&1 == 1
+	sub := (a - b) & mask
+	borrow := a < b
+	switch op {
+	case 0:
+		r = add
+	case 1:
+		r = sub
+	case 2:
+		r = a & b
+	case 3:
+		r = a | b
+	case 4:
+		r = a ^ b
+	case 5:
+		r = ^(a | b) & mask
+	case 6:
+		r = (a << 1) & mask
+	case 7:
+		r = a >> 1
+	}
+	if op&1 == 1 {
+		carry = borrow
+	} else {
+		carry = addC
+	}
+	msb := uint(n - 1)
+	sameSign := a>>msb&1 == b>>msb&1
+	flipped := add>>msb&1 != a>>msb&1
+	ovf = sameSign && flipped
+	return r, carry, ovf
+}
+
+func flagsRef(r uint64, n uint) (zero, neg, par bool) {
+	zero = r == 0
+	neg = r>>(n-1)&1 == 1
+	par = bits.OnesCount64(r)%2 == 1
+	return
+}
+
+func TestALU8AllOps(t *testing.T) {
+	c := MustBuild("c880")
+	v, res := runRandom(t, c, 31, 4096)
+	for k := 0; k < v.N; k++ {
+		a := piVal(v, 0, 8, k)
+		b := piVal(v, 8, 8, k)
+		op := piVal(v, 16, 3, k)
+		wantR, wantC, wantO := aluRef(op, a, b, 8)
+		wantZ, wantN, wantP := flagsRef(wantR, 8)
+		if got := poVal(c, res, 0, 8, k); got != wantR {
+			t.Fatalf("op %d: alu(%d,%d) = %d, want %d", op, a, b, got, wantR)
+		}
+		if got := poBit(c, res, 8, k) == 1; got != wantC {
+			t.Fatalf("op %d: carry = %v, want %v", op, got, wantC)
+		}
+		if got := poBit(c, res, 9, k) == 1; got != wantO {
+			t.Fatalf("op %d: ovf = %v, want %v", op, got, wantO)
+		}
+		if got := poBit(c, res, 10, k) == 1; got != wantZ {
+			t.Fatalf("op %d: zero = %v, want %v", op, got, wantZ)
+		}
+		if got := poBit(c, res, 11, k) == 1; got != wantN {
+			t.Fatalf("op %d: neg = %v, want %v", op, got, wantN)
+		}
+		if got := poBit(c, res, 12, k) == 1; got != wantP {
+			t.Fatalf("op %d: par = %v, want %v", op, got, wantP)
+		}
+	}
+}
+
+func TestALU8ShiftAllOps(t *testing.T) {
+	c := MustBuild("c3540")
+	v, res := runRandom(t, c, 32, 4096)
+	for k := 0; k < v.N; k++ {
+		a := piVal(v, 0, 8, k)
+		b := piVal(v, 8, 8, k)
+		op := piVal(v, 16, 3, k)
+		sh := piVal(v, 19, 3, k)
+		dir := piVal(v, 22, 1, k)
+		core, wantC, wantO := aluRef(op, a, b, 8)
+		var want uint64
+		if dir == 1 {
+			want = core >> sh
+		} else {
+			want = (core << sh) & 0xFF
+		}
+		wantZ, wantN, wantP := flagsRef(want, 8)
+		if got := poVal(c, res, 0, 8, k); got != want {
+			t.Fatalf("vector %d: shifted result %d, want %d", k, got, want)
+		}
+		for i, wantF := range []bool{wantC, wantO, wantZ, wantN, wantP} {
+			if got := poBit(c, res, 8+i, k) == 1; got != wantF {
+				t.Fatalf("vector %d: flag %d = %v, want %v", k, i, got, wantF)
+			}
+		}
+	}
+}
+
+func TestALU12CtrlDatapathAndController(t *testing.T) {
+	c := MustBuild("c2670")
+	v, res := runRandom(t, c, 33, 4096)
+	for k := 0; k < v.N; k++ {
+		a := piVal(v, 0, 12, k)
+		b := piVal(v, 12, 12, k)
+		op := piVal(v, 24, 3, k)
+		cond := piVal(v, 27, 4, k)
+		wantR, wantC, wantO := aluRef(op, a, b, 12)
+		wantZ, wantN, wantP := flagsRef(wantR, 12)
+		if got := poVal(c, res, 0, 12, k); got != wantR {
+			t.Fatalf("vector %d: result %d, want %d", k, got, wantR)
+		}
+		// One-hot decoder outputs.
+		if got := poVal(c, res, 12, 16, k); got != 1<<cond {
+			t.Fatalf("vector %d: decoder %016b, want one-hot %d", k, got, cond)
+		}
+		// branch = flag[cond % 4] with flags (zero, neg, carry, ovf).
+		flags := []bool{wantZ, wantN, wantC, wantO}
+		if got := poBit(c, res, 28, k) == 1; got != flags[cond%4] {
+			t.Fatalf("vector %d: branch %v, want %v (cond %d)", k, got, flags[cond%4], cond)
+		}
+		if got := poBit(c, res, 29, k) == 1; got != (a == b) {
+			t.Fatalf("vector %d: eq mismatch", k)
+		}
+		if got := poBit(c, res, 30, k) == 1; got != (a < b) {
+			t.Fatalf("vector %d: lt mismatch", k)
+		}
+		wantFlags := []bool{wantC, wantO, wantZ, wantN, wantP}
+		for i, wf := range wantFlags {
+			if got := poBit(c, res, 31+i, k) == 1; got != wf {
+				t.Fatalf("vector %d: flag %d mismatch", k, i)
+			}
+		}
+	}
+}
+
+func TestALU9DualDatapath(t *testing.T) {
+	c := MustBuild("c5315")
+	v, res := runRandom(t, c, 34, 2048)
+	for k := 0; k < v.N; k++ {
+		a := piVal(v, 0, 9, k)
+		b := piVal(v, 9, 9, k)
+		d := piVal(v, 18, 9, k)
+		e := piVal(v, 27, 9, k)
+		op1 := piVal(v, 36, 3, k)
+		op2 := piVal(v, 39, 3, k)
+		r1, c1, o1 := aluRef(op1, a, b, 9)
+		r2, c2, o2 := aluRef(op2, d, e, 9)
+		if got := poVal(c, res, 0, 9, k); got != r1 {
+			t.Fatalf("vector %d: r1 = %d, want %d", k, got, r1)
+		}
+		if got := poVal(c, res, 9, 9, k); got != r2 {
+			t.Fatalf("vector %d: r2 = %d, want %d", k, got, r2)
+		}
+		if got := poVal(c, res, 18, 9, k); got != (r1+r2)&0x1FF {
+			t.Fatalf("vector %d: cross sum mismatch", k)
+		}
+		if got := poVal(c, res, 27, 9, k); got != r1^r2 {
+			t.Fatalf("vector %d: mix mismatch", k)
+		}
+		mx := r1
+		if r2 > r1 {
+			mx = r2
+		}
+		if got := poVal(c, res, 36, 9, k); got != mx {
+			t.Fatalf("vector %d: max mismatch", k)
+		}
+		z1, n1, p1 := flagsRef(r1, 9)
+		z2, n2, p2 := flagsRef(r2, 9)
+		crossC := (r1+r2)>>9&1 == 1
+		wantF := []bool{c1, o1, c2, o2, crossC, r1 < r2, z1, n1, p1, z2, n2, p2}
+		for i, wf := range wantF {
+			if got := poBit(c, res, 45+i, k) == 1; got != wf {
+				t.Fatalf("vector %d: f%d = %v, want %v", k, i, got, wf)
+			}
+		}
+	}
+}
+
+func TestAdderCmp32(t *testing.T) {
+	c := MustBuild("c7552")
+	v, res := runRandom(t, c, 35, 2048)
+	for k := 0; k < v.N; k++ {
+		a := piVal(v, 0, 32, k)
+		b := piVal(v, 32, 32, k)
+		d := piVal(v, 64, 32, k)
+		sum := a + b
+		if got := poVal(c, res, 0, 32, k); got != sum&0xFFFFFFFF {
+			t.Fatalf("vector %d: sum mismatch", k)
+		}
+		if got := poBit(c, res, 32, k) == 1; got != (sum>>32&1 == 1) {
+			t.Fatalf("vector %d: cout mismatch", k)
+		}
+		if got := poBit(c, res, 33, k) == 1; got != (a < d) {
+			t.Fatalf("vector %d: lt mismatch", k)
+		}
+		if got := poBit(c, res, 34, k) == 1; got != (a == d) {
+			t.Fatalf("vector %d: eq mismatch", k)
+		}
+		if got := poBit(c, res, 35, k) == 1; got != (a > d) {
+			t.Fatalf("vector %d: gt mismatch", k)
+		}
+		for byteIdx := 0; byteIdx < 4; byteIdx++ {
+			wantP := bits.OnesCount64(sum>>(byteIdx*8)&0xFF)%2 == 1
+			if got := poBit(c, res, 36+byteIdx, k) == 1; got != wantP {
+				t.Fatalf("vector %d: parity %d mismatch", k, byteIdx)
+			}
+		}
+	}
+}

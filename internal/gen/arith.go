@@ -1,0 +1,254 @@
+package gen
+
+import (
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Adder builds the n-bit ripple-carry adder (TABLE I rows "Adder16" and
+// "Adder"): inputs a, b (n bits each), outputs s (n+1 bits, carry out as
+// the MSB).
+func Adder(n int) *netlist.Circuit {
+	c := netlist.New(adderName(n))
+	a := inputBus(c, "a", n)
+	b := inputBus(c, "b", n)
+	sum, cout := prefixAdd(c, a, b, -1)
+	outputBus(c, "s", append(sum, cout))
+	return cleaned(c)
+}
+
+func adderName(n int) string {
+	if n == 128 {
+		return "Adder"
+	}
+	if n == 16 {
+		return "Adder16"
+	}
+	return "adder"
+}
+
+// Max2x16 builds the 16-bit 2-to-1 max unit (TABLE I "Max16").
+func Max2x16() *netlist.Circuit { return maxUnit("Max16", 16, 2) }
+
+// Max4x128 builds the 128-bit 4-to-1 max unit (TABLE I "Max").
+func Max4x128() *netlist.Circuit { return maxUnit("Max", 128, 4) }
+
+func maxUnit(name string, width, ways int) *netlist.Circuit {
+	c := netlist.New(name)
+	ops := make([][]int, ways)
+	for i := range ops {
+		ops[i] = inputBus(c, string(rune('a'+i)), width)
+	}
+	cur := ops[0]
+	for i := 1; i < ways; i++ {
+		cur, _ = maxBus(c, cur, ops[i])
+	}
+	outputBus(c, "m", cur)
+	return cleaned(c)
+}
+
+// multiplyBus returns the full 2n-bit product of two n-bit buses using a
+// carry-save array: AND partial products per column, 3:2 compression with
+// full adders, then one final prefix carry-propagate addition. Carries out
+// of the top column are mathematically always zero (product < 2^2n) and
+// are dropped.
+func multiplyBus(c *netlist.Circuit, a, b []int) []int {
+	n, m := len(a), len(b)
+	width := n + m
+	cols := make([][]int, width+2)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			cols[i+j] = append(cols[i+j], c.AddGate(cell.And2, a[i], b[j]))
+		}
+	}
+	// 3:2 / 2:2 compression until every column holds at most two bits.
+	for w := 0; w < width; w++ {
+		for len(cols[w]) > 2 {
+			x, y, z := cols[w][0], cols[w][1], cols[w][2]
+			cols[w] = cols[w][3:]
+			s, cy := fullAdder(c, x, y, z)
+			cols[w] = append(cols[w], s)
+			cols[w+1] = append(cols[w+1], cy)
+		}
+	}
+	// Final carry-propagate addition of the two remaining rows.
+	rowA := make([]int, width)
+	rowB := make([]int, width)
+	for w := 0; w < width; w++ {
+		rowA[w], rowB[w] = c.Const0(), c.Const0()
+		if len(cols[w]) > 0 {
+			rowA[w] = cols[w][0]
+		}
+		if len(cols[w]) > 1 {
+			rowB[w] = cols[w][1]
+		}
+	}
+	product, _ := prefixAdd(c, rowA, rowB, -1)
+	return product
+}
+
+// Multiplier builds the n×n array multiplier (TABLE I "c6288" for n=16):
+// inputs a, b; output the 2n-bit product p.
+func Multiplier(n int) *netlist.Circuit {
+	c := netlist.New(multName(n))
+	a := inputBus(c, "a", n)
+	b := inputBus(c, "b", n)
+	outputBus(c, "p", multiplyBus(c, a, b))
+	return cleaned(c)
+}
+
+func multName(n int) string {
+	if n == 16 {
+		return "c6288"
+	}
+	return "mult"
+}
+
+// Int2Float builds the 11-bit integer to 7-bit float converter (TABLE I
+// "Int2float", the EPFL block): output f = exp(3 bits) · mant(4 bits).
+// Semantics (mirrored by the reference model in tests):
+//
+//	pos  = index of the leading one of x (x > 15), else denormal
+//	exp  = pos - 3 for x > 15, else 0
+//	mant = (x >> (pos-4)) & 0xF for x > 15, else x & 0xF
+func Int2Float() *netlist.Circuit {
+	const n = 11
+	c := netlist.New("Int2float")
+	x := inputBus(c, "x", n)
+
+	// oneAt[p] = 1 iff the leading one of x sits at position p (p=4..10).
+	// higherZero tracks "all bits above p are zero".
+	higher := c.Const1()
+	oneAt := make([]int, n)
+	for p := n - 1; p >= 0; p-- {
+		oneAt[p] = c.AddGate(cell.And2, x[p], higher)
+		notBit := c.AddGate(cell.Inv, x[p])
+		higher = c.AddGate(cell.And2, higher, notBit)
+	}
+
+	// exp = pos-3 when pos >= 4 else 0; encode binary over p=4..10.
+	exp := make([]int, 3)
+	for bit := 0; bit < 3; bit++ {
+		var terms []int
+		for p := 4; p < n; p++ {
+			if (p-3)>>bit&1 == 1 {
+				terms = append(terms, oneAt[p])
+			}
+		}
+		exp[bit] = reduce(c, cell.Or2, terms)
+	}
+
+	// shift amount = pos-4 for pos >= 4 (0..6), else 0; 3-bit select.
+	shamt := make([]int, 3)
+	for bit := 0; bit < 3; bit++ {
+		var terms []int
+		for p := 4; p < n; p++ {
+			if (p-4)>>bit&1 == 1 {
+				terms = append(terms, oneAt[p])
+			}
+		}
+		if len(terms) == 0 {
+			shamt[bit] = c.Const0()
+		} else {
+			shamt[bit] = reduce(c, cell.Or2, terms)
+		}
+	}
+	shifted := barrelShift(c, x, shamt, true)
+	mant := shifted[:4]
+
+	outputBus(c, "f", append(append([]int{}, mant...), exp...))
+	return cleaned(c)
+}
+
+// Sqrt builds the n-bit restoring square-root unit (TABLE I "Sqrt" for
+// n=128): input x (n bits, n even), output r = floor(sqrt(x)) (n/2 bits).
+// The classic digit-recurrence: two radicand bits enter the remainder per
+// step; a trial subtraction of (R<<2)|1 decides each root bit.
+func Sqrt(n int) *netlist.Circuit {
+	if n%2 != 0 {
+		panic("gen: Sqrt width must be even")
+	}
+	c := netlist.New(sqrtName(n))
+	x := inputBus(c, "x", n)
+	half := n / 2
+	remW := half + 2
+
+	zero := c.Const0()
+	rem := make([]int, remW)
+	for i := range rem {
+		rem[i] = zero
+	}
+	root := make([]int, half) // filled MSB-first; unknown bits read as 0
+	for i := range root {
+		root[i] = zero
+	}
+
+	for step := 0; step < half; step++ {
+		i := half - 1 - step
+		// rem = (rem << 2) | x[2i+1..2i]
+		shifted := make([]int, remW)
+		shifted[0], shifted[1] = x[2*i], x[2*i+1]
+		copy(shifted[2:], rem[:remW-2])
+		// trial = (root << 2) | 1
+		trial := make([]int, remW)
+		trial[0] = c.Const1()
+		trial[1] = zero
+		copy(trial[2:], root[:remW-2])
+		diff, borrow := rippleSub(c, shifted, trial)
+		fits := c.AddGate(cell.Inv, borrow) // 1 when shifted >= trial
+		rem = muxBus(c, shifted, diff, fits)
+		// root = (root << 1) | fits
+		next := make([]int, half)
+		next[0] = fits
+		copy(next[1:], root[:half-1])
+		root = next
+	}
+	outputBus(c, "r", root)
+	return cleaned(c)
+}
+
+func sqrtName(n int) string {
+	if n == 128 {
+		return "Sqrt"
+	}
+	return "sqrt"
+}
+
+// mulHigh returns the top len(a) bits of the product of two equal-width
+// buses — fixed-point multiply with truncation.
+func mulHigh(c *netlist.Circuit, a, b []int) []int {
+	p := multiplyBus(c, a, b)
+	return p[len(a):]
+}
+
+// Sin24 builds the 24-bit fixed-point sine unit (TABLE I "Sin"). The
+// input x is an unsigned Q0.24 fraction of a quarter turn; the output is
+// the 24-bit polynomial approximation plus a guard bit:
+//
+//	x2 = (x*x) >> 24
+//	t  = C1 - ((x2*C2) >> 24)        (C1 = pi/2 in Q1.23-ish scale)
+//	y  = (x*t) >> 24, plus the borrow bit of the subtraction
+//
+// The unit's specification IS this fixed-point dataflow (mirrored exactly
+// by the tests' reference model); it reproduces the multiplier-dominated
+// structure of the EPFL sin block.
+func Sin24() *netlist.Circuit {
+	const (
+		n  = 24
+		c1 = 0xC90FDA // ~ (pi/2) * 2^23
+		c2 = 0x4EF4F3 // cubic-term coefficient in the same scale
+	)
+	c := netlist.New("Sin")
+	x := inputBus(c, "x", n)
+
+	x2 := mulHigh(c, x, x)
+	c2bus := constBus(c, c2, n)
+	x3term := mulHigh(c, x2, c2bus)
+	c1bus := constBus(c, c1, n)
+	t, borrow := prefixSub(c, c1bus, x3term)
+	y := mulHigh(c, x, t)
+
+	outputBus(c, "y", y)
+	c.AddOutput("guard", borrow)
+	return cleaned(c)
+}

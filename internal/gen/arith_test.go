@@ -1,0 +1,326 @@
+package gen
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// piBig / poBig decode wide buses into big.Int for the 128-bit units.
+func piBig(v *sim.Vectors, lo, width, k int) *big.Int {
+	x := new(big.Int)
+	for i := 0; i < width; i++ {
+		if v.PerPI[lo+i][k/64]>>(k%64)&1 == 1 {
+			x.SetBit(x, i, 1)
+		}
+	}
+	return x
+}
+
+func poBig(c *netlist.Circuit, res *sim.Result, lo, width, k int) *big.Int {
+	x := new(big.Int)
+	for i := 0; i < width; i++ {
+		if res.Signals[c.POs[lo+i]][k/64]>>(k%64)&1 == 1 {
+			x.SetBit(x, i, 1)
+		}
+	}
+	return x
+}
+
+func TestAdder16Exact(t *testing.T) {
+	c := MustBuild("Adder16")
+	v, res := runRandom(t, c, 21, 2048)
+	for k := 0; k < v.N; k++ {
+		a := piVal(v, 0, 16, k)
+		b := piVal(v, 16, 16, k)
+		got := poVal(c, res, 0, 17, k)
+		if want := a + b; got != want {
+			t.Fatalf("vector %d: %d + %d = %d, want %d", k, a, b, got, want)
+		}
+	}
+}
+
+func TestAdder128Exact(t *testing.T) {
+	c := MustBuild("Adder")
+	v, res := runRandom(t, c, 22, 256)
+	for k := 0; k < v.N; k++ {
+		a := piBig(v, 0, 128, k)
+		b := piBig(v, 128, 128, k)
+		got := poBig(c, res, 0, 129, k)
+		want := new(big.Int).Add(a, b)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("vector %d: sum mismatch", k)
+		}
+	}
+}
+
+func TestMax16Exact(t *testing.T) {
+	c := MustBuild("Max16")
+	v, res := runRandom(t, c, 23, 2048)
+	for k := 0; k < v.N; k++ {
+		a := piVal(v, 0, 16, k)
+		b := piVal(v, 16, 16, k)
+		got := poVal(c, res, 0, 16, k)
+		want := a
+		if b > a {
+			want = b
+		}
+		if got != want {
+			t.Fatalf("vector %d: max(%d,%d) = %d, want %d", k, a, b, got, want)
+		}
+	}
+}
+
+func TestMax128Exact(t *testing.T) {
+	c := MustBuild("Max")
+	v, res := runRandom(t, c, 24, 128)
+	for k := 0; k < v.N; k++ {
+		want := piBig(v, 0, 128, k)
+		for op := 1; op < 4; op++ {
+			if x := piBig(v, op*128, 128, k); x.Cmp(want) > 0 {
+				want = x
+			}
+		}
+		if got := poBig(c, res, 0, 128, k); got.Cmp(want) != 0 {
+			t.Fatalf("vector %d: 4-way max mismatch", k)
+		}
+	}
+}
+
+func TestMultiplier16Exact(t *testing.T) {
+	c := MustBuild("c6288")
+	v, res := runRandom(t, c, 25, 1024)
+	for k := 0; k < v.N; k++ {
+		a := piVal(v, 0, 16, k)
+		b := piVal(v, 16, 16, k)
+		got := poVal(c, res, 0, 32, k)
+		if want := a * b; got != want {
+			t.Fatalf("vector %d: %d * %d = %d, want %d", k, a, b, got, want)
+		}
+	}
+}
+
+func TestMultiplierSmallExhaustive(t *testing.T) {
+	c := Multiplier(4)
+	v, err := sim.Exhaustive(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < v.N; k++ {
+		a := piVal(v, 0, 4, k)
+		b := piVal(v, 4, 4, k)
+		if got := poVal(c, res, 0, 8, k); got != a*b {
+			t.Fatalf("%d * %d = %d, want %d", a, b, got, a*b)
+		}
+	}
+}
+
+func isqrt(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	r := uint64(1) << (64 - uint(len(bitsOf(x)))/2)
+	_ = r
+	// Newton iteration on uint64.
+	y := x
+	z := (y + 1) / 2
+	for z < y {
+		y = z
+		z = (y + x/y) / 2
+	}
+	return y
+}
+
+func bitsOf(x uint64) []bool {
+	var out []bool
+	for ; x > 0; x >>= 1 {
+		out = append(out, x&1 == 1)
+	}
+	return out
+}
+
+func TestSqrt16Exhaustive(t *testing.T) {
+	c := Sqrt(16)
+	v, err := sim.Exhaustive(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < v.N; k++ {
+		x := piVal(v, 0, 16, k)
+		if got, want := poVal(c, res, 0, 8, k), isqrt(x); got != want {
+			t.Fatalf("sqrt(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestSqrt128Random(t *testing.T) {
+	c := MustBuild("Sqrt")
+	v, res := runRandom(t, c, 26, 64)
+	for k := 0; k < v.N; k++ {
+		x := piBig(v, 0, 128, k)
+		want := new(big.Int).Sqrt(x)
+		if got := poBig(c, res, 0, 64, k); got.Cmp(want) != 0 {
+			t.Fatalf("vector %d: sqrt mismatch: got %s want %s (x=%s)", k, got, want, x)
+		}
+	}
+}
+
+// int2floatRef mirrors the generator's documented semantics.
+func int2floatRef(x uint64) (mant, exp uint64) {
+	if x < 16 {
+		return x & 0xF, 0
+	}
+	pos := 63
+	for x>>uint(pos)&1 == 0 {
+		pos--
+	}
+	return (x >> uint(pos-4)) & 0xF, uint64(pos - 3)
+}
+
+func TestInt2FloatExhaustive(t *testing.T) {
+	c := MustBuild("Int2float")
+	v, err := sim.Exhaustive(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < v.N; k++ {
+		x := piVal(v, 0, 11, k)
+		mant := poVal(c, res, 0, 4, k)
+		exp := poVal(c, res, 4, 3, k)
+		wm, we := int2floatRef(x)
+		if mant != wm || exp != we {
+			t.Fatalf("int2float(%d) = mant %d exp %d, want %d %d", x, mant, exp, wm, we)
+		}
+	}
+}
+
+// sin24Ref mirrors the generator's fixed-point dataflow exactly.
+func sin24Ref(x uint64) (y uint64, guard bool) {
+	const c1, c2 = 0xC90FDA, 0x4EF4F3
+	const mask = (1 << 24) - 1
+	x2 := (x * x) >> 24
+	x3term := (x2 * c2) >> 24
+	t := (c1 - x3term) & mask
+	guard = c1 < x3term
+	y = (x * t) >> 24
+	return y & mask, guard
+}
+
+func TestSin24MatchesReference(t *testing.T) {
+	c := MustBuild("Sin")
+	v, res := runRandom(t, c, 27, 1024)
+	for k := 0; k < v.N; k++ {
+		x := piVal(v, 0, 24, k)
+		got := poVal(c, res, 0, 24, k)
+		guard := poBit(c, res, 24, k) == 1
+		want, wantGuard := sin24Ref(x)
+		if got != want || guard != wantGuard {
+			t.Fatalf("sin(%06x) = %06x guard %v, want %06x %v", x, got, guard, want, wantGuard)
+		}
+	}
+}
+
+func TestSin24Monotonic(t *testing.T) {
+	// Sanity: the polynomial rises over the first half of the range
+	// (sin is increasing on [0, pi/2)).
+	prev := uint64(0)
+	for _, x := range []uint64{0, 1 << 20, 1 << 21, 1 << 22, 1 << 23} {
+		y, _ := sin24Ref(x)
+		if y < prev {
+			t.Fatalf("sin24Ref not increasing at %d", x)
+		}
+		prev = y
+	}
+}
+
+// Property: popcount helper matches bits.OnesCount via a tiny circuit.
+func TestPopcountProperty(t *testing.T) {
+	c := netlist.New("pc")
+	x := inputBus(c, "x", 12)
+	outputBus(c, "n", popcount(c, x))
+	v, err := sim.Exhaustive(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := len(c.POs)
+	for k := 0; k < v.N; k++ {
+		x := piVal(v, 0, 12, k)
+		got := poVal(c, res, 0, width, k)
+		want := uint64(0)
+		for t := x; t > 0; t &= t - 1 {
+			want++
+		}
+		if got != want {
+			t.Fatalf("popcount(%012b) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// Property: barrelShift right matches x >> s.
+func TestBarrelShiftProperty(t *testing.T) {
+	c := netlist.New("bs")
+	x := inputBus(c, "x", 8)
+	s := inputBus(c, "s", 3)
+	outputBus(c, "y", barrelShift(c, x, s, true))
+	v, err := sim.Exhaustive(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < v.N; k++ {
+		xv := piVal(v, 0, 8, k)
+		sv := piVal(v, 8, 3, k)
+		if got := poVal(c, res, 0, 8, k); got != xv>>sv {
+			t.Fatalf("%d >> %d = %d, want %d", xv, sv, got, xv>>sv)
+		}
+	}
+}
+
+// Property (testing/quick): the ripple adder circuit built at width 32
+// adds any pair of uint32 correctly.
+func TestRippleAddQuick(t *testing.T) {
+	c := netlist.New("add32")
+	a := inputBus(c, "a", 32)
+	b := inputBus(c, "b", 32)
+	sum, cout := rippleAdd(c, a, b, -1)
+	outputBus(c, "s", append(sum, cout))
+
+	f := func(x, y uint32) bool {
+		v := &sim.Vectors{PerPI: make([][]uint64, 64), N: 1}
+		for i := 0; i < 32; i++ {
+			v.PerPI[i] = []uint64{uint64(x >> i & 1)}
+			v.PerPI[32+i] = []uint64{uint64(y >> i & 1)}
+		}
+		res, err := sim.Run(c, v)
+		if err != nil {
+			return false
+		}
+		return poVal(c, res, 0, 33, 0) == uint64(x)+uint64(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Cavlc builds a CAVLC-style coding block standing in for the EPFL
+// "Cavlc" control benchmark (10 PI / 11 PO): the coefficient-token coder
+// shape — a popcount of the input "coefficient" bits, a leading-one
+// priority detector, and several rounds of nonlinear code mixing — which
+// reproduces the irregular, reconvergent control logic ALS must handle.
+func Cavlc() *netlist.Circuit {
+	const n = 10
+	c := netlist.New("Cavlc")
+	x := inputBus(c, "x", n)
+
+	// Coefficient count (4 bits).
+	count := popcount(c, x)
+
+	// Leading-one priority chain.
+	higher := c.Const1()
+	oneAt := make([]int, n)
+	for p := n - 1; p >= 0; p-- {
+		oneAt[p] = c.AddGate(cell.And2, x[p], higher)
+		higher = c.AddGate(cell.And2, higher, c.AddGate(cell.Inv, x[p]))
+	}
+	// Binary position of the leading one (4 bits).
+	pos := make([]int, 4)
+	for bit := range pos {
+		var terms []int
+		for p := 0; p < n; p++ {
+			if p>>bit&1 == 1 {
+				terms = append(terms, oneAt[p])
+			}
+		}
+		if len(terms) == 0 {
+			pos[bit] = c.Const0()
+		} else {
+			pos[bit] = reduce(c, cell.Or2, terms)
+		}
+	}
+
+	// Nonlinear mixing rounds over a 10-bit state (an abstracted
+	// variable-length code table: deep, irregular, reconvergent).
+	state := append([]int(nil), x...)
+	for round := 0; round < 12; round++ {
+		next := make([]int, n)
+		for i := 0; i < n; i++ {
+			and := c.AddGate(cell.And2, state[(i+1)%n], state[(i+3)%n])
+			or := c.AddGate(cell.Or2, state[i], state[(i+7)%n])
+			next[i] = c.AddGate(cell.Xor2, and, or)
+		}
+		// Fold in a count bit every third round to keep the cone tied
+		// to the arithmetic part.
+		if round%3 == 0 {
+			next[round%n] = c.AddGate(cell.Xnor2, next[round%n], count[round/3%len(count)])
+		}
+		state = next
+	}
+
+	// Outputs: a 5-bit token = state msbs XOR pos/count digest, plus a
+	// 4-bit level code and run parity — 11 POs total like the paper.
+	for i := 0; i < 5; i++ {
+		tok := c.AddGate(cell.Xor2, state[n-1-i], pos[i%4])
+		c.AddOutput(fmt.Sprintf("token%d", i), tok)
+	}
+	for i := 0; i < 4; i++ {
+		lvl := c.AddGate(cell.Xor2, state[i], count[i%len(count)])
+		c.AddOutput(fmt.Sprintf("level%d", i), lvl)
+	}
+	c.AddOutput("run", reduce(c, cell.Xor2, state))
+	c.AddOutput("sign", c.AddGate(cell.And2, state[2], state[5]))
+	return cleaned(c)
+}
+
+// secdedDataPositions lists the Hamming codeword positions (1-based) that
+// carry data bits for a (22,16) code: every position that is not a power
+// of two, in increasing order.
+func secdedDataPositions() []int {
+	var pos []int
+	for p := 1; p <= 22 && len(pos) < 16; p++ {
+		if p&(p-1) != 0 { // not a power of two
+			pos = append(pos, p)
+		}
+	}
+	return pos
+}
+
+// SECDED16 builds the 16-bit SEC/DED checker/corrector standing in for
+// ISCAS c1908. Inputs: the 22-bit received Hamming codeword (16 data + 5
+// check bits at power-of-two positions, 1-based positions 1..22) plus an
+// overall parity bit. Outputs: the 16 corrected data bits, the 5-bit
+// syndrome, a single-error flag and a double-error flag.
+func SECDED16() *netlist.Circuit {
+	c := netlist.New("c1908")
+	rx := inputBus(c, "rx", 22) // rx[i] is codeword position i+1
+	ov := c.AddInput("ov")      // received overall parity
+
+	// Syndrome bit j = XOR of all received positions with bit j set.
+	syn := make([]int, 5)
+	for j := 0; j < 5; j++ {
+		var terms []int
+		for p := 1; p <= 22; p++ {
+			if p>>j&1 == 1 {
+				terms = append(terms, rx[p-1])
+			}
+		}
+		syn[j] = reduce(c, cell.Xor2, terms)
+	}
+	synNonZero := reduce(c, cell.Or2, syn)
+
+	// Overall parity check: XOR of all 22 bits plus the received overall
+	// parity; 1 means the total parity is violated (odd error count).
+	all := append(append([]int{}, rx...), ov)
+	parityErr := reduce(c, cell.Xor2, all)
+
+	// Single error: syndrome nonzero and overall parity violated.
+	// Double error: syndrome nonzero but overall parity consistent.
+	sec := c.AddGate(cell.And2, synNonZero, parityErr)
+	ded := c.AddGate(cell.And2, synNonZero, c.AddGate(cell.Inv, parityErr))
+
+	// Correct each data position: flip when the syndrome equals the
+	// position and a single error is indicated.
+	dataPos := secdedDataPositions()
+	corrected := make([]int, 16)
+	for i, p := range dataPos {
+		match := equal(c, syn, constBus(c, uint64(p), 5))
+		flip := c.AddGate(cell.And2, match, sec)
+		corrected[i] = c.AddGate(cell.Xor2, rx[p-1], flip)
+	}
+
+	outputBus(c, "d", corrected)
+	outputBus(c, "syn", syn)
+	c.AddOutput("sec", sec)
+	c.AddOutput("ded", ded)
+	return cleaned(c)
+}

@@ -1,0 +1,406 @@
+// Package gen generates the benchmark netlists of the paper's TABLE I from
+// scratch: functional equivalents of the ISCAS'85 random/control circuits
+// and the EPFL arithmetic circuits, expressed directly over the cell
+// library. They substitute for the proprietary DC-synthesized netlists the
+// paper evaluates on, preserving the functional class, I/O widths and the
+// critical-path structure (carry chains, comparator trees, multiplier
+// arrays) that approximate logic synthesis exploits.
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// cleaned runs the synthesis cleanup passes so generators hand out
+// "post-synthesis" netlists: constants folded, buffers gone, IDs dense.
+func cleaned(c *netlist.Circuit) *netlist.Circuit {
+	res, err := synth.Cleanup(c)
+	if err != nil {
+		panic(fmt.Sprintf("gen: cleanup of %q failed: %v", c.Name, err))
+	}
+	res.Circuit.Name = c.Name
+	return res.Circuit
+}
+
+// Kind classifies a benchmark by the error metric the paper optimizes it
+// under.
+type Kind uint8
+
+const (
+	// RandomControl circuits are optimized under error-rate (ER)
+	// constraints.
+	RandomControl Kind = iota
+	// Arithmetic circuits are optimized under NMED constraints.
+	Arithmetic
+)
+
+// String names the kind as in TABLE I.
+func (k Kind) String() string {
+	if k == RandomControl {
+		return "Random/Control"
+	}
+	return "Arithmetic"
+}
+
+// Benchmark describes one generated circuit.
+type Benchmark struct {
+	// Name matches the paper's TABLE I row.
+	Name string
+	// Kind selects the error metric (ER vs NMED).
+	Kind Kind
+	// Description mirrors TABLE I's description column.
+	Description string
+	// Build generates a fresh netlist.
+	Build func() *netlist.Circuit
+}
+
+var registry = []Benchmark{
+	{"Cavlc", RandomControl, "coding CAVLC-style block", Cavlc},
+	{"c880", RandomControl, "8-bit ALU", ALU8},
+	{"c1908", RandomControl, "16-bit SEC/DED circuit", SECDED16},
+	{"c2670", RandomControl, "12-bit ALU and controller", ALU12Ctrl},
+	{"c3540", RandomControl, "8-bit ALU with shifter", ALU8Shift},
+	{"c5315", RandomControl, "9-bit ALU", ALU9},
+	{"c7552", RandomControl, "32-bit adder/comparator", AdderCmp32},
+	{"Int2float", Arithmetic, "int to float converter", Int2Float},
+	{"Adder16", Arithmetic, "16-bit adder", func() *netlist.Circuit { return Adder(16) }},
+	{"Max16", Arithmetic, "16-bit 2-1 max unit", Max2x16},
+	{"c6288", Arithmetic, "16x16 multiplier", func() *netlist.Circuit { return Multiplier(16) }},
+	{"Adder", Arithmetic, "128-bit adder", func() *netlist.Circuit { return Adder(128) }},
+	{"Max", Arithmetic, "128-bit 4-1 max unit", Max4x128},
+	{"Sin", Arithmetic, "24-bit sine unit", Sin24},
+	{"Sqrt", Arithmetic, "128-bit square root unit", func() *netlist.Circuit { return Sqrt(128) }},
+}
+
+// All returns every benchmark in TABLE I order.
+func All() []Benchmark { return append([]Benchmark(nil), registry...) }
+
+// Names returns the benchmark names in TABLE I order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, b := range registry {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// ByName looks a benchmark up by its TABLE I name.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// ByKind returns the benchmarks of one kind, in TABLE I order.
+func ByKind(k Kind) []Benchmark {
+	var out []Benchmark
+	for _, b := range registry {
+		if b.Kind == k {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// MustBuild builds a benchmark by name, panicking on unknown names (for
+// use in examples and benchmarks where the name is a literal).
+func MustBuild(name string) *netlist.Circuit {
+	b, ok := ByName(name)
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		panic(fmt.Sprintf("gen: unknown benchmark %q (known: %v)", name, known))
+	}
+	return b.Build()
+}
+
+// ---- bus-level building blocks ----------------------------------------
+//
+// A bus is a little-endian slice of gate IDs: bus[0] is the LSB.
+
+// inputBus adds width named inputs "name0..name{width-1}".
+func inputBus(c *netlist.Circuit, name string, width int) []int {
+	bus := make([]int, width)
+	for i := range bus {
+		bus[i] = c.AddInput(fmt.Sprintf("%s%d", name, i))
+	}
+	return bus
+}
+
+// outputBus exposes every bit of the bus as outputs "name0..".
+func outputBus(c *netlist.Circuit, name string, bus []int) {
+	for i, b := range bus {
+		c.AddOutput(fmt.Sprintf("%s%d", name, i), b)
+	}
+}
+
+// notBus inverts every bit.
+func notBus(c *netlist.Circuit, bus []int) []int {
+	out := make([]int, len(bus))
+	for i, b := range bus {
+		out[i] = c.AddGate(cell.Inv, b)
+	}
+	return out
+}
+
+// fullAdder returns (sum, carry) of three bits: sum = a XOR b XOR cin,
+// carry = MAJ3(a, b, cin).
+func fullAdder(c *netlist.Circuit, a, b, cin int) (sum, carry int) {
+	x := c.AddGate(cell.Xor2, a, b)
+	sum = c.AddGate(cell.Xor2, x, cin)
+	carry = c.AddGate(cell.Maj3, a, b, cin)
+	return sum, carry
+}
+
+// halfAdder returns (sum, carry) of two bits.
+func halfAdder(c *netlist.Circuit, a, b int) (sum, carry int) {
+	return c.AddGate(cell.Xor2, a, b), c.AddGate(cell.And2, a, b)
+}
+
+// rippleAdd returns the |a|-bit sum bus plus the final carry of a + b +
+// cin. Buses must have equal width; pass cin < 0 for no carry-in.
+func rippleAdd(c *netlist.Circuit, a, b []int, cin int) (sum []int, cout int) {
+	if len(a) != len(b) {
+		panic("gen: rippleAdd bus width mismatch")
+	}
+	sum = make([]int, len(a))
+	carry := cin
+	for i := range a {
+		if carry < 0 {
+			sum[i], carry = halfAdder(c, a[i], b[i])
+		} else {
+			sum[i], carry = fullAdder(c, a[i], b[i], carry)
+		}
+	}
+	return sum, carry
+}
+
+// prefixAdd returns the |a|-bit sum and carry-out of a + b + cin using a
+// Kogge-Stone parallel-prefix carry network (depth O(log n)). Wide adder
+// blocks use it because a timing-driven synthesis (the paper flows Design
+// Compiler) never emits deep ripple chains — the paper's Adder16 has a
+// 58.9 ps CPD, which only a prefix structure achieves. Pass cin < 0 for
+// no carry-in.
+func prefixAdd(c *netlist.Circuit, a, b []int, cin int) (sum []int, cout int) {
+	if len(a) != len(b) {
+		panic("gen: prefixAdd bus width mismatch")
+	}
+	n := len(a)
+	if n == 0 {
+		panic("gen: prefixAdd of empty bus")
+	}
+	g := bitwise(c, cell.And2, a, b)
+	p := bitwise(c, cell.Xor2, a, b)
+	// Fold the carry-in into bit 0's generate: g0' = g0 | (p0 & cin).
+	if cin >= 0 {
+		t := c.AddGate(cell.And2, p[0], cin)
+		g[0] = c.AddGate(cell.Or2, g[0], t)
+	}
+	G := append([]int(nil), g...)
+	P := append([]int(nil), p...)
+	for d := 1; d < n; d <<= 1 {
+		nextG := append([]int(nil), G...)
+		nextP := append([]int(nil), P...)
+		for i := d; i < n; i++ {
+			t := c.AddGate(cell.And2, P[i], G[i-d])
+			nextG[i] = c.AddGate(cell.Or2, G[i], t)
+			nextP[i] = c.AddGate(cell.And2, P[i], P[i-d])
+		}
+		G, P = nextG, nextP
+	}
+	sum = make([]int, n)
+	if cin >= 0 {
+		sum[0] = c.AddGate(cell.Xor2, p[0], cin)
+	} else {
+		sum[0] = p[0]
+	}
+	for i := 1; i < n; i++ {
+		sum[i] = c.AddGate(cell.Xor2, p[i], G[i-1])
+	}
+	return sum, G[n-1]
+}
+
+// prefixSub returns a - b and the borrow via the prefix adder.
+func prefixSub(c *netlist.Circuit, a, b []int) (diff []int, borrow int) {
+	nb := notBus(c, b)
+	sum, cout := prefixAdd(c, a, nb, c.Const1())
+	return sum, c.AddGate(cell.Inv, cout)
+}
+
+// rippleSub returns a - b as (diff, borrowOut) using two's complement:
+// diff = a + NOT(b) + 1; borrow is the inverted carry (1 when a < b).
+func rippleSub(c *netlist.Circuit, a, b []int) (diff []int, borrow int) {
+	nb := notBus(c, b)
+	sum, cout := rippleAdd(c, a, nb, c.Const1())
+	return sum, c.AddGate(cell.Inv, cout)
+}
+
+// muxBus selects a (sel=0) or b (sel=1) bit-wise.
+func muxBus(c *netlist.Circuit, a, b []int, sel int) []int {
+	if len(a) != len(b) {
+		panic("gen: muxBus width mismatch")
+	}
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = c.AddGate(cell.Mux2, a[i], b[i], sel)
+	}
+	return out
+}
+
+// bitwise applies a 2-input function across two buses.
+func bitwise(c *netlist.Circuit, f cell.Func, a, b []int) []int {
+	if len(a) != len(b) {
+		panic("gen: bitwise width mismatch")
+	}
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = c.AddGate(f, a[i], b[i])
+	}
+	return out
+}
+
+// reduce folds a bus with a 2-input associative function into one bit
+// using a balanced tree.
+func reduce(c *netlist.Circuit, f cell.Func, bus []int) int {
+	if len(bus) == 0 {
+		panic("gen: reduce of empty bus")
+	}
+	for len(bus) > 1 {
+		var next []int
+		for i := 0; i+1 < len(bus); i += 2 {
+			next = append(next, c.AddGate(f, bus[i], bus[i+1]))
+		}
+		if len(bus)%2 == 1 {
+			next = append(next, bus[len(bus)-1])
+		}
+		bus = next
+	}
+	return bus[0]
+}
+
+// isZero returns 1 when the whole bus is zero.
+func isZero(c *netlist.Circuit, bus []int) int {
+	return c.AddGate(cell.Inv, reduce(c, cell.Or2, bus))
+}
+
+// lessThan returns 1 when unsigned a < b (the borrow of a-b, computed
+// with the prefix subtractor so comparator blocks get the log-depth
+// structure a timing-driven synthesis would emit). The diff gates dangle
+// unless the caller also uses them.
+func lessThan(c *netlist.Circuit, a, b []int) int {
+	_, borrow := prefixSub(c, a, b)
+	return borrow
+}
+
+// equal returns 1 when the buses match bit-for-bit.
+func equal(c *netlist.Circuit, a, b []int) int {
+	return reduce(c, cell.And2, bitwise(c, cell.Xnor2, a, b))
+}
+
+// maxBus returns max(a, b) and the a<b flag.
+func maxBus(c *netlist.Circuit, a, b []int) (mx []int, aLess int) {
+	aLess = lessThan(c, a, b)
+	return muxBus(c, a, b, aLess), aLess
+}
+
+// shiftLeftConst shifts the bus left by k, dropping high bits and filling
+// with fill (a gate ID, typically Const0); width is preserved.
+func shiftLeftConst(c *netlist.Circuit, bus []int, k int, fill int) []int {
+	out := make([]int, len(bus))
+	for i := range out {
+		if i-k >= 0 && i-k < len(bus) {
+			out[i] = bus[i-k]
+		} else {
+			out[i] = fill
+		}
+	}
+	return out
+}
+
+// shiftRightConst shifts right by k with fill.
+func shiftRightConst(c *netlist.Circuit, bus []int, k int, fill int) []int {
+	out := make([]int, len(bus))
+	for i := range out {
+		if i+k < len(bus) {
+			out[i] = bus[i+k]
+		} else {
+			out[i] = fill
+		}
+	}
+	return out
+}
+
+// barrelShift shifts the bus left (dir=false) or right (dir=true) by the
+// binary amount encoded on sel (little-endian), filling with Const0.
+func barrelShift(c *netlist.Circuit, bus []int, sel []int, right bool) []int {
+	fill := c.Const0()
+	cur := append([]int(nil), bus...)
+	for s, selBit := range sel {
+		k := 1 << s
+		var shifted []int
+		if right {
+			shifted = shiftRightConst(c, cur, k, fill)
+		} else {
+			shifted = shiftLeftConst(c, cur, k, fill)
+		}
+		cur = muxBus(c, cur, shifted, selBit)
+	}
+	return cur
+}
+
+// constBus materializes a little-endian constant of the given width.
+func constBus(c *netlist.Circuit, value uint64, width int) []int {
+	bus := make([]int, width)
+	for i := range bus {
+		if value>>i&1 == 1 {
+			bus[i] = c.Const1()
+		} else {
+			bus[i] = c.Const0()
+		}
+	}
+	return bus
+}
+
+// popcount sums the bits of the bus into a ceil(log2(n+1))-bit count
+// using a full-adder reduction tree (carry-save counter).
+func popcount(c *netlist.Circuit, bus []int) []int {
+	// Column-based: cols[w] holds bits of weight 2^w awaiting reduction.
+	cols := [][]int{append([]int(nil), bus...)}
+	for w := 0; w < len(cols); w++ {
+		for len(cols[w]) > 1 {
+			if len(cols) == w+1 {
+				cols = append(cols, nil)
+			}
+			if len(cols[w]) >= 3 {
+				a, b, ci := cols[w][0], cols[w][1], cols[w][2]
+				cols[w] = cols[w][3:]
+				s, cy := fullAdder(c, a, b, ci)
+				cols[w] = append(cols[w], s)
+				cols[w+1] = append(cols[w+1], cy)
+			} else {
+				a, b := cols[w][0], cols[w][1]
+				cols[w] = cols[w][2:]
+				s, cy := halfAdder(c, a, b)
+				cols[w] = append(cols[w], s)
+				cols[w+1] = append(cols[w+1], cy)
+			}
+		}
+	}
+	out := make([]int, len(cols))
+	for w := range cols {
+		if len(cols[w]) == 1 {
+			out[w] = cols[w][0]
+		} else {
+			out[w] = c.Const0()
+		}
+	}
+	return out
+}

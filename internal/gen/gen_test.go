@@ -1,0 +1,270 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// ---- shared test helpers ------------------------------------------------
+
+// runRandom simulates the circuit on n random vectors with a fixed seed.
+func runRandom(t testing.TB, c *netlist.Circuit, seed int64, n int) (*sim.Vectors, *sim.Result) {
+	t.Helper()
+	v := sim.Random(rand.New(rand.NewSource(seed)), len(c.PIs), n)
+	res, err := sim.Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, res
+}
+
+// piVal decodes PI bits [lo, lo+width) of vector k as a little-endian
+// uint64 (width <= 64).
+func piVal(v *sim.Vectors, lo, width, k int) uint64 {
+	var val uint64
+	for i := 0; i < width; i++ {
+		val |= v.PerPI[lo+i][k/64] >> (k % 64) & 1 << i
+	}
+	return val
+}
+
+// poVal decodes PO bits [lo, lo+width) of vector k.
+func poVal(c *netlist.Circuit, res *sim.Result, lo, width, k int) uint64 {
+	var val uint64
+	for i := 0; i < width; i++ {
+		val |= res.Signals[c.POs[lo+i]][k/64] >> (k % 64) & 1 << i
+	}
+	return val
+}
+
+// poBit reads PO index i of vector k.
+func poBit(c *netlist.Circuit, res *sim.Result, i, k int) uint64 {
+	return res.Signals[c.POs[i]][k/64] >> (k % 64) & 1
+}
+
+// ---- registry -----------------------------------------------------------
+
+var wantIO = map[string][2]int{ // name -> {PIs, POs}
+	"Cavlc":     {10, 11},
+	"c880":      {19, 13},
+	"c1908":     {23, 23},
+	"c2670":     {31, 36},
+	"c3540":     {23, 13},
+	"c5315":     {42, 57},
+	"c7552":     {96, 40},
+	"Int2float": {11, 7},
+	"Adder16":   {32, 17},
+	"Max16":     {32, 16},
+	"c6288":     {32, 32},
+	"Adder":     {256, 129},
+	"Max":       {512, 128},
+	"Sin":       {24, 25},
+	"Sqrt":      {128, 64},
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(All()) != 15 {
+		t.Fatalf("registry has %d benchmarks, want 15 (TABLE I)", len(All()))
+	}
+	if len(ByKind(RandomControl)) != 7 || len(ByKind(Arithmetic)) != 8 {
+		t.Error("kind split must be 7 random/control + 8 arithmetic")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName must reject unknown names")
+	}
+	for i, name := range Names() {
+		if All()[i].Name != name {
+			t.Error("Names() order must match All()")
+		}
+	}
+}
+
+func TestAllBenchmarksBuildValid(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			c := b.Build()
+			if err := c.Validate(); err != nil {
+				t.Fatalf("invalid netlist: %v", err)
+			}
+			io, ok := wantIO[b.Name]
+			if !ok {
+				t.Fatalf("no expected I/O entry for %s", b.Name)
+			}
+			if len(c.PIs) != io[0] || len(c.POs) != io[1] {
+				t.Errorf("I/O = %d/%d, want %d/%d", len(c.PIs), len(c.POs), io[0], io[1])
+			}
+			t.Logf("%s: %d gates, %d PIs, %d POs", b.Name, c.NumPhysical(), len(c.PIs), len(c.POs))
+		})
+	}
+}
+
+func TestMustBuildPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild must panic on unknown name")
+		}
+	}()
+	MustBuild("bogus")
+}
+
+func TestBuildersAreDeterministic(t *testing.T) {
+	a := MustBuild("Cavlc")
+	b := MustBuild("Cavlc")
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("two builds differ in size")
+	}
+	for id := range a.Gates {
+		ga, gb := a.Gates[id], b.Gates[id]
+		if ga.Func != gb.Func || len(ga.Fanin) != len(gb.Fanin) {
+			t.Fatal("two builds differ in structure")
+		}
+		for p := range ga.Fanin {
+			if ga.Fanin[p] != gb.Fanin[p] {
+				t.Fatal("two builds differ in adjacency")
+			}
+		}
+	}
+}
+
+// ---- Cavlc (no closed-form model: structural/behavioural checks) -------
+
+func TestCavlcOutputsAreAlive(t *testing.T) {
+	c := MustBuild("Cavlc")
+	v, err := sim.Exhaustive(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, po := range c.POs {
+		ones := sim.CountOnes(res.Signals[po])
+		if ones == 0 || ones == v.N {
+			t.Errorf("PO %d (%s) is constant across all 1024 inputs", i, c.Gates[po].Name)
+		}
+	}
+}
+
+func TestCavlcDepthNontrivial(t *testing.T) {
+	c := MustBuild("Cavlc")
+	if c.NumPhysical() < 300 {
+		t.Errorf("Cavlc has %d gates; expected a few hundred", c.NumPhysical())
+	}
+}
+
+// ---- SEC/DED ------------------------------------------------------------
+
+// hammingEncode builds the 22-bit codeword (positions 1..22, index p-1)
+// for 16 data bits, plus the overall parity bit.
+func hammingEncode(data uint16) (code [22]bool, overall bool) {
+	dataPos := secdedDataPositions()
+	for i, p := range dataPos {
+		code[p-1] = data>>i&1 == 1
+	}
+	for j := 0; j < 5; j++ {
+		cp := 1 << j
+		par := false
+		for p := 1; p <= 22; p++ {
+			if p != cp && p>>j&1 == 1 && code[p-1] {
+				par = !par
+			}
+		}
+		code[cp-1] = par
+	}
+	for p := 1; p <= 22; p++ {
+		if code[p-1] {
+			overall = !overall
+		}
+	}
+	return code, overall
+}
+
+// runSECDED simulates one codeword (with optional injected bit flips) and
+// returns corrected data, syndrome, sec, ded.
+func runSECDED(t *testing.T, c *netlist.Circuit, code [22]bool, overall bool, flips ...int) (data uint16, syn uint64, sec, ded bool) {
+	t.Helper()
+	for _, f := range flips {
+		if f == 22 {
+			overall = !overall
+		} else {
+			code[f] = !code[f]
+		}
+	}
+	v := &sim.Vectors{PerPI: make([][]uint64, 23), N: 1}
+	for i := 0; i < 22; i++ {
+		v.PerPI[i] = []uint64{0}
+		if code[i] {
+			v.PerPI[i][0] = 1
+		}
+	}
+	v.PerPI[22] = []uint64{0}
+	if overall {
+		v.PerPI[22][0] = 1
+	}
+	res, err := sim.Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = uint16(poVal(c, res, 0, 16, 0))
+	syn = poVal(c, res, 16, 5, 0)
+	sec = poBit(c, res, 21, 0) == 1
+	ded = poBit(c, res, 22, 0) == 1
+	return
+}
+
+func TestSECDEDCleanCodeword(t *testing.T) {
+	c := MustBuild("c1908")
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		d := uint16(rng.Uint32())
+		code, ov := hammingEncode(d)
+		got, syn, sec, ded := runSECDED(t, c, code, ov)
+		if got != d || syn != 0 || sec || ded {
+			t.Fatalf("clean codeword %04x: got data %04x syn %d sec %v ded %v", d, got, syn, sec, ded)
+		}
+	}
+}
+
+func TestSECDEDSingleErrorCorrected(t *testing.T) {
+	c := MustBuild("c1908")
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		d := uint16(rng.Uint32())
+		code, ov := hammingEncode(d)
+		pos := rng.Intn(22) // flip any codeword bit
+		got, syn, sec, ded := runSECDED(t, c, code, ov, pos)
+		if !sec || ded {
+			t.Fatalf("single error at %d: sec=%v ded=%v", pos, sec, ded)
+		}
+		if syn != uint64(pos+1) {
+			t.Fatalf("single error at %d: syndrome %d, want %d", pos, syn, pos+1)
+		}
+		if got != d {
+			t.Fatalf("single error at %d: data %04x, want %04x", pos, got, d)
+		}
+	}
+}
+
+func TestSECDEDDoubleErrorDetected(t *testing.T) {
+	c := MustBuild("c1908")
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		d := uint16(rng.Uint32())
+		code, ov := hammingEncode(d)
+		p1 := rng.Intn(22)
+		p2 := rng.Intn(22)
+		for p2 == p1 {
+			p2 = rng.Intn(22)
+		}
+		_, _, sec, ded := runSECDED(t, c, code, ov, p1, p2)
+		if !ded || sec {
+			t.Fatalf("double error at %d,%d: sec=%v ded=%v, want ded only", p1, p2, sec, ded)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package lac implements the local approximate changes (LACs) of the
+// paper: wire-by-wire and wire-by-constant substitution on the fan-in
+// adjacency representation, plus the candidate machinery of the circuit
+// searching action — the critical-path targets set Tc and similarity-based
+// switch-gate selection.
+//
+// Terminology follows §III-A of the paper: the gate being replaced is the
+// "target gate"; the gate (or constant, which is also a gate) wired into
+// the target's consumers is the "switch gate". Because switch candidates
+// are drawn from the target's transitive fan-in or the constants, applying
+// a LAC can never create a combinational loop.
+package lac
+
+import (
+	"math/rand"
+
+	"repro/internal/cell"
+	"repro/internal/errest"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/sta"
+)
+
+// Kind distinguishes the two LAC flavours.
+type Kind uint8
+
+const (
+	// WireByWire substitutes the target's output with another gate's
+	// output (SASIMI-style substitution).
+	WireByWire Kind = iota
+	// WireByConst substitutes the target's output with constant 0/1
+	// (gate-level pruning).
+	WireByConst
+	// WireByInvWire substitutes the target's output with the
+	// *complement* of another gate's output through a fresh inverter —
+	// the second half of SASIMI's substitute-and-simplify catalogue.
+	// Population-based optimizers avoid it (a new gate breaks the shared
+	// gate ID space reproduction merges on); the greedy baselines use it.
+	WireByInvWire
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case WireByWire:
+		return "wire-by-wire"
+	case WireByConst:
+		return "wire-by-const"
+	case WireByInvWire:
+		return "wire-by-inv-wire"
+	}
+	return "wire-by-?"
+}
+
+// Change is one selected LAC: rewire all consumers of Target to Switch
+// (through a new inverter for WireByInvWire).
+type Change struct {
+	Target int
+	Switch int
+	Kind   Kind
+	// Similarity is the fraction of sampled vectors on which target and
+	// switch (after any inversion) agree — the selection criterion.
+	Similarity float64
+}
+
+// Apply performs the change on the circuit and returns the number of
+// fan-in pins rewired. Constants and inverters are materialized in the
+// circuit on demand.
+func Apply(c *netlist.Circuit, ch Change) int {
+	sw := ch.Switch
+	if ch.Kind == WireByInvWire {
+		sw = c.AddGate(cell.Inv, ch.Switch)
+	}
+	return c.ReplaceFanin(ch.Target, sw)
+}
+
+// Targets builds the searching action's targets set Tc (paper §III-B):
+// every physical gate on a critical path enters Tc; each such gate is
+// sampled from uniform(0,1) and the fan-ins of gates drawing > 0.5 join Tc
+// as well. The margin widens "critical" to paths within margin·CPD.
+func Targets(c *netlist.Circuit, r *sta.Report, rng *rand.Rand, margin float64) []int {
+	onPath := r.CriticalGates(c, margin)
+	seen := make(map[int]bool, len(onPath)*2)
+	tc := make([]int, 0, len(onPath)*2)
+	addPhysical := func(id int) {
+		if !seen[id] && !c.Gates[id].Func.IsPseudo() {
+			seen[id] = true
+			tc = append(tc, id)
+		}
+	}
+	for _, id := range onPath {
+		addPhysical(id)
+		if rng.Float64() > 0.5 {
+			for _, fi := range c.Gates[id].Fanin {
+				addPhysical(fi)
+			}
+		}
+	}
+	return tc
+}
+
+// PickTarget selects a uniformly random target from Tc; it returns -1 when
+// Tc is empty.
+func PickTarget(tc []int, rng *rand.Rand) int {
+	if len(tc) == 0 {
+		return -1
+	}
+	return tc[rng.Intn(len(tc))]
+}
+
+// BestSwitch selects the switch gate for a target: the candidate with the
+// highest similarity among the target's transitive fan-in (excluding the
+// target itself) and the two constants. The simulation result must belong
+// to the same circuit. Ties break toward the earlier-arriving candidate
+// when a timing report is supplied (nil is allowed), which favours path
+// shortening at equal error cost. It returns false when the target has no
+// usable candidate.
+func BestSwitch(c *netlist.Circuit, res *sim.Result, r *sta.Report, target int) (Change, bool) {
+	return bestSwitch(c, res, r, target, false)
+}
+
+// BestSwitchInv is BestSwitch with the inverted-wire substitution also in
+// the candidate set (SASIMI's full catalogue).
+func BestSwitchInv(c *netlist.Circuit, res *sim.Result, r *sta.Report, target int) (Change, bool) {
+	return bestSwitch(c, res, r, target, true)
+}
+
+func bestSwitch(c *netlist.Circuit, res *sim.Result, r *sta.Report, target int, allowInv bool) (Change, bool) {
+	if target < 0 || target >= len(c.Gates) || c.Gates[target].Func.IsPseudo() {
+		return Change{}, false
+	}
+	tfi := c.TFI(target)
+	best := Change{Target: target, Switch: -1, Similarity: -1}
+	better := func(sim float64, id int) bool {
+		if sim != best.Similarity {
+			return sim > best.Similarity
+		}
+		if r == nil || best.Switch < 0 {
+			return false
+		}
+		return r.Arrival[id] < r.Arrival[best.Switch]
+	}
+	for id := range c.Gates {
+		if !tfi[id] || id == target {
+			continue
+		}
+		f := c.Gates[id].Func
+		if f == cell.OutPort || f.IsConst() {
+			continue
+		}
+		s := errest.Similarity(res, target, id)
+		if better(s, id) {
+			best = Change{Target: target, Switch: id, Kind: WireByWire, Similarity: s}
+		}
+		if allowInv {
+			if si := 1 - s; better(si, id) {
+				best = Change{Target: target, Switch: id, Kind: WireByInvWire, Similarity: si}
+			}
+		}
+	}
+	// Constants: materialize lazily only if selected.
+	s0 := errest.ConstSimilarity(res, target, false)
+	s1 := errest.ConstSimilarity(res, target, true)
+	constKind := -1
+	if s0 > best.Similarity {
+		best = Change{Target: target, Switch: -1, Kind: WireByConst, Similarity: s0}
+		constKind = 0
+	}
+	if s1 > best.Similarity {
+		best = Change{Target: target, Switch: -1, Kind: WireByConst, Similarity: s1}
+		constKind = 1
+	}
+	if best.Similarity < 0 {
+		return Change{}, false
+	}
+	if best.Kind == WireByConst {
+		if constKind == 0 {
+			best.Switch = c.Const0()
+		} else {
+			best.Switch = c.Const1()
+		}
+	}
+	return best, true
+}
+
+// Search performs one full circuit-searching action: build Tc from the
+// timing report, pick a random target, select the best switch and apply
+// it. It reports whether a change was applied.
+func Search(c *netlist.Circuit, res *sim.Result, r *sta.Report, rng *rand.Rand, margin float64) (Change, bool) {
+	return SearchN(c, res, r, rng, margin, 1)
+}
+
+// SearchN is Search with up to tries random targets sampled from Tc; the
+// change with the highest similarity (lowest expected error) is applied.
+// One LAC is still applied per action — extra tries only de-noise the
+// similarity-guided pick on error-sensitive circuits.
+func SearchN(c *netlist.Circuit, res *sim.Result, r *sta.Report, rng *rand.Rand, margin float64, tries int) (Change, bool) {
+	tc := Targets(c, r, rng, margin)
+	best := Change{Similarity: -1}
+	found := false
+	for k := 0; k < tries; k++ {
+		target := PickTarget(tc, rng)
+		if target < 0 {
+			break
+		}
+		ch, ok := BestSwitch(c, res, r, target)
+		if ok && ch.Similarity > best.Similarity {
+			best = ch
+			found = true
+		}
+	}
+	if !found {
+		return Change{}, false
+	}
+	Apply(c, best)
+	return best, true
+}
+
+// RandomChange applies a LAC to a uniformly random live physical gate —
+// the population-initialization move (the paper performs LACs "on randomly
+// selected target gates of the accurate circuit"). It reports whether a
+// change was applied.
+func RandomChange(c *netlist.Circuit, res *sim.Result, rng *rand.Rand) (Change, bool) {
+	live := c.Live()
+	var phys []int
+	for id, g := range c.Gates {
+		if live[id] && !g.Func.IsPseudo() {
+			phys = append(phys, id)
+		}
+	}
+	if len(phys) == 0 {
+		return Change{}, false
+	}
+	target := phys[rng.Intn(len(phys))]
+	ch, ok := BestSwitch(c, res, nil, target)
+	if !ok {
+		return Change{}, false
+	}
+	Apply(c, ch)
+	return ch, true
+}

@@ -1,0 +1,351 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// paperFig3 builds the 15-gate example circuit of the paper's Fig. 3:
+// four PIs (IDs 1-4 in the paper), gates 5-12, POs 13-15. Our IDs are
+// 0-based but the adjacency structure is identical.
+func paperFig3(t *testing.T) (*Circuit, map[int]int) {
+	t.Helper()
+	c := New("fig3")
+	ids := map[int]int{}
+	for i := 1; i <= 4; i++ {
+		ids[i] = c.AddInput("n" + string(rune('0'+i)))
+	}
+	add := func(paperID int, f cell.Func, fin ...int) {
+		mapped := make([]int, len(fin))
+		for i, p := range fin {
+			mapped[i] = ids[p]
+		}
+		ids[paperID] = c.AddGate(f, mapped...)
+	}
+	add(5, cell.And2, 1, 2)
+	add(6, cell.Or2, 2, 3)
+	add(7, cell.Nand2, 3, 4)
+	add(8, cell.And2, 5, 6)
+	add(9, cell.Xor2, 6, 7)
+	add(10, cell.Or2, 4, 7)
+	add(11, cell.Or2, 5, 8)
+	add(12, cell.And2, 9, 10)
+	ids[13] = c.AddOutput("po1", ids[11])
+	ids[14] = c.AddOutput("po2", ids[9])
+	ids[15] = c.AddOutput("po3", ids[12])
+	if err := c.Validate(); err != nil {
+		t.Fatalf("fig3 invalid: %v", err)
+	}
+	return c, ids
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	c, _ := paperFig3(t)
+	if got := len(c.PIs); got != 4 {
+		t.Errorf("PIs = %d, want 4", got)
+	}
+	if got := len(c.POs); got != 3 {
+		t.Errorf("POs = %d, want 3", got)
+	}
+	if got := c.NumPhysical(); got != 8 {
+		t.Errorf("NumPhysical = %d, want 8", got)
+	}
+}
+
+func TestAddGateArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddGate with wrong arity must panic")
+		}
+	}()
+	c := New("bad")
+	a := c.AddInput("a")
+	c.AddGate(cell.And2, a)
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	c, _ := paperFig3(t)
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(c.Gates))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for id, g := range c.Gates {
+		for _, fi := range g.Fanin {
+			if pos[fi] >= pos[id] {
+				t.Errorf("gate %d appears before its fan-in %d", id, fi)
+			}
+		}
+	}
+}
+
+func TestTopoOrderDetectsLoop(t *testing.T) {
+	c := New("loop")
+	a := c.AddInput("a")
+	g1 := c.AddGate(cell.And2, a, a) // placeholder, rewired below
+	g2 := c.AddGate(cell.Or2, g1, a)
+	c.Gates[g1].Fanin[1] = g2 // creates g1 <-> g2 loop
+	c.AddOutput("y", g2)
+	if _, err := c.TopoOrder(); err == nil {
+		t.Error("TopoOrder must report a combinational loop")
+	}
+	if err := c.Validate(); err == nil {
+		t.Error("Validate must reject a cyclic netlist")
+	}
+}
+
+func TestValidateRejectsOutPortDriver(t *testing.T) {
+	c := New("bad")
+	a := c.AddInput("a")
+	po := c.AddOutput("y", a)
+	c.AddGate(cell.Inv, po)
+	if err := c.Validate(); err == nil {
+		t.Error("Validate must reject gates driven by OutPort")
+	}
+}
+
+func TestValidateRejectsOutOfRangeFanin(t *testing.T) {
+	c := New("bad")
+	a := c.AddInput("a")
+	g := c.AddGate(cell.Inv, a)
+	c.Gates[g].Fanin[0] = 99
+	c.AddOutput("y", g)
+	if err := c.Validate(); err == nil {
+		t.Error("Validate must reject out-of-range fan-in")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c, ids := paperFig3(t)
+	cl := c.Clone()
+	cl.Gates[ids[11]].Fanin[1] = cl.Const0()
+	if c.Gates[ids[11]].Fanin[1] == c.const0 && c.const0 >= 0 {
+		t.Error("mutating clone changed original fan-in")
+	}
+	if len(cl.Gates) == len(c.Gates) {
+		t.Error("clone's Const0 must not appear in the original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestConstSingletons(t *testing.T) {
+	c := New("consts")
+	if c.Const0() != c.Const0() {
+		t.Error("Const0 must be a singleton per circuit")
+	}
+	if c.Const1() != c.Const1() {
+		t.Error("Const1 must be a singleton per circuit")
+	}
+	if c.Const0() == c.Const1() {
+		t.Error("Const0 and Const1 must differ")
+	}
+}
+
+func TestLiveAndDangling(t *testing.T) {
+	c, ids := paperFig3(t)
+	live := c.Live()
+	for paperID := 1; paperID <= 15; paperID++ {
+		if !live[ids[paperID]] {
+			t.Errorf("gate %d must be live in the accurate circuit", paperID)
+		}
+	}
+	// Replicate the paper's Fig. 5 searched circuit cs2: PO3's fan-in
+	// changes from gate 12 to gate 10, dangling gate 12 (and only 12,
+	// since 9 and 10 still feed live logic).
+	c.Gates[ids[15]].Fanin[0] = ids[10]
+	live = c.Live()
+	if live[ids[12]] {
+		t.Error("gate 12 must be dangling after rewiring PO3 to gate 10")
+	}
+	if !live[ids[9]] || !live[ids[10]] {
+		t.Error("gates 9 and 10 must stay live")
+	}
+}
+
+func TestAreaExcludesDangling(t *testing.T) {
+	lib := cell.Default28nm()
+	c, ids := paperFig3(t)
+	before := c.Area(lib)
+	c.Gates[ids[15]].Fanin[0] = ids[10]
+	after := c.Area(lib)
+	want := before - lib.Area(cell.And2, cell.X1) // gate 12 is AND2
+	if diff := after - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Area after dangling = %.4f, want %.4f", after, want)
+	}
+	if c.TotalArea(lib) != before {
+		t.Error("TotalArea must still count dangling gates")
+	}
+}
+
+func TestCompactRemovesDangling(t *testing.T) {
+	c, ids := paperFig3(t)
+	c.Gates[ids[15]].Fanin[0] = ids[10]
+	nc, remap := c.Compact()
+	if err := nc.Validate(); err != nil {
+		t.Fatalf("compacted circuit invalid: %v", err)
+	}
+	if remap[ids[12]] != -1 {
+		t.Error("gate 12 must be removed by Compact")
+	}
+	if nc.NumGates() != c.NumGates()-1 {
+		t.Errorf("Compact removed %d gates, want 1", c.NumGates()-nc.NumGates())
+	}
+	if len(nc.POs) != len(c.POs) {
+		t.Error("Compact must preserve PO count")
+	}
+	lib := cell.Default28nm()
+	if a, b := nc.Area(lib), c.Area(lib); a != b {
+		t.Errorf("live area changed by Compact: %.3f vs %.3f", a, b)
+	}
+}
+
+func TestReplaceFaninMatchesPaperExample(t *testing.T) {
+	// Paper Fig. 5, cs1: target gate 8, switch const0; gate 11's fan-in
+	// changes from (5,8) to (5,con0).
+	c, ids := paperFig3(t)
+	con0 := c.Const0()
+	n := c.ReplaceFanin(ids[8], con0)
+	if n != 1 {
+		t.Fatalf("ReplaceFanin rewired %d pins, want 1", n)
+	}
+	got := c.Gates[ids[11]].Fanin
+	if got[0] != ids[5] || got[1] != con0 {
+		t.Errorf("gate 11 fan-in = %v, want (5, con0)", got)
+	}
+	if !c.Live()[con0] {
+		t.Error("const0 must be live after substitution")
+	}
+	if c.Live()[ids[8]] {
+		t.Error("gate 8 must be dangling after substitution")
+	}
+}
+
+func TestTFIAndTFO(t *testing.T) {
+	c, ids := paperFig3(t)
+	tfi := c.TFI(ids[11])
+	for _, p := range []int{1, 2, 3, 5, 6, 8, 11} {
+		if !tfi[ids[p]] {
+			t.Errorf("gate %d must be in TFI(11)", p)
+		}
+	}
+	for _, p := range []int{4, 7, 9, 10, 12} {
+		if tfi[ids[p]] {
+			t.Errorf("gate %d must not be in TFI(11)", p)
+		}
+	}
+	tfo := c.TFO(ids[7])
+	for _, p := range []int{7, 9, 10, 12, 14, 15} {
+		if !tfo[ids[p]] {
+			t.Errorf("gate %d must be in TFO(7)", p)
+		}
+	}
+	if tfo[ids[5]] || tfo[ids[11]] {
+		t.Error("TFO(7) must not include gates 5 or 11")
+	}
+}
+
+func TestFanoutsCountPins(t *testing.T) {
+	c := New("multi")
+	a := c.AddInput("a")
+	g := c.AddGate(cell.And2, a, a) // both pins from the same driver
+	c.AddOutput("y", g)
+	fo := c.Fanouts()
+	if len(fo[a]) != 2 {
+		t.Errorf("fanouts of a = %d entries, want 2 (one per pin)", len(fo[a]))
+	}
+}
+
+func TestPortNames(t *testing.T) {
+	c, _ := paperFig3(t)
+	pis, pos := c.PINames(), c.PONames()
+	if len(pis) != 4 || len(pos) != 3 {
+		t.Fatalf("got %d PIs, %d POs", len(pis), len(pos))
+	}
+	if pos[0] != "po1" || pos[2] != "po3" {
+		t.Errorf("PO names = %v", pos)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	lib := cell.Default28nm()
+	c, _ := paperFig3(t)
+	s := c.Summarize(lib)
+	if s.Gates != 8 || s.PIs != 4 || s.POs != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.Area <= 0 {
+		t.Error("area must be positive")
+	}
+}
+
+// buildRandomDAG constructs a random valid circuit for property tests.
+func buildRandomDAG(rng *rand.Rand, nPI, nGates int) *Circuit {
+	c := New("rand")
+	for i := 0; i < nPI; i++ {
+		c.AddInput("i")
+	}
+	funcs := []cell.Func{cell.Inv, cell.And2, cell.Or2, cell.Xor2, cell.Nand2, cell.Nor2}
+	for i := 0; i < nGates; i++ {
+		f := funcs[rng.Intn(len(funcs))]
+		fin := make([]int, f.Arity())
+		for p := range fin {
+			fin[p] = rng.Intn(len(c.Gates)) // only earlier gates: acyclic
+		}
+		ok := true
+		for _, fi := range fin {
+			if c.Gates[fi].Func == cell.OutPort {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		c.AddGate(f, fin...)
+	}
+	// Drive a few POs from random non-port gates.
+	for k := 0; k < 4; k++ {
+		id := rng.Intn(len(c.Gates))
+		if c.Gates[id].Func != cell.OutPort {
+			c.AddOutput("y", id)
+		}
+	}
+	return c
+}
+
+func TestRandomDAGsValidateAndCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lib := cell.Default28nm()
+	for trial := 0; trial < 50; trial++ {
+		c := buildRandomDAG(rng, 3+rng.Intn(5), 10+rng.Intn(60))
+		if len(c.POs) == 0 {
+			continue
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: random DAG invalid: %v", trial, err)
+		}
+		nc, _ := c.Compact()
+		if err := nc.Validate(); err != nil {
+			t.Fatalf("trial %d: compacted DAG invalid: %v", trial, err)
+		}
+		if a, b := nc.Area(lib), c.Area(lib); a != b {
+			t.Fatalf("trial %d: live area changed by Compact (%.3f vs %.3f)", trial, a, b)
+		}
+		// After Compact every gate except interface PIs must be live.
+		live := nc.Live()
+		for id := range nc.Gates {
+			if !live[id] && nc.Gates[id].Func != cell.Input {
+				t.Fatalf("trial %d: compacted circuit still has dangling gate %d", trial, id)
+			}
+		}
+		if len(nc.PIs) != len(c.PIs) {
+			t.Fatalf("trial %d: Compact dropped primary inputs", trial)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package power estimates circuit power from simulated switching
+// activity: dynamic power from per-net signal probabilities (a net with
+// probability p toggles between uncorrelated vectors with activity
+// 2·p·(1-p)) and leakage proportional to active-cell area. Approximate
+// circuits save power two ways the report separates — dangled logic stops
+// switching, and similarity-driven substitutions lower activity.
+//
+// The absolute scale is synthetic (the library is); the useful quantities
+// are the ratios between an accurate circuit and its approximations.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Report holds one power estimate, in arbitrary-but-consistent units
+// (µW-class at the default coefficients).
+type Report struct {
+	// Dynamic is the switching power over live nets.
+	Dynamic float64
+	// Leakage is the area-proportional static power over live cells.
+	Leakage float64
+	// Total = Dynamic + Leakage.
+	Total float64
+	// Activity is the mean toggle activity across live physical nets.
+	Activity float64
+	// LiveGates counts the cells contributing.
+	LiveGates int
+}
+
+// Coefficients scale the model; the zero value selects defaults.
+type Coefficients struct {
+	// VddSquaredF folds supply² and clock frequency into one factor
+	// multiplying C·activity (default 0.5).
+	VddSquaredF float64
+	// LeakPerArea is static power per µm² (default 0.02).
+	LeakPerArea float64
+}
+
+func (c Coefficients) defaults() Coefficients {
+	if c.VddSquaredF == 0 {
+		c.VddSquaredF = 0.5
+	}
+	if c.LeakPerArea == 0 {
+		c.LeakPerArea = 0.02
+	}
+	return c
+}
+
+// Estimate computes the power report of a circuit from an existing
+// simulation result on n vectors.
+func Estimate(c *netlist.Circuit, lib *cell.Library, res *sim.Result, coef Coefficients) (*Report, error) {
+	if len(res.Signals) != len(c.Gates) {
+		return nil, fmt.Errorf("power: simulation result has %d signals, circuit has %d gates",
+			len(res.Signals), len(c.Gates))
+	}
+	coef = coef.defaults()
+	live := c.Live()
+	rep := &Report{}
+	activitySum := 0.0
+
+	// Load per net mirrors the STA model: consumer input caps plus wire
+	// cap per pin, PO load for output ports.
+	load := make([]float64, len(c.Gates))
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		for _, fi := range g.Fanin {
+			if g.Func == cell.OutPort {
+				load[fi] += lib.DefaultPOLoad
+			} else {
+				load[fi] += lib.InputCap(g.Func, g.Drive) + lib.WireCap
+			}
+		}
+	}
+
+	n := float64(res.N)
+	for id, g := range c.Gates {
+		if !live[id] || g.Func.IsPseudo() {
+			continue
+		}
+		rep.LiveGates++
+		rep.Leakage += lib.Area(g.Func, g.Drive) * coef.LeakPerArea
+		p := float64(sim.CountOnes(res.Signals[id])) / n
+		activity := 2 * p * (1 - p)
+		activitySum += activity
+		rep.Dynamic += coef.VddSquaredF * activity * load[id]
+	}
+	if rep.LiveGates > 0 {
+		rep.Activity = activitySum / float64(rep.LiveGates)
+	}
+	rep.Total = rep.Dynamic + rep.Leakage
+	return rep, nil
+}
+
+// Of simulates the circuit on the given vectors and estimates its power.
+func Of(c *netlist.Circuit, lib *cell.Library, v *sim.Vectors, coef Coefficients) (*Report, error) {
+	res, err := sim.Run(c, v)
+	if err != nil {
+		return nil, err
+	}
+	return Estimate(c, lib, res, coef)
+}

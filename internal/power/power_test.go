@@ -1,0 +1,149 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+var lib = cell.Default28nm()
+
+func xorTree(n int) *netlist.Circuit {
+	c := netlist.New("xt")
+	acc := c.AddInput("i")
+	for i := 1; i < n; i++ {
+		acc = c.AddGate(cell.Xor2, acc, c.AddInput("i"))
+	}
+	c.AddOutput("y", acc)
+	return c
+}
+
+func estimate(t *testing.T, c *netlist.Circuit, nVec int) *Report {
+	t.Helper()
+	v := sim.Random(rand.New(rand.NewSource(3)), len(c.PIs), nVec)
+	r, err := Of(c, lib, v, Coefficients{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestXorNetsAreHighActivity(t *testing.T) {
+	// XOR of independent uniform inputs has p = 0.5: activity 0.5 per net.
+	r := estimate(t, xorTree(8), 1<<14)
+	if math.Abs(r.Activity-0.5) > 0.02 {
+		t.Errorf("xor-tree activity = %v, want ~0.5", r.Activity)
+	}
+	if r.Dynamic <= 0 || r.Leakage <= 0 || r.Total != r.Dynamic+r.Leakage {
+		t.Errorf("inconsistent report %+v", r)
+	}
+}
+
+func TestConstantNetsAreZeroActivity(t *testing.T) {
+	c := netlist.New("and0")
+	a := c.AddInput("a")
+	g := c.AddGate(cell.And2, a, c.Const0()) // output stuck at 0
+	c.AddOutput("y", g)
+	r := estimate(t, c, 1<<12)
+	if r.Activity != 0 {
+		t.Errorf("stuck-at net must have zero activity, got %v", r.Activity)
+	}
+	if r.Dynamic != 0 {
+		t.Errorf("no switching means no dynamic power, got %v", r.Dynamic)
+	}
+	if r.Leakage <= 0 {
+		t.Error("the cell still leaks")
+	}
+}
+
+func TestDanglingGatesDoNotBurn(t *testing.T) {
+	c := xorTree(6)
+	full := estimate(t, c, 1<<12)
+	// Dangle half the tree: rewire the PO to an early gate.
+	var early int
+	for id, g := range c.Gates {
+		if g.Func == cell.Xor2 {
+			early = id
+			break
+		}
+	}
+	c.Gates[c.POs[0]].Fanin[0] = early
+	cut := estimate(t, c, 1<<12)
+	if cut.Total >= full.Total {
+		t.Errorf("dangling logic must reduce power: %.3f -> %.3f", full.Total, cut.Total)
+	}
+	if cut.LiveGates >= full.LiveGates {
+		t.Error("live gate count must drop")
+	}
+}
+
+func TestApproximationSavesPower(t *testing.T) {
+	// The headline property: substituting logic with a constant saves
+	// both dynamic (fewer toggles) and leakage (dangled cells) power.
+	c := xorTree(10)
+	accurate := estimate(t, c, 1<<12)
+	app := c.Clone()
+	// Find a mid-tree gate and cut it to const0.
+	var mid int
+	count := 0
+	for id, g := range app.Gates {
+		if g.Func == cell.Xor2 {
+			count++
+			if count == 5 {
+				mid = id
+			}
+		}
+	}
+	app.ReplaceFanin(mid, app.Const0())
+	approx := estimate(t, app, 1<<12)
+	if approx.Total >= accurate.Total {
+		t.Errorf("approximation must save power: %.3f -> %.3f", accurate.Total, approx.Total)
+	}
+}
+
+func TestUpsizingCostsPower(t *testing.T) {
+	c := xorTree(6)
+	base := estimate(t, c, 1<<12)
+	for id := range c.Gates {
+		if !c.Gates[id].Func.IsPseudo() {
+			c.Gates[id].Drive = cell.X8
+		}
+	}
+	big := estimate(t, c, 1<<12)
+	if big.Total <= base.Total {
+		t.Errorf("X8 cells must burn more power: %.3f -> %.3f", base.Total, big.Total)
+	}
+}
+
+func TestEstimateRejectsForeignResult(t *testing.T) {
+	a := xorTree(4)
+	b := xorTree(8)
+	v := sim.Random(rand.New(rand.NewSource(1)), len(a.PIs), 256)
+	res, err := sim.Run(a, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Estimate(b, lib, res, Coefficients{}); err == nil {
+		t.Error("mismatched simulation result must be rejected")
+	}
+}
+
+func TestCoefficientOverrides(t *testing.T) {
+	c := xorTree(4)
+	v := sim.Random(rand.New(rand.NewSource(2)), len(c.PIs), 512)
+	lo, err := Of(c, lib, v, Coefficients{VddSquaredF: 0.1, LeakPerArea: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Of(c, lib, v, Coefficients{VddSquaredF: 1.0, LeakPerArea: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Dynamic <= lo.Dynamic || hi.Leakage <= lo.Leakage {
+		t.Error("coefficients must scale the estimate")
+	}
+}

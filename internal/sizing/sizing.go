@@ -1,0 +1,171 @@
+// Package sizing implements the paper's step 3, post-optimization: dangling
+// gate deletion followed by gate (re)sizing under an area constraint
+// Areacon, converting the area freed by approximation into drive-strength
+// (and therefore critical-path delay) improvement. It stands in for Design
+// Compiler's structure-preserving incremental resize.
+//
+// The sizer is a greedy slack-driven loop: each pass evaluates, for every
+// gate on (or near) the critical path, the true CPD delta of upsizing it
+// one drive step — a full re-analysis, because upsizing also loads the
+// gate's drivers — and applies the single best feasible move. When the
+// netlist exceeds the area budget, high-slack gates are downsized first.
+package sizing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// Options tunes the post-optimization loop.
+type Options struct {
+	// AreaCon is the area budget in µm² the resized netlist must respect.
+	AreaCon float64
+	// MaxMoves bounds the number of accepted resize moves; zero means the
+	// default of 4 moves per gate.
+	MaxMoves int
+	// CritMargin widens the candidate set to gates whose path arrival is
+	// within this fraction of the CPD (default 0.05).
+	CritMargin float64
+	// MinGain is the smallest CPD improvement (ps) worth a move
+	// (default 0.01).
+	MinGain float64
+	// MaxCandidates bounds how many critical gates one pass evaluates
+	// (worst slack first, default 64) — each evaluation is a full STA.
+	MaxCandidates int
+}
+
+func (o *Options) defaults(nGates int) {
+	if o.MaxMoves <= 0 {
+		o.MaxMoves = 4 * nGates
+		// Each accepted move costs one STA per candidate; cap the loop so
+		// post-optimization stays sub-quadratic on 10k+-gate netlists.
+		if o.MaxMoves > 300 {
+			o.MaxMoves = 300
+		}
+	}
+	if o.CritMargin <= 0 {
+		o.CritMargin = 0.05
+	}
+	if o.MinGain <= 0 {
+		o.MinGain = 0.01
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 64
+	}
+}
+
+// Result reports what post-optimization did.
+type Result struct {
+	// Circuit is the compacted, resized netlist.
+	Circuit *netlist.Circuit
+	// Report is the final timing analysis.
+	Report *sta.Report
+	// Area is the final live area.
+	Area float64
+	// RemovedGates counts dangling gates deleted.
+	RemovedGates int
+	// Upsized and Downsized count accepted moves.
+	Upsized, Downsized int
+}
+
+// PostOptimize deletes dangling gates and resizes the remainder under the
+// area constraint, returning the final netlist (a new compacted circuit —
+// the input is not modified) and its timing.
+func PostOptimize(c *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
+	opts.defaults(c.NumGates())
+	before := c.NumGates()
+	nc, _ := c.Compact()
+	res := &Result{Circuit: nc, RemovedGates: before - nc.NumGates()}
+
+	rep, err := sta.Analyze(nc, lib)
+	if err != nil {
+		return nil, fmt.Errorf("sizing: %w", err)
+	}
+	area := nc.Area(lib)
+
+	// Phase 1: if over budget, recover area by downsizing the gates with
+	// the most slack until feasible (accepting CPD degradation — the
+	// constraint is hard, as in the paper's Fig. 8 sweep below 1.0×).
+	for area > opts.AreaCon {
+		id := bestDownsize(nc, lib, rep)
+		if id < 0 {
+			break // nothing left to shrink
+		}
+		nc.Gates[id].Drive--
+		res.Downsized++
+		rep, err = sta.Analyze(nc, lib)
+		if err != nil {
+			return nil, err
+		}
+		area = nc.Area(lib)
+	}
+
+	// Phase 2: greedy upsizing of critical gates within the remaining
+	// headroom, accepting only moves that truly reduce the CPD.
+	for moves := 0; moves < opts.MaxMoves; moves++ {
+		bestID, bestGain := -1, opts.MinGain
+		bestArea := 0.0
+		cands := rep.CriticalGates(nc, opts.CritMargin)
+		if len(cands) > opts.MaxCandidates {
+			// Keep the worst-slack candidates: they bound the CPD.
+			sort.Slice(cands, func(i, j int) bool {
+				return rep.Slack[cands[i]] < rep.Slack[cands[j]]
+			})
+			cands = cands[:opts.MaxCandidates]
+		}
+		for _, id := range cands {
+			g := &nc.Gates[id]
+			if g.Drive+1 >= cell.NumDrives {
+				continue
+			}
+			dArea := lib.Area(g.Func, g.Drive+1) - lib.Area(g.Func, g.Drive)
+			if area+dArea > opts.AreaCon {
+				continue
+			}
+			g.Drive++
+			trial, err := sta.Analyze(nc, lib)
+			g.Drive--
+			if err != nil {
+				return nil, err
+			}
+			if gain := rep.CPD - trial.CPD; gain > bestGain {
+				bestID, bestGain, bestArea = id, gain, dArea
+			}
+		}
+		if bestID < 0 {
+			break
+		}
+		nc.Gates[bestID].Drive++
+		area += bestArea
+		res.Upsized++
+		rep, err = sta.Analyze(nc, lib)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res.Report = rep
+	res.Area = area
+	return res, nil
+}
+
+// bestDownsize picks the live physical gate with the largest positive
+// slack that can shrink a drive step, or -1.
+func bestDownsize(c *netlist.Circuit, lib *cell.Library, rep *sta.Report) int {
+	live := c.Live()
+	best, bestSlack := -1, 0.0
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		if !live[id] || g.Func.IsPseudo() || g.Drive == cell.X1 {
+			continue
+		}
+		if s := rep.Slack[id]; best < 0 || s > bestSlack {
+			best, bestSlack = id, s
+		}
+	}
+	return best
+}

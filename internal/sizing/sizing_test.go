@@ -1,0 +1,157 @@
+package sizing
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+var lib = cell.Default28nm()
+
+// fanoutTree builds a circuit with a heavily loaded spine so upsizing has
+// real CPD gains: a chain of ANDs where each stage also fans out to leaf
+// inverters feeding POs.
+func fanoutTree(depth, leaves int) *netlist.Circuit {
+	c := netlist.New("tree")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	spine := c.AddGate(cell.And2, a, b)
+	for d := 0; d < depth; d++ {
+		for l := 0; l < leaves; l++ {
+			leaf := c.AddGate(cell.Inv, spine)
+			c.AddOutput("y", leaf)
+		}
+		spine = c.AddGate(cell.And2, spine, b)
+	}
+	c.AddOutput("z", spine)
+	return c
+}
+
+func TestPostOptimizeReducesCPDWithHeadroom(t *testing.T) {
+	c := fanoutTree(6, 5)
+	base, err := sta.Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := c.Area(lib)
+	res, err := PostOptimize(c, lib, Options{AreaCon: area * 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.CPD >= base.CPD {
+		t.Errorf("post-opt must reduce CPD with 30%% headroom: %.2f -> %.2f", base.CPD, res.Report.CPD)
+	}
+	if res.Area > area*1.3+1e-9 {
+		t.Errorf("area %.2f exceeds budget %.2f", res.Area, area*1.3)
+	}
+	if res.Upsized == 0 {
+		t.Error("expected at least one upsize move")
+	}
+}
+
+func TestPostOptimizeRespectsTightBudget(t *testing.T) {
+	c := fanoutTree(4, 3)
+	area := c.Area(lib)
+	res, err := PostOptimize(c, lib, Options{AreaCon: area}) // zero headroom
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Area > area+1e-9 {
+		t.Errorf("area %.2f exceeds zero-headroom budget %.2f", res.Area, area)
+	}
+}
+
+func TestPostOptimizeDownsizesWhenOverBudget(t *testing.T) {
+	c := fanoutTree(4, 3)
+	// Pre-inflate every gate to X4 so the netlist is over an X1-ish
+	// budget.
+	for id := range c.Gates {
+		if !c.Gates[id].Func.IsPseudo() {
+			c.Gates[id].Drive = cell.X4
+		}
+	}
+	inflated := c.Area(lib)
+	budget := inflated * 0.5
+	res, err := PostOptimize(c, lib, Options{AreaCon: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Area > budget+1e-9 {
+		t.Errorf("area %.2f exceeds budget %.2f after downsizing", res.Area, budget)
+	}
+	if res.Downsized == 0 {
+		t.Error("expected downsize moves when over budget")
+	}
+}
+
+func TestPostOptimizeDeletesDangling(t *testing.T) {
+	c := fanoutTree(3, 2)
+	// Dangle a subtree by rewiring the last PO to a constant.
+	po := c.POs[len(c.POs)-1]
+	c.Gates[po].Fanin[0] = c.Const0()
+	res, err := PostOptimize(c, lib, Options{AreaCon: c.Area(lib) * 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedGates == 0 {
+		t.Error("dangling gates must be deleted")
+	}
+	live := res.Circuit.Live()
+	for id := range res.Circuit.Gates {
+		if !live[id] {
+			t.Fatal("post-opt output still has dangling gates")
+		}
+	}
+	if err := res.Circuit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostOptimizeDoesNotMutateInput(t *testing.T) {
+	c := fanoutTree(3, 2)
+	drives := make([]cell.Drive, len(c.Gates))
+	for id := range c.Gates {
+		drives[id] = c.Gates[id].Drive
+	}
+	n := c.NumGates()
+	if _, err := PostOptimize(c, lib, Options{AreaCon: c.Area(lib) * 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != n {
+		t.Error("input circuit gate count changed")
+	}
+	for id := range c.Gates {
+		if c.Gates[id].Drive != drives[id] {
+			t.Error("input circuit drive changed")
+		}
+	}
+}
+
+func TestMoreHeadroomNeverWorse(t *testing.T) {
+	c := fanoutTree(5, 4)
+	area := c.Area(lib)
+	var prev float64
+	for i, ratio := range []float64{1.0, 1.1, 1.2, 1.4} {
+		res, err := PostOptimize(c, lib, Options{AreaCon: area * ratio})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Report.CPD > prev+1e-9 {
+			t.Errorf("CPD at %.1fx budget (%.2f) worse than smaller budget (%.2f)", ratio, res.Report.CPD, prev)
+		}
+		prev = res.Report.CPD
+	}
+}
+
+func TestMaxMovesBound(t *testing.T) {
+	c := fanoutTree(6, 5)
+	res, err := PostOptimize(c, lib, Options{AreaCon: c.Area(lib) * 2, MaxMoves: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Upsized > 3 {
+		t.Errorf("Upsized = %d, exceeds MaxMoves 3", res.Upsized)
+	}
+}

@@ -1,0 +1,291 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// chain builds a linear inverter chain of depth n.
+func chain(n int) *netlist.Circuit {
+	c := netlist.New("chain")
+	id := c.AddInput("a")
+	for i := 0; i < n; i++ {
+		id = c.AddGate(cell.Inv, id)
+	}
+	c.AddOutput("y", id)
+	return c
+}
+
+func TestChainDepthAndCPD(t *testing.T) {
+	lib := cell.Default28nm()
+	for _, n := range []int{1, 3, 10} {
+		c := chain(n)
+		r, err := Analyze(c, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MaxDepth != n {
+			t.Errorf("chain(%d): MaxDepth = %d, want %d", n, r.MaxDepth, n)
+		}
+		// Interior inverters drive one INV pin + wire; the last drives
+		// the PO load.
+		interior := lib.Delay(cell.Inv, cell.X1, lib.InputCap(cell.Inv, cell.X1)+lib.WireCap)
+		last := lib.Delay(cell.Inv, cell.X1, lib.DefaultPOLoad)
+		want := float64(n-1)*interior + last
+		if math.Abs(r.CPD-want) > 1e-9 {
+			t.Errorf("chain(%d): CPD = %v, want %v", n, r.CPD, want)
+		}
+	}
+}
+
+func TestArrivalMonotoneAlongPath(t *testing.T) {
+	lib := cell.Default28nm()
+	c := chain(5)
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := r.CriticalPath(c)
+	if len(path) != 7 { // PI + 5 INV + PO
+		t.Fatalf("critical path has %d nodes, want 7", len(path))
+	}
+	for i := 1; i < len(path); i++ {
+		if r.Arrival[path[i]] < r.Arrival[path[i-1]] {
+			t.Error("arrival must be non-decreasing along the critical path")
+		}
+	}
+	if got := r.Arrival[path[len(path)-1]]; math.Abs(got-r.CPD) > 1e-9 {
+		t.Errorf("path endpoint arrival %v != CPD %v", got, r.CPD)
+	}
+}
+
+// diamond: two parallel branches of different depth reconverging.
+func diamond() *netlist.Circuit {
+	c := netlist.New("diamond")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	short := c.AddGate(cell.Inv, a)
+	l1 := c.AddGate(cell.Inv, b)
+	l2 := c.AddGate(cell.Inv, l1)
+	l3 := c.AddGate(cell.Inv, l2)
+	out := c.AddGate(cell.And2, short, l3)
+	c.AddOutput("y", out)
+	return c
+}
+
+func TestCriticalPathTakesLongerBranch(t *testing.T) {
+	lib := cell.Default28nm()
+	c := diamond()
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxDepth != 4 {
+		t.Errorf("MaxDepth = %d, want 4", r.MaxDepth)
+	}
+	path := r.CriticalPath(c)
+	if path[0] != c.PIs[1] {
+		t.Errorf("critical path must start at PI b, got gate %d", path[0])
+	}
+}
+
+func TestSlackZeroOnCriticalPath(t *testing.T) {
+	lib := cell.Default28nm()
+	c := diamond()
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range r.CriticalPath(c) {
+		if math.Abs(r.Slack[id]) > 1e-9 {
+			t.Errorf("gate %d on critical path has slack %v, want 0", id, r.Slack[id])
+		}
+	}
+	// The short branch must have positive slack.
+	shortInv := -1
+	for id, g := range c.Gates {
+		if g.Func == cell.Inv && g.Fanin[0] == c.PIs[0] {
+			shortInv = id
+		}
+	}
+	if r.Slack[shortInv] <= 0 {
+		t.Errorf("short-branch inverter slack = %v, want > 0", r.Slack[shortInv])
+	}
+}
+
+// heavyFanout builds a chain whose middle gate drives many consumers, so
+// upsizing it wins despite the input-cap penalty on its driver.
+func heavyFanout(fanout int) (*netlist.Circuit, int) {
+	c := netlist.New("heavy")
+	a := c.AddInput("a")
+	drv := c.AddGate(cell.Inv, a)
+	hub := c.AddGate(cell.Inv, drv)
+	for i := 0; i < fanout; i++ {
+		leaf := c.AddGate(cell.Inv, hub)
+		c.AddOutput("y", leaf)
+	}
+	return c, hub
+}
+
+func TestUpsizingHeavilyLoadedGateReducesCPD(t *testing.T) {
+	lib := cell.Default28nm()
+	c, hub := heavyFanout(10)
+	r1, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Gates[hub].Drive = cell.X8
+	r2, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CPD >= r1.CPD {
+		t.Errorf("upsizing a heavily loaded gate must reduce CPD: %v -> %v", r1.CPD, r2.CPD)
+	}
+}
+
+func TestUpsizingLightlyLoadedGateCanHurt(t *testing.T) {
+	// The converse property: on a fanout-of-one chain, upsizing the
+	// middle inverter costs more in upstream load than it saves — which
+	// is exactly why the sizing pass must evaluate the true CPD delta
+	// instead of blindly upsizing critical gates.
+	lib := cell.Default28nm()
+	c := chain(6)
+	r1, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := r1.CriticalPath(c)[3]
+	c.Gates[mid].Drive = cell.X8
+	r2, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CPD <= r1.CPD {
+		t.Skip("library rebalanced; light-load upsizing no longer hurts")
+	}
+}
+
+func TestUpsizingIncreasesUpstreamLoad(t *testing.T) {
+	lib := cell.Default28nm()
+	c := chain(3)
+	r1, _ := Analyze(c, lib)
+	path := r1.CriticalPath(c)
+	second := path[2] // second inverter
+	c.Gates[second].Drive = cell.X8
+	r2, _ := Analyze(c, lib)
+	first := path[1]
+	if r2.Load[first] <= r1.Load[first] {
+		t.Error("upsizing a consumer must increase the driver's load")
+	}
+	if r2.Delay[first] <= r1.Delay[first] {
+		t.Error("higher load must slow the driver")
+	}
+}
+
+func TestConstantsArriveAtZero(t *testing.T) {
+	lib := cell.Default28nm()
+	c := netlist.New("const")
+	a := c.AddInput("a")
+	g := c.AddGate(cell.And2, a, c.Const1())
+	c.AddOutput("y", g)
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrival[c.Const1()] != 0 {
+		t.Error("constants must arrive at t=0")
+	}
+	if r.MaxDepth != 1 {
+		t.Errorf("MaxDepth = %d, want 1", r.MaxDepth)
+	}
+}
+
+func TestPOArrivalPerOutput(t *testing.T) {
+	lib := cell.Default28nm()
+	c := netlist.New("two")
+	a := c.AddInput("a")
+	fast := c.AddGate(cell.Inv, a)
+	slow1 := c.AddGate(cell.Inv, a)
+	slow2 := c.AddGate(cell.Inv, slow1)
+	c.AddOutput("f", fast)
+	c.AddOutput("s", slow2)
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.POArrival[0] >= r.POArrival[1] {
+		t.Error("deeper PO must arrive later")
+	}
+	if r.CritPO != 1 {
+		t.Errorf("CritPO = %d, want 1", r.CritPO)
+	}
+}
+
+func TestCriticalGatesMargin(t *testing.T) {
+	lib := cell.Default28nm()
+	c := netlist.New("two")
+	a := c.AddInput("a")
+	fast := c.AddGate(cell.Inv, a)
+	slow1 := c.AddGate(cell.Inv, a)
+	slow2 := c.AddGate(cell.Inv, slow1)
+	c.AddOutput("f", fast)
+	c.AddOutput("s", slow2)
+	r, _ := Analyze(c, lib)
+	strict := r.CriticalGates(c, 0)
+	if len(strict) != 2 { // slow1, slow2
+		t.Errorf("strict critical gates = %v, want the 2 slow inverters", strict)
+	}
+	loose := r.CriticalGates(c, 1.0) // everything within 100% of CPD
+	if len(loose) != 3 {
+		t.Errorf("loose critical gates = %d, want 3", len(loose))
+	}
+}
+
+func TestAnalyzeRejectsLoop(t *testing.T) {
+	lib := cell.Default28nm()
+	c := netlist.New("loop")
+	a := c.AddInput("a")
+	g1 := c.AddGate(cell.And2, a, a)
+	g2 := c.AddGate(cell.Or2, g1, a)
+	c.Gates[g1].Fanin[1] = g2
+	c.AddOutput("y", g2)
+	if _, err := Analyze(c, lib); err == nil {
+		t.Error("Analyze must reject cyclic netlists")
+	}
+}
+
+func TestDanglingGatesUnconstrained(t *testing.T) {
+	lib := cell.Default28nm()
+	c := diamond()
+	// Add a dangling heavy chain; it must not affect CPD.
+	d := c.AddGate(cell.Inv, c.PIs[0])
+	for i := 0; i < 10; i++ {
+		d = c.AddGate(cell.Inv, d)
+	}
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRef, _ := Analyze(diamond(), lib)
+	if math.Abs(r.CPD-rRef.CPD) > 1e-9 {
+		t.Errorf("dangling logic changed CPD: %v vs %v", r.CPD, rRef.CPD)
+	}
+	if r.MaxDepth != rRef.MaxDepth {
+		t.Error("dangling logic changed MaxDepth")
+	}
+}
+
+func BenchmarkAnalyzeChain1000(b *testing.B) {
+	lib := cell.Default28nm()
+	c := chain(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(c, lib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package synth provides light technology-independent cleanup passes over
+// gate-level netlists: constant propagation, identity/idempotence
+// simplification, buffer and double-inverter elimination, and dangling
+// sweep. Together they play the role of the final cleanup a synthesis tool
+// (the paper uses Design Compiler) applies to generated netlists before
+// hand-off; they are NOT used inside post-optimization, which must preserve
+// structure.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Result summarizes one Cleanup run.
+type Result struct {
+	// Circuit is the cleaned, compacted netlist.
+	Circuit *netlist.Circuit
+	// Rewrites counts gate-level simplifications applied.
+	Rewrites int
+	// RemovedGates counts gates eliminated (rewrites + dangling sweep).
+	RemovedGates int
+}
+
+// Cleanup applies simplification to a fixpoint and compacts the result.
+// The input circuit is not modified.
+func Cleanup(c *netlist.Circuit) (*Result, error) {
+	work := c.Clone()
+	total := 0
+	for pass := 0; pass < 64; pass++ {
+		n, err := simplifyPass(work)
+		if err != nil {
+			return nil, err
+		}
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	before := work.NumGates()
+	compacted, _ := work.Compact()
+	return &Result{
+		Circuit:      compacted,
+		Rewrites:     total,
+		RemovedGates: before - compacted.NumGates() + total, // rewrites dangle their gate
+	}, nil
+}
+
+// simplifyPass walks the circuit once in topological order, computing for
+// every gate a replacement driver (possibly itself), then rewires all
+// consumers through the replacement map. It returns the number of gates
+// replaced.
+func simplifyPass(c *netlist.Circuit) (int, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return 0, fmt.Errorf("synth: %w", err)
+	}
+	repl := make([]int, len(c.Gates))
+	for i := range repl {
+		repl[i] = i
+	}
+	// Gates created during the pass (materialized constants) have IDs
+	// beyond the original repl range and are never themselves replaced.
+	resolve := func(id int) int {
+		for id < len(repl) && repl[id] != id {
+			id = repl[id]
+		}
+		return id
+	}
+	changed := 0
+	for _, id := range order {
+		g := &c.Gates[id]
+		if g.Func.IsPseudo() {
+			continue
+		}
+		// Canonicalize fan-ins through earlier replacements first.
+		for p, fi := range g.Fanin {
+			g.Fanin[p] = resolve(fi)
+		}
+		if r := simplifyGate(c, id); r >= 0 && r != id {
+			repl[id] = r
+			changed++
+		}
+	}
+	if changed == 0 {
+		return 0, nil
+	}
+	for id := range c.Gates {
+		for p, fi := range c.Gates[id].Fanin {
+			c.Gates[id].Fanin[p] = resolve(fi)
+		}
+	}
+	return changed, nil
+}
+
+// constVal classifies a driver as constant 0, constant 1, or non-constant.
+func constVal(c *netlist.Circuit, id int) (bool, bool) {
+	switch c.Gates[id].Func {
+	case cell.Const0:
+		return false, true
+	case cell.Const1:
+		return true, true
+	}
+	return false, false
+}
+
+// simplifyGate returns the replacement driver for gate id, or -1 when the
+// gate cannot be simplified to an existing/new driver. It may rewrite the
+// gate in place (e.g. MAJ3 with a constant degenerates to AND2/OR2), in
+// which case it returns -1 and the next pass re-examines the new form.
+func simplifyGate(c *netlist.Circuit, id int) int {
+	g := &c.Gates[id]
+	fin := g.Fanin
+	switch g.Func {
+	case cell.Buf:
+		return fin[0]
+	case cell.Inv:
+		if v, ok := constVal(c, fin[0]); ok {
+			return constGate(c, !v)
+		}
+		if c.Gates[fin[0]].Func == cell.Inv {
+			return c.Gates[fin[0]].Fanin[0] // double inverter
+		}
+	case cell.And2, cell.Nand2:
+		inverted := g.Func == cell.Nand2
+		if v, ok := constVal(c, fin[0]); ok {
+			return andWithConst(c, id, fin[1], v, inverted)
+		}
+		if v, ok := constVal(c, fin[1]); ok {
+			return andWithConst(c, id, fin[0], v, inverted)
+		}
+		if fin[0] == fin[1] {
+			return identityOrInv(c, id, fin[0], inverted)
+		}
+	case cell.Or2, cell.Nor2:
+		inverted := g.Func == cell.Nor2
+		if v, ok := constVal(c, fin[0]); ok {
+			return orWithConst(c, id, fin[1], v, inverted)
+		}
+		if v, ok := constVal(c, fin[1]); ok {
+			return orWithConst(c, id, fin[0], v, inverted)
+		}
+		if fin[0] == fin[1] {
+			return identityOrInv(c, id, fin[0], inverted)
+		}
+	case cell.Xor2, cell.Xnor2:
+		inverted := g.Func == cell.Xnor2
+		if v, ok := constVal(c, fin[0]); ok {
+			return xorWithConst(c, id, fin[1], v != inverted)
+		}
+		if v, ok := constVal(c, fin[1]); ok {
+			return xorWithConst(c, id, fin[0], v != inverted)
+		}
+		if fin[0] == fin[1] {
+			return constGate(c, inverted)
+		}
+	case cell.Mux2:
+		if v, ok := constVal(c, fin[2]); ok {
+			if v {
+				return fin[1]
+			}
+			return fin[0]
+		}
+		if fin[0] == fin[1] {
+			return fin[0]
+		}
+	case cell.Maj3:
+		for p := 0; p < 3; p++ {
+			if v, ok := constVal(c, fin[p]); ok {
+				a, b := fin[(p+1)%3], fin[(p+2)%3]
+				if v {
+					g.Func, g.Fanin = cell.Or2, []int{a, b}
+				} else {
+					g.Func, g.Fanin = cell.And2, []int{a, b}
+				}
+				return -1
+			}
+		}
+		if fin[0] == fin[1] {
+			return fin[0]
+		}
+		if fin[1] == fin[2] {
+			return fin[1]
+		}
+		if fin[0] == fin[2] {
+			return fin[0]
+		}
+	case cell.Aoi21:
+		// NOT((a AND b) OR c): constant c dominates.
+		if v, ok := constVal(c, fin[2]); ok {
+			if v {
+				return constGate(c, false)
+			}
+			g.Func, g.Fanin = cell.Nand2, []int{fin[0], fin[1]}
+			return -1
+		}
+	case cell.Oai21:
+		// NOT((a OR b) AND c): constant c dominates.
+		if v, ok := constVal(c, fin[2]); ok {
+			if !v {
+				return constGate(c, true)
+			}
+			g.Func, g.Fanin = cell.Nor2, []int{fin[0], fin[1]}
+			return -1
+		}
+	}
+	return -1
+}
+
+func constGate(c *netlist.Circuit, v bool) int {
+	if v {
+		return c.Const1()
+	}
+	return c.Const0()
+}
+
+// identityOrInv handles f(x,x): returns x, or rewrites the gate to INV(x).
+func identityOrInv(c *netlist.Circuit, id, x int, inverted bool) int {
+	if !inverted {
+		return x
+	}
+	g := &c.Gates[id]
+	g.Func, g.Fanin = cell.Inv, []int{x}
+	return -1
+}
+
+func andWithConst(c *netlist.Circuit, id, other int, v, inverted bool) int {
+	if !v { // AND with 0
+		return constGate(c, inverted)
+	}
+	return identityOrInv(c, id, other, inverted)
+}
+
+func orWithConst(c *netlist.Circuit, id, other int, v, inverted bool) int {
+	if v { // OR with 1
+		return constGate(c, !inverted)
+	}
+	return identityOrInv(c, id, other, inverted)
+}
+
+// xorWithConst handles XOR/XNOR with a constant: invert=false means the
+// result is the other input, invert=true means its inversion.
+func xorWithConst(c *netlist.Circuit, id, other int, invert bool) int {
+	return identityOrInv(c, id, other, invert)
+}

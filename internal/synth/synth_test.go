@@ -1,0 +1,245 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// equivalent checks functional equality by exhaustive simulation.
+func equivalent(t *testing.T, a, b *netlist.Circuit) bool {
+	t.Helper()
+	v, err := sim.Exhaustive(len(a.PIs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := sim.Run(a, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := sim.Run(b, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := sim.POSignals(a, ra), sim.POSignals(b, rb)
+	for i := range pa {
+		if sim.CountDiff(pa[i], pb[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func cleanupOK(t *testing.T, c *netlist.Circuit) *Result {
+	t.Helper()
+	res, err := Cleanup(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Circuit.Validate(); err != nil {
+		t.Fatalf("cleaned circuit invalid: %v", err)
+	}
+	if !equivalent(t, c, res.Circuit) {
+		t.Fatal("cleanup changed circuit function")
+	}
+	return res
+}
+
+func TestDoubleInverterRemoved(t *testing.T) {
+	c := netlist.New("dinv")
+	a := c.AddInput("a")
+	i1 := c.AddGate(cell.Inv, a)
+	i2 := c.AddGate(cell.Inv, i1)
+	g := c.AddGate(cell.And2, i2, a)
+	c.AddOutput("y", g)
+	res := cleanupOK(t, c)
+	// INV(INV(a)) -> a turns the AND into AND(a,a) -> a, so the whole
+	// cone folds to a wire.
+	if res.Circuit.NumPhysical() != 0 {
+		t.Errorf("physical gates = %d, want 0", res.Circuit.NumPhysical())
+	}
+}
+
+func TestBufferElimination(t *testing.T) {
+	c := netlist.New("buf")
+	a := c.AddInput("a")
+	b1 := c.AddGate(cell.Buf, a)
+	b2 := c.AddGate(cell.Buf, b1)
+	c.AddOutput("y", b2)
+	res := cleanupOK(t, c)
+	if res.Circuit.NumPhysical() != 0 {
+		t.Errorf("buffer chain must vanish, got %d gates", res.Circuit.NumPhysical())
+	}
+}
+
+func TestConstantDominance(t *testing.T) {
+	c := netlist.New("dom")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	and0 := c.AddGate(cell.And2, a, c.Const0()) // -> 0
+	or1 := c.AddGate(cell.Or2, b, c.Const1())   // -> 1
+	fin := c.AddGate(cell.And2, and0, or1)      // -> 0
+	c.AddOutput("y", fin)
+	res := cleanupOK(t, c)
+	if res.Circuit.NumPhysical() != 0 {
+		t.Errorf("constant cone must fold away, got %d gates", res.Circuit.NumPhysical())
+	}
+}
+
+func TestXorConstBecomesInverter(t *testing.T) {
+	c := netlist.New("xc")
+	a := c.AddInput("a")
+	x := c.AddGate(cell.Xor2, a, c.Const1())
+	c.AddOutput("y", x)
+	res := cleanupOK(t, c)
+	found := false
+	for _, g := range res.Circuit.Gates {
+		if g.Func == cell.Inv {
+			found = true
+		}
+		if g.Func == cell.Xor2 {
+			t.Error("XOR with const must not survive")
+		}
+	}
+	if !found {
+		t.Error("XOR2(a, 1) must fold to INV(a)")
+	}
+}
+
+func TestIdempotence(t *testing.T) {
+	c := netlist.New("idem")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	andAA := c.AddGate(cell.And2, a, a)        // -> a
+	xorBB := c.AddGate(cell.Xor2, b, b)        // -> 0
+	orMix := c.AddGate(cell.Or2, andAA, xorBB) // -> a
+	c.AddOutput("y", orMix)
+	res := cleanupOK(t, c)
+	if res.Circuit.NumPhysical() != 0 {
+		t.Errorf("idempotent logic must fold to wire, got %d gates", res.Circuit.NumPhysical())
+	}
+}
+
+func TestNandSameInputBecomesInverter(t *testing.T) {
+	c := netlist.New("nand")
+	a := c.AddInput("a")
+	n := c.AddGate(cell.Nand2, a, a)
+	c.AddOutput("y", n)
+	res := cleanupOK(t, c)
+	if res.Circuit.NumPhysical() != 1 {
+		t.Fatalf("gates = %d, want 1", res.Circuit.NumPhysical())
+	}
+	for _, g := range res.Circuit.Gates {
+		if g.Func == cell.Nand2 {
+			t.Error("NAND(a,a) must become INV(a)")
+		}
+	}
+}
+
+func TestMuxConstSelect(t *testing.T) {
+	c := netlist.New("mux")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	m := c.AddGate(cell.Mux2, a, b, c.Const1())
+	g := c.AddGate(cell.And2, m, a)
+	c.AddOutput("y", g)
+	res := cleanupOK(t, c)
+	for _, gg := range res.Circuit.Gates {
+		if gg.Func == cell.Mux2 {
+			t.Error("MUX with constant select must fold")
+		}
+	}
+	_ = b
+}
+
+func TestMaj3WithConstant(t *testing.T) {
+	c := netlist.New("maj")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	m0 := c.AddGate(cell.Maj3, a, b, c.Const0()) // -> AND
+	m1 := c.AddGate(cell.Maj3, a, b, c.Const1()) // -> OR
+	x := c.AddGate(cell.Xor2, m0, m1)
+	c.AddOutput("y", x)
+	res := cleanupOK(t, c)
+	var haveAnd, haveOr bool
+	for _, g := range res.Circuit.Gates {
+		switch g.Func {
+		case cell.Maj3:
+			t.Error("MAJ3 with constant must degenerate")
+		case cell.And2:
+			haveAnd = true
+		case cell.Or2:
+			haveOr = true
+		}
+	}
+	if !haveAnd || !haveOr {
+		t.Error("expected AND and OR after MAJ3 degeneration")
+	}
+}
+
+func TestAoiOaiConstC(t *testing.T) {
+	c := netlist.New("aoi")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	aoi := c.AddGate(cell.Aoi21, a, b, c.Const0()) // -> NAND
+	oai := c.AddGate(cell.Oai21, a, b, c.Const1()) // -> NOR
+	g := c.AddGate(cell.And2, aoi, oai)
+	c.AddOutput("y", g)
+	res := cleanupOK(t, c)
+	for _, gg := range res.Circuit.Gates {
+		if gg.Func == cell.Aoi21 || gg.Func == cell.Oai21 {
+			t.Error("AOI/OAI with constant C must degenerate")
+		}
+	}
+}
+
+func TestCleanupDoesNotMutateInput(t *testing.T) {
+	c := netlist.New("keep")
+	a := c.AddInput("a")
+	i1 := c.AddGate(cell.Inv, a)
+	i2 := c.AddGate(cell.Inv, i1)
+	c.AddOutput("y", i2)
+	n := c.NumGates()
+	if _, err := Cleanup(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != n || c.Gates[i2].Fanin[0] != i1 {
+		t.Error("Cleanup must not mutate its input")
+	}
+}
+
+// Property test: cleanup preserves function on random circuits seeded with
+// constants and redundancy.
+func TestCleanupEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	funcs := []cell.Func{cell.Inv, cell.Buf, cell.And2, cell.Or2, cell.Xor2,
+		cell.Nand2, cell.Nor2, cell.Xnor2, cell.Mux2, cell.Maj3, cell.Aoi21, cell.Oai21}
+	for trial := 0; trial < 40; trial++ {
+		c := netlist.New("rnd")
+		nPI := 3 + rng.Intn(4)
+		for i := 0; i < nPI; i++ {
+			c.AddInput("i")
+		}
+		// Seed constants so folding rules fire.
+		pool := append([]int{}, c.PIs...)
+		pool = append(pool, c.Const0(), c.Const1())
+		for i := 0; i < 30; i++ {
+			f := funcs[rng.Intn(len(funcs))]
+			fin := make([]int, f.Arity())
+			for p := range fin {
+				fin[p] = pool[rng.Intn(len(pool))]
+			}
+			pool = append(pool, c.AddGate(f, fin...))
+		}
+		for k := 0; k < 4; k++ {
+			c.AddOutput("y", pool[len(pool)-1-rng.Intn(10)])
+		}
+		res := cleanupOK(t, c)
+		if res.Circuit.NumPhysical() > c.NumPhysical() {
+			t.Fatal("cleanup must never grow the circuit")
+		}
+	}
+}
