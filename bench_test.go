@@ -79,7 +79,9 @@ func BenchmarkFig6WeightSweep(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		// Report the loosest-NMED curve at the paper's wd = 0.8 (index 4).
+		// Report the loosest-NMED curve — series[3], "NMED 2.44%", the
+		// last of exp.Fig6's four constraint settings — at the paper's
+		// wd = 0.8, which is exp.Fig6Weights[4].
 		atPaperWeight = series[3].Ratio[4]
 	}
 	b.ReportMetric(atPaperWeight, "ratio_cpd_wd0.8")

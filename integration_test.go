@@ -161,7 +161,7 @@ func TestFlowDegenerateCircuit(t *testing.T) {
 	c := als.Benchmark("Adder16")
 	// Strip logic: wire each PO to a PI.
 	for i, po := range c.POs {
-		c.Gates[po].Fanin[0] = c.PIs[i%len(c.PIs)]
+		c.SetFanin(po, 0, c.PIs[i%len(c.PIs)])
 	}
 	res, err := als.Flow(c, als.NewLibrary(), als.FlowConfig{
 		Metric:      als.MetricER,

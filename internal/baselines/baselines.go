@@ -159,7 +159,7 @@ func (r *runner) greedy(score objective) (*Result, error) {
 	best := cur
 	failures := 0
 	for round := 0; round < r.cfg.Rounds; round++ {
-		res, err := sim.Run(cur.Circuit, r.eval.Vectors())
+		res, err := r.eval.Simulate(cur.Circuit)
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +169,11 @@ func (r *runner) greedy(score objective) (*Result, error) {
 		}
 		targets := r.pickTargets(cur.Circuit, rep, score)
 		improved := false
-		var bestChild *core.Individual
+		// Candidate LACs are selected serially against the shared
+		// simulation, then the clones are evaluated as one parallel batch
+		// — the pick below scans them in the same order as the serial
+		// code did.
+		clones := make([]*netlist.Circuit, 0, len(targets))
 		for _, target := range targets {
 			// The greedy methods use SASIMI's full catalogue including
 			// the inverted-wire substitution.
@@ -179,10 +183,14 @@ func (r *runner) greedy(score objective) (*Result, error) {
 			}
 			clone := cur.Circuit.Clone()
 			lac.Apply(clone, ch)
-			child, err := r.eval.Evaluate(clone)
-			if err != nil {
-				return nil, err
-			}
+			clones = append(clones, clone)
+		}
+		kids, err := r.eval.EvaluateBatch(clones)
+		if err != nil {
+			return nil, err
+		}
+		var bestChild *core.Individual
+		for _, child := range kids {
 			if child.Err > r.cfg.ErrorBudget {
 				continue
 			}
@@ -238,22 +246,41 @@ func isDelayObjective(score objective) bool {
 	return score(probe) == 2
 }
 
+// seedPopulation builds the initial population shared by the GA and GWO
+// baselines: the exact circuit plus batch-evaluated single-LAC mutants.
+func (r *runner) seedPopulation(exact *core.Individual, popSize int) ([]*core.Individual, error) {
+	pop := []*core.Individual{exact}
+	if popSize <= 1 {
+		return pop, nil
+	}
+	seeds := make([]*netlist.Circuit, 0, popSize-1)
+	for len(pop)+len(seeds) < popSize {
+		c, err := r.mutateClone(exact)
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, c)
+	}
+	inds, err := r.eval.EvaluateBatch(seeds)
+	if err != nil {
+		return nil, err
+	}
+	return append(pop, inds...), nil
+}
+
 // genetic implements the VaACS-style GA: elitist selection on a
 // delay-driven fitness, offspring by LAC mutation and reproduction-style
-// crossover, infeasible individuals discarded.
+// crossover, infeasible individuals discarded. Offspring are generated
+// serially (preserving the rng stream) and evaluated in parallel batches.
 func (r *runner) genetic() (*Result, error) {
 	popSize := r.cfg.Population
 	exact, err := r.eval.Evaluate(r.base.Clone())
 	if err != nil {
 		return nil, err
 	}
-	pop := []*core.Individual{exact}
-	for len(pop) < popSize {
-		child, err := r.mutate(exact)
-		if err != nil {
-			return nil, err
-		}
-		pop = append(pop, child)
+	pop, err := r.seedPopulation(exact, popSize)
+	if err != nil {
+		return nil, err
 	}
 	best := exact
 	wt := 0.9 * r.eval.RefDelay()
@@ -271,26 +298,27 @@ func (r *runner) genetic() (*Result, error) {
 		}
 		elite := pop[:max(2, popSize/4)]
 		next := append([]*core.Individual(nil), elite...)
-		for len(next) < popSize {
+		offspring := make([]*netlist.Circuit, 0, popSize-len(next))
+		for len(next)+len(offspring) < popSize {
 			p1 := elite[r.rng.Intn(len(elite))]
 			if r.rng.Float64() < 0.5 {
 				p2 := pop[r.rng.Intn(len(pop))]
 				if child := core.Reproduce(p1, p2, wt, 0.1); child != nil {
-					ind, err := r.eval.Evaluate(child)
-					if err != nil {
-						return nil, err
-					}
-					next = append(next, ind)
+					offspring = append(offspring, child)
 					continue
 				}
 			}
-			child, err := r.mutate(p1)
+			child, err := r.mutateClone(p1)
 			if err != nil {
 				return nil, err
 			}
-			next = append(next, child)
+			offspring = append(offspring, child)
 		}
-		pop = next
+		inds, err := r.eval.EvaluateBatch(offspring)
+		if err != nil {
+			return nil, err
+		}
+		pop = append(next, inds...)
 	}
 	for _, ind := range pop {
 		if ind.Err <= r.cfg.ErrorBudget && ind.Fit > best.Fit {
@@ -300,15 +328,17 @@ func (r *runner) genetic() (*Result, error) {
 	return &Result{Best: best, Evaluations: r.eval.Count()}, nil
 }
 
-// mutate clones the individual and applies one similarity-guided LAC.
-func (r *runner) mutate(ind *core.Individual) (*core.Individual, error) {
+// mutateClone clones the individual and applies one similarity-guided LAC
+// (consuming rng); evaluation is left to the caller so independent mutants
+// can be batched.
+func (r *runner) mutateClone(ind *core.Individual) (*netlist.Circuit, error) {
 	clone := ind.Circuit.Clone()
-	res, err := sim.Run(clone, r.eval.Vectors())
+	res, err := r.eval.Simulate(clone)
 	if err != nil {
 		return nil, err
 	}
 	lac.RandomChange(clone, res, r.rng)
-	return r.eval.Evaluate(clone)
+	return clone, nil
 }
 
 // singleChaseGWO implements the traditional GWO baseline: every non-alpha
@@ -321,13 +351,9 @@ func (r *runner) singleChaseGWO() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pop := []*core.Individual{exact}
-	for len(pop) < popSize {
-		child, err := r.mutate(exact)
-		if err != nil {
-			return nil, err
-		}
-		pop = append(pop, child)
+	pop, err := r.seedPopulation(exact, popSize)
+	if err != nil {
+		return nil, err
 	}
 	best := bestFeasible(pop, r.cfg.ErrorBudget)
 	wt := 0.9 * r.eval.RefDelay()
@@ -337,6 +363,9 @@ func (r *runner) singleChaseGWO() (*Result, error) {
 		sort.Slice(pop, func(i, j int) bool { return pop[i].Fit > pop[j].Fit })
 		alpha := pop[0]
 		candidates := append([]*core.Individual(nil), pop...)
+		// Per-wolf actions consume rng serially; the resulting children
+		// are independent and evaluated as one batch.
+		offspring := make([]*netlist.Circuit, 0, len(pop)-1)
 		for _, ci := range pop[1:] {
 			d := math.Abs(r.rng.Float64()*2*alpha.Fit - ci.Fit)
 			w := (2*r.rng.Float64() - 1) * a * d
@@ -346,7 +375,7 @@ func (r *runner) singleChaseGWO() (*Result, error) {
 			}
 			if childC == nil {
 				clone := ci.Circuit.Clone()
-				res, err := sim.Run(clone, r.eval.Vectors())
+				res, err := r.eval.Simulate(clone)
 				if err != nil {
 					return nil, err
 				}
@@ -359,12 +388,13 @@ func (r *runner) singleChaseGWO() (*Result, error) {
 				}
 				childC = clone
 			}
-			child, err := r.eval.Evaluate(childC)
-			if err != nil {
-				return nil, err
-			}
-			candidates = append(candidates, child)
+			offspring = append(offspring, childC)
 		}
+		kids, err := r.eval.EvaluateBatch(offspring)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, kids...)
 		// Plain truncation: feasible under the FULL budget (no asymptotic
 		// relaxation — that refinement is DCGWO's), fittest first.
 		feasible := candidates[:0:0]

@@ -26,6 +26,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/errest"
@@ -200,14 +203,29 @@ type Result struct {
 // error metric, the fitness depth weight, and the accurate circuit's
 // reference delay/area. The baseline optimizers share it so every method
 // is compared on an identical substrate (as in the paper's experiments).
+//
+// Candidates are simulated by the incremental fanout-cone engine
+// (sim.Simulator) against the accurate circuit's cached golden waveforms,
+// and error metrics are recomputed only for primary outputs whose cones
+// were touched — both exact, so an Evaluator returns bit-identical
+// Individuals to full re-simulation. EvaluateBatch fans independent
+// candidates out to a GOMAXPROCS-bounded worker pool, one simulator arena
+// per worker; evaluation is pure (no RNG, no shared mutable state), so
+// batch results are deterministic and identical to serial evaluation.
 type Evaluator struct {
 	lib      *cell.Library
 	est      *errest.Estimator
+	base     *netlist.Circuit
 	metric   Metric
 	wd       float64
 	refDelay float64
 	refArea  float64
 	count    int
+
+	serial *sim.Simulator // simulator for serial Evaluate/Simulate calls
+
+	poolMu sync.Mutex
+	pool   []*sim.Simulator // recycled worker simulators for EvaluateBatch
 }
 
 // NewEvaluator simulates the accurate circuit on n sampled vectors and
@@ -233,13 +251,19 @@ func NewEvaluator(accurate *netlist.Circuit, lib *cell.Library, metric Metric,
 	if refArea <= 0 {
 		refArea = 1
 	}
+	serial, err := sim.NewSimulator(accurate, vectors, est.GoldenResult())
+	if err != nil {
+		return nil, err
+	}
 	return &Evaluator{
 		lib:      lib,
 		est:      est,
+		base:     accurate,
 		metric:   metric,
 		wd:       depthWeight,
 		refDelay: refDelay,
 		refArea:  refArea,
+		serial:   serial,
 	}, nil
 }
 
@@ -261,10 +285,36 @@ func (e *Evaluator) RefArea() float64 { return e.refArea }
 // Count returns how many circuit evaluations have been performed.
 func (e *Evaluator) Count() int { return e.count }
 
+// Simulate runs the incremental engine on a candidate sharing the base
+// circuit's gate ID space, returning the full per-gate waveforms (exactly
+// what a full sim.Run would produce). The result is backed by the
+// Evaluator's serial simulator arena and is valid only until the next
+// Simulate or Evaluate call; it does not count as a circuit evaluation.
+func (e *Evaluator) Simulate(c *netlist.Circuit) (*sim.Result, error) {
+	return e.serial.Simulate(c)
+}
+
 // Evaluate runs STA and error estimation on one circuit and fills an
 // Individual.
 func (e *Evaluator) Evaluate(c *netlist.Circuit) (*Individual, error) {
-	m, _, err := e.est.Evaluate(c)
+	ind, err := e.evaluateWith(e.serial, c)
+	if err != nil {
+		return nil, err
+	}
+	e.count++
+	return ind, nil
+}
+
+// evaluateWith performs one pure candidate evaluation on the given
+// simulator: incremental simulation, touched-PO error estimation, STA and
+// fitness. It neither draws randomness nor mutates Evaluator state, which
+// is what makes batch evaluation order-independent.
+func (e *Evaluator) evaluateWith(s *sim.Simulator, c *netlist.Circuit) (*Individual, error) {
+	res, err := s.Simulate(c)
+	if err != nil {
+		return nil, err
+	}
+	m, err := e.est.MetricsDelta(c, res, s.SignalDiffers)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +322,6 @@ func (e *Evaluator) Evaluate(c *netlist.Circuit) (*Individual, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.count++
 	ind := &Individual{
 		Circuit:   c,
 		Delay:     rep.CPD,
@@ -297,4 +346,103 @@ func (e *Evaluator) Evaluate(c *netlist.Circuit) (*Individual, error) {
 	}
 	ind.Fit = e.wd*(e.refDelay/delay) + (1-e.wd)*(e.refArea/area)
 	return ind, nil
+}
+
+// EvaluateBatch evaluates independent candidates on a worker pool and
+// returns their Individuals in input order. Each worker owns a
+// sim.Simulator (a preallocated arena bound to the accurate circuit's
+// golden waveforms), workers are bounded by GOMAXPROCS, and evaluation is
+// pure, so the results — and the evaluation count, bumped once by
+// len(cs) — are bit-identical to evaluating the slice serially.
+func (e *Evaluator) EvaluateBatch(cs []*netlist.Circuit) ([]*Individual, error) {
+	out := make([]*Individual, len(cs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cs) {
+		workers = len(cs)
+	}
+	if workers <= 1 {
+		// Borrow a pooled simulator rather than e.serial so a result an
+		// outer caller obtained from Simulate stays valid across a batch
+		// regardless of GOMAXPROCS or batch size.
+		s, err := e.borrowSimulator()
+		if err != nil {
+			return nil, err
+		}
+		defer e.returnSimulator(s)
+		for i, c := range cs {
+			ind, err := e.evaluateWith(s, c)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ind
+		}
+		e.count += len(cs)
+		return out, nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		jobErr  error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { jobErr = err })
+		failed.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := e.borrowSimulator()
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer e.returnSimulator(s)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cs) || failed.Load() {
+					return
+				}
+				ind, err := e.evaluateWith(s, cs[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = ind
+			}
+		}()
+	}
+	wg.Wait()
+	if jobErr != nil {
+		return nil, jobErr
+	}
+	e.count += len(cs)
+	return out, nil
+}
+
+// borrowSimulator hands a worker an idle simulator, growing the pool on
+// first use (the pool is unbounded, so a GOMAXPROCS raise between batches
+// just grows it). Simulators live for the Evaluator's lifetime so their
+// arenas amortize to zero allocation. Constructing one concurrently is
+// safe: the serial simulator built in NewEvaluator already filled the
+// base circuit's memoized topology/fanout caches, so workers only read
+// them.
+func (e *Evaluator) borrowSimulator() (*sim.Simulator, error) {
+	e.poolMu.Lock()
+	if n := len(e.pool); n > 0 {
+		s := e.pool[n-1]
+		e.pool = e.pool[:n-1]
+		e.poolMu.Unlock()
+		return s, nil
+	}
+	e.poolMu.Unlock()
+	return sim.NewSimulator(e.base, e.est.Vectors(), e.est.GoldenResult())
+}
+
+func (e *Evaluator) returnSimulator(s *sim.Simulator) {
+	e.poolMu.Lock()
+	e.pool = append(e.pool, s)
+	e.poolMu.Unlock()
 }

@@ -69,10 +69,13 @@ func (o *Optimizer) RefArea() float64 { return o.eval.RefArea() }
 // searchClone applies one circuit-searching action to a fresh clone of the
 // individual: simulate, time, build Tc, pick a target, substitute the most
 // similar switch. When the netlist offers no searching move (e.g. the
-// critical path is a bare wire) it falls back to a random LAC.
+// critical path is a bare wire) it falls back to a random LAC. The clone
+// is simulated by the incremental engine (it differs from the accurate
+// circuit only by the parent's accumulated LACs), which is exact, so the
+// similarity-guided pick is identical to one made on a full simulation.
 func (o *Optimizer) searchClone(ind *Individual) (*netlist.Circuit, error) {
 	clone := ind.Circuit.Clone()
-	res, err := sim.Run(clone, o.eval.Vectors())
+	res, err := o.eval.Simulate(clone)
 	if err != nil {
 		return nil, err
 	}
@@ -115,26 +118,30 @@ func (o *Optimizer) Run() (*Result, error) {
 
 	// Initial population P0: the accurate circuit plus clones mutated by
 	// random LACs (searching-style similarity picks on random targets).
+	// The mutated clones are independent, so they are evaluated as one
+	// parallel batch after the (serial, rng-consuming) mutation pass.
 	first, err := o.eval.Evaluate(o.base.Clone())
 	if err != nil {
 		return nil, err
 	}
 	pop = append(pop, first)
-	for len(pop) < cfg.PopulationSize {
+	clones := make([]*netlist.Circuit, 0, cfg.PopulationSize-1)
+	for len(clones) < cfg.PopulationSize-1 {
 		clone := o.base.Clone()
 		for k := 0; k < cfg.InitLACs; k++ {
-			res, err := sim.Run(clone, o.eval.Vectors())
+			res, err := o.eval.Simulate(clone)
 			if err != nil {
 				return nil, err
 			}
 			lac.RandomChange(clone, res, o.rng)
 		}
-		ind, err := o.eval.Evaluate(clone)
-		if err != nil {
-			return nil, err
-		}
-		pop = append(pop, ind)
+		clones = append(clones, clone)
 	}
+	inds, err := o.eval.EvaluateBatch(clones)
+	if err != nil {
+		return nil, err
+	}
+	pop = append(pop, inds...)
 
 	// Quadratic relaxation Err(iter) = b·iter² + Err0 (paper §III-B),
 	// with b chosen so the constraint reaches the budget at
@@ -169,14 +176,24 @@ func (o *Optimizer) Run() (*Result, error) {
 		eliteMean := (elite[0].Fit + elite[1].Fit + elite[2].Fit) / 3
 
 		candidates := append([]*Individual(nil), pop...)
-		addChild := func(c *netlist.Circuit) error {
-			ind, err := o.eval.Evaluate(c)
-			if err != nil {
-				return err
-			}
-			consider(ind)
-			candidates = append(candidates, ind)
-			return nil
+
+		// Children are generated serially (every rng draw happens in the
+		// original order) but evaluated as one parallel batch afterwards.
+		// Evaluation is pure, so deferring it changes nothing; `children`
+		// records the generation order so the candidate pool and the
+		// running-best updates see the exact sequence the serial code
+		// produced. The one exception is the ω "both actions" case, whose
+		// searched circuit must be evaluated inline: circuit reproduction
+		// consults its fitness and per-PO levels.
+		var pending []*netlist.Circuit
+		type childRef struct {
+			ind   *Individual // non-nil for inline-evaluated children
+			batch int         // index into pending otherwise
+		}
+		var children []childRef
+		addChild := func(c *netlist.Circuit) {
+			children = append(children, childRef{batch: len(pending)})
+			pending = append(pending, c)
 		}
 
 		// Chase 1: elite circuits consult the leader.
@@ -192,9 +209,7 @@ func (o *Optimizer) Run() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := addChild(child); err != nil {
-				return nil, err
-			}
+			addChild(child)
 		}
 
 		// Chase 2: ω circuits consult the elite group.
@@ -215,31 +230,24 @@ func (o *Optimizer) Run() (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				consider(sInd)
-				candidates = append(candidates, sInd)
+				children = append(children, childRef{ind: sInd})
 				child, err := o.reproduceWith(sInd, partner)
 				if err != nil {
 					return nil, err
 				}
-				if err := addChild(child); err != nil {
-					return nil, err
-				}
+				addChild(child)
 			case o.rng.Float64() < 0.5:
 				child, err := o.searchClone(ci)
 				if err != nil {
 					return nil, err
 				}
-				if err := addChild(child); err != nil {
-					return nil, err
-				}
+				addChild(child)
 			default:
 				child, err := o.reproduceWith(ci, partner)
 				if err != nil {
 					return nil, err
 				}
-				if err := addChild(child); err != nil {
-					return nil, err
-				}
+				addChild(child)
 			}
 		}
 
@@ -248,8 +256,19 @@ func (o *Optimizer) Run() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := addChild(leaderChild); err != nil {
+		addChild(leaderChild)
+
+		evaluated, err := o.eval.EvaluateBatch(pending)
+		if err != nil {
 			return nil, err
+		}
+		for _, ref := range children {
+			ind := ref.ind
+			if ind == nil {
+				ind = evaluated[ref.batch]
+			}
+			consider(ind)
+			candidates = append(candidates, ind)
 		}
 
 		// Population update: drop over-constraint candidates, then

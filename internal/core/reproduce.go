@@ -85,9 +85,8 @@ func reproduce(p1, p2 *Individual, wt, we float64) *netlist.Circuit {
 				continue // scaffold already holds parent 1's adjacency
 			}
 			g := donor.Gates[id]
-			child.Gates[id].Func = g.Func
-			child.Gates[id].Drive = g.Drive
-			child.Gates[id].Fanin = append([]int(nil), g.Fanin...)
+			g.Name = child.Gates[id].Name
+			child.SetGate(id, g) // invalidates the cloned topology cache
 		}
 	}
 	if _, err := child.TopoOrder(); err != nil {

@@ -42,7 +42,8 @@ type Estimator struct {
 	// accurate netlist).
 	goldenRes *sim.Result
 	nPO       int
-	norm      float64 // 2^nPO - 1 in float64
+	norm      float64   // 2^nPO - 1 in float64
+	pow2      []float64 // 2^i per PO index, for incremental error distances
 }
 
 // New simulates the accurate circuit on the given vectors and returns an
@@ -53,12 +54,17 @@ func New(accurate *netlist.Circuit, v *sim.Vectors) (*Estimator, error) {
 		return nil, fmt.Errorf("errest: simulating accurate circuit: %w", err)
 	}
 	nPO := len(accurate.POs)
+	pow2 := make([]float64, nPO)
+	for i, scale := 0, 1.0; i < nPO; i, scale = i+1, scale*2 {
+		pow2[i] = scale
+	}
 	return &Estimator{
 		vectors:   v,
 		goldenPO:  sim.POSignals(accurate, res),
 		goldenRes: res,
 		nPO:       nPO,
 		norm:      math.Pow(2, float64(nPO)) - 1,
+		pow2:      pow2,
 	}, nil
 }
 
@@ -122,6 +128,71 @@ func (e *Estimator) MetricsFromResult(app *netlist.Circuit, res *sim.Result) (Me
 		NMED:  sumED / e.norm / float64(n),
 		PerPO: perPO,
 	}, nil
+}
+
+// MetricsDelta computes metrics from a simulation of the approximate
+// circuit given an oracle telling which PO gates' waveforms may differ
+// from the accurate circuit's (an over-approximation is fine; typically
+// sim.(*Simulator).SignalDiffers after an incremental run). POs outside
+// the touched set contribute exactly nothing to ER, NMED and PerPO — their
+// waveforms equal the golden ones — so the scan runs over the touched POs
+// only. The result is bit-identical to MetricsFromResult on the same
+// simulation: the per-vector error distance restricted to touched POs is
+// the same exact integer, and it is accumulated in the same vector order.
+func (e *Estimator) MetricsDelta(app *netlist.Circuit, res *sim.Result, touched func(gateID int) bool) (Metrics, error) {
+	if len(app.POs) != e.nPO {
+		return Metrics{}, fmt.Errorf("errest: circuit %q has %d POs, accurate has %d", app.Name, len(app.POs), e.nPO)
+	}
+	if touched == nil || e.nPO > 53 {
+		// Beyond 53 POs the full path's float64 rounding of Vori and Vapp
+		// is no longer exactly recoverable from the touched bits alone;
+		// keep bit-identical results by running the full scan.
+		return e.MetricsFromResult(app, res)
+	}
+	idx := make([]int, 0, e.nPO) // touched PO port indices
+	for i, po := range app.POs {
+		if touched(po) {
+			idx = append(idx, i)
+		}
+	}
+	perPO := make([]float64, e.nPO)
+	m := Metrics{PerPO: perPO}
+	if len(idx) == 0 {
+		return m, nil // bit-identical to the accurate circuit
+	}
+	n := e.vectors.N
+	words := e.vectors.Words()
+	appPO := sim.POSignals(app, res)
+	for _, i := range idx {
+		perPO[i] = float64(sim.CountDiff(appPO[i], e.goldenPO[i])) / float64(n)
+	}
+	erCount := 0
+	sumED := 0.0
+	for w := 0; w < words; w++ {
+		var anyDiff uint64
+		for _, i := range idx {
+			anyDiff |= appPO[i][w] ^ e.goldenPO[i][w]
+		}
+		if anyDiff == 0 {
+			continue
+		}
+		erCount += bits.OnesCount64(anyDiff)
+		for rest := anyDiff; rest != 0; rest &= rest - 1 {
+			b := uint(bits.TrailingZeros64(rest))
+			// Vori - Vapp restricted to the touched bits: exact, since
+			// every partial sum is an integer below 2^54.
+			d := 0.0
+			for _, i := range idx {
+				ori := float64(e.goldenPO[i][w] >> b & 1)
+				apx := float64(appPO[i][w] >> b & 1)
+				d += (ori - apx) * e.pow2[i]
+			}
+			sumED += math.Abs(d)
+		}
+	}
+	m.ER = float64(erCount) / float64(n)
+	m.NMED = sumED / e.norm / float64(n)
+	return m, nil
 }
 
 // ER is a convenience wrapper returning only the error rate.

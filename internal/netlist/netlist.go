@@ -44,6 +44,24 @@ type Circuit struct {
 
 	const0 int // cached Const0 gate ID, -1 if absent
 	const1 int // cached Const1 gate ID, -1 if absent
+
+	// topo and fanout memoize TopoOrder and Fanouts between structural
+	// mutations; pos is the inverse of topo (gate ID → order position).
+	// Every mutation routed through the Circuit API (AddGate,
+	// ReplaceFanin, SetFanin, SetGate, ...) invalidates them; code that
+	// writes Gates[i].Fanin directly must call Invalidate afterwards.
+	topo   []int
+	pos    []int
+	fanout [][]int
+}
+
+// Invalidate drops the memoized topological order and fanout adjacency.
+// The Circuit API calls it automatically; it is exported for callers that
+// mutate Gates directly.
+func (c *Circuit) Invalidate() {
+	c.topo = nil
+	c.pos = nil
+	c.fanout = nil
 }
 
 // New returns an empty circuit with the given name.
@@ -70,6 +88,7 @@ func (c *Circuit) NumPhysical() int {
 
 // AddInput appends a primary input and returns its gate ID.
 func (c *Circuit) AddInput(name string) int {
+	c.Invalidate()
 	id := len(c.Gates)
 	c.Gates = append(c.Gates, Gate{Func: cell.Input, Name: name})
 	c.PIs = append(c.PIs, id)
@@ -84,6 +103,7 @@ func (c *Circuit) AddGate(f cell.Func, fanin ...int) int {
 	if len(fanin) != f.Arity() {
 		panic(fmt.Sprintf("netlist: %v requires %d fan-ins, got %d", f, f.Arity(), len(fanin)))
 	}
+	c.Invalidate()
 	id := len(c.Gates)
 	c.Gates = append(c.Gates, Gate{Func: f, Drive: cell.X1, Fanin: append([]int(nil), fanin...)})
 	return id
@@ -92,6 +112,7 @@ func (c *Circuit) AddGate(f cell.Func, fanin ...int) int {
 // AddOutput appends a primary output driven by the given gate and returns
 // the OutPort gate's ID.
 func (c *Circuit) AddOutput(name string, driver int) int {
+	c.Invalidate()
 	id := len(c.Gates)
 	c.Gates = append(c.Gates, Gate{Func: cell.OutPort, Name: name, Fanin: []int{driver}})
 	c.POs = append(c.POs, id)
@@ -103,6 +124,7 @@ func (c *Circuit) AddOutput(name string, driver int) int {
 // "constant '0'/'1' are also treated as gates".
 func (c *Circuit) Const0() int {
 	if c.const0 < 0 || c.const0 >= len(c.Gates) || c.Gates[c.const0].Func != cell.Const0 {
+		c.Invalidate()
 		c.const0 = len(c.Gates)
 		c.Gates = append(c.Gates, Gate{Func: cell.Const0, Name: "const0"})
 	}
@@ -127,6 +149,7 @@ func (c *Circuit) ConstID(value bool) (int, bool) {
 // Const1 returns the ID of the shared Const1 gate, creating it on demand.
 func (c *Circuit) Const1() int {
 	if c.const1 < 0 || c.const1 >= len(c.Gates) || c.Gates[c.const1].Func != cell.Const1 {
+		c.Invalidate()
 		c.const1 = len(c.Gates)
 		c.Gates = append(c.Gates, Gate{Func: cell.Const1, Name: "const1"})
 	}
@@ -135,7 +158,9 @@ func (c *Circuit) Const1() int {
 
 // Clone returns a deep copy of the circuit. Fan-in slices are copied so the
 // clone can be mutated independently — this is the population-cloning
-// primitive of the optimizer.
+// primitive of the optimizer. The memoized topological order carries over
+// (the clone is structurally identical); the fanout cache does not, since
+// clones are usually mutated immediately and rebuilding it is cheap.
 func (c *Circuit) Clone() *Circuit {
 	nc := &Circuit{
 		Name:   c.Name,
@@ -144,6 +169,8 @@ func (c *Circuit) Clone() *Circuit {
 		POs:    append([]int(nil), c.POs...),
 		const0: c.const0,
 		const1: c.const1,
+		topo:   append([]int(nil), c.topo...),
+		pos:    append([]int(nil), c.pos...),
 	}
 	for i, g := range c.Gates {
 		ng := g
@@ -197,7 +224,13 @@ func (c *Circuit) Validate() error {
 // consumers) using Kahn's algorithm, or an error naming a gate on a
 // combinational loop. This is the loop-violation check enabled by unique
 // integer gate IDs (paper §III-A).
+//
+// The order is memoized until the next structural mutation; callers must
+// treat the returned slice as read-only.
 func (c *Circuit) TopoOrder() ([]int, error) {
+	if c.topo != nil {
+		return c.topo, nil
+	}
 	n := len(c.Gates)
 	indeg := make([]int, n)
 	fanouts := c.Fanouts()
@@ -230,19 +263,43 @@ func (c *Circuit) TopoOrder() ([]int, error) {
 			}
 		}
 	}
+	c.topo = order
+	c.pos = make([]int, n)
+	for i, id := range order {
+		c.pos[id] = i
+	}
 	return order, nil
+}
+
+// TopoPos returns the memoized gate ID → topological position index,
+// computing the order first if needed. Callers must treat the returned
+// slice as read-only.
+func (c *Circuit) TopoPos() ([]int, error) {
+	if c.pos == nil {
+		if _, err := c.TopoOrder(); err != nil {
+			return nil, err
+		}
+	}
+	return c.pos, nil
 }
 
 // Fanouts returns, for every gate, the IDs of gates that list it as a
 // fan-in. Multiple pins of one consumer appear multiple times so that load
 // computation can count each pin.
+//
+// The table is memoized until the next structural mutation; callers must
+// treat it as read-only.
 func (c *Circuit) Fanouts() [][]int {
+	if c.fanout != nil {
+		return c.fanout
+	}
 	fo := make([][]int, len(c.Gates))
 	for id, g := range c.Gates {
 		for _, fi := range g.Fanin {
 			fo[fi] = append(fo[fi], id)
 		}
 	}
+	c.fanout = fo
 	return fo
 }
 
@@ -383,17 +440,82 @@ func (c *Circuit) Compact() (*Circuit, []int) {
 // instead — the fundamental LAC edit. It returns the number of pins
 // rewired. The caller is responsible for loop safety (switch must not be
 // in target's TFO).
+//
+// The memoized topological order survives the rewire when the switch
+// precedes every rewired consumer in it (always true for LACs, whose
+// switch gates come from the target's transitive fan-in or the
+// constants); otherwise the caches are invalidated.
 func (c *Circuit) ReplaceFanin(target, sw int) int {
 	n := 0
+	orderOK := c.pos != nil && sw >= 0 && sw < len(c.pos)
 	for id := range c.Gates {
 		for pin, fi := range c.Gates[id].Fanin {
 			if fi == target {
 				c.Gates[id].Fanin[pin] = sw
 				n++
+				if orderOK && c.pos[sw] >= c.pos[id] {
+					orderOK = false
+				}
 			}
 		}
 	}
+	if n > 0 {
+		if orderOK {
+			// The order is still valid, but the fanout table is not.
+			c.fanout = nil
+		} else {
+			c.Invalidate()
+		}
+	}
 	return n
+}
+
+// SetFanin rewires one pin of one gate and invalidates the memoized
+// topology. It is the cache-safe form of writing Gates[id].Fanin[pin]
+// directly; like ReplaceFanin, loop safety is the caller's concern (use
+// Validate or TopoOrder to check).
+func (c *Circuit) SetFanin(id, pin, src int) {
+	c.Gates[id].Fanin[pin] = src
+	c.Invalidate()
+}
+
+// SetGate overwrites a gate's function, drive and fan-in adjacency (deep
+// copying the fan-in slice) and invalidates the memoized topology — the
+// per-gate adjacency write of circuit reproduction. Loop safety is the
+// caller's concern.
+func (c *Circuit) SetGate(id int, g Gate) {
+	g.Fanin = append([]int(nil), g.Fanin...)
+	c.Gates[id] = g
+	c.Invalidate()
+}
+
+// DiffGates returns the IDs of gates whose function or fan-in adjacency
+// differs from the same-ID gate of ref, in ascending ID order; gates
+// beyond ref's range are always reported. Drive strength and names are
+// ignored — the diff describes what simulation sees, so a candidate
+// produced by LACs on a clone of ref reports exactly the gates its LACs
+// rewired. This is the changed-set feed of incremental re-simulation.
+func (c *Circuit) DiffGates(ref *Circuit) []int {
+	var out []int
+	n := len(ref.Gates)
+	for id := range c.Gates {
+		if id >= n {
+			out = append(out, id)
+			continue
+		}
+		g, r := &c.Gates[id], &ref.Gates[id]
+		if g.Func != r.Func || len(g.Fanin) != len(r.Fanin) {
+			out = append(out, id)
+			continue
+		}
+		for pin, fi := range g.Fanin {
+			if fi != r.Fanin[pin] {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // PINames returns the primary input names in port order.

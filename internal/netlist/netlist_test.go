@@ -159,7 +159,7 @@ func TestLiveAndDangling(t *testing.T) {
 	// Replicate the paper's Fig. 5 searched circuit cs2: PO3's fan-in
 	// changes from gate 12 to gate 10, dangling gate 12 (and only 12,
 	// since 9 and 10 still feed live logic).
-	c.Gates[ids[15]].Fanin[0] = ids[10]
+	c.SetFanin(ids[15], 0, ids[10])
 	live = c.Live()
 	if live[ids[12]] {
 		t.Error("gate 12 must be dangling after rewiring PO3 to gate 10")
@@ -173,7 +173,7 @@ func TestAreaExcludesDangling(t *testing.T) {
 	lib := cell.Default28nm()
 	c, ids := paperFig3(t)
 	before := c.Area(lib)
-	c.Gates[ids[15]].Fanin[0] = ids[10]
+	c.SetFanin(ids[15], 0, ids[10])
 	after := c.Area(lib)
 	want := before - lib.Area(cell.And2, cell.X1) // gate 12 is AND2
 	if diff := after - want; diff > 1e-9 || diff < -1e-9 {
@@ -186,7 +186,7 @@ func TestAreaExcludesDangling(t *testing.T) {
 
 func TestCompactRemovesDangling(t *testing.T) {
 	c, ids := paperFig3(t)
-	c.Gates[ids[15]].Fanin[0] = ids[10]
+	c.SetFanin(ids[15], 0, ids[10])
 	nc, remap := c.Compact()
 	if err := nc.Validate(); err != nil {
 		t.Fatalf("compacted circuit invalid: %v", err)

@@ -1,0 +1,197 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// chain builds a PI → inv → inv → … → PO line of n inverters.
+func chain(n int) *Circuit {
+	c := New("chain")
+	prev := c.AddInput("a")
+	for i := 0; i < n; i++ {
+		prev = c.AddGate(cell.Inv, prev)
+	}
+	c.AddOutput("y", prev)
+	return c
+}
+
+func assertValidOrder(t *testing.T, c *Circuit) {
+	t.Helper()
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(c.Gates) {
+		t.Fatalf("order covers %d of %d gates", len(order), len(c.Gates))
+	}
+	pos := make([]int, len(c.Gates))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for id, g := range c.Gates {
+		for _, fi := range g.Fanin {
+			if pos[fi] >= pos[id] {
+				t.Fatalf("order invalid: fan-in %d at %d not before gate %d at %d",
+					fi, pos[fi], id, pos[id])
+			}
+		}
+	}
+}
+
+func TestTopoOrderMemoized(t *testing.T) {
+	c, _ := paperFig3(t)
+	o1, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &o1[0] != &o2[0] {
+		t.Error("TopoOrder must return the memoized order between mutations")
+	}
+	pos, err := c.TopoPos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range o1 {
+		if pos[id] != i {
+			t.Fatalf("TopoPos[%d] = %d, want %d", id, pos[id], i)
+		}
+	}
+}
+
+func TestTopoOrderInvalidatedByMutation(t *testing.T) {
+	mutations := []struct {
+		name string
+		do   func(c *Circuit)
+	}{
+		{"AddGate", func(c *Circuit) { c.AddGate(cell.Inv, c.PIs[0]) }},
+		{"AddInput", func(c *Circuit) { c.AddInput("extra") }},
+		{"AddOutput", func(c *Circuit) { c.AddOutput("extra", c.PIs[0]) }},
+		{"Const0", func(c *Circuit) { c.Const0() }},
+		{"Const1", func(c *Circuit) { c.Const1() }},
+		{"SetFanin", func(c *Circuit) { c.SetFanin(c.POs[0], 0, c.PIs[0]) }},
+		{"SetGate", func(c *Circuit) { c.SetGate(2, Gate{Func: cell.Buf, Fanin: []int{c.PIs[0]}}) }},
+	}
+	for _, m := range mutations {
+		c := chain(4)
+		if _, err := c.TopoOrder(); err != nil {
+			t.Fatal(err)
+		}
+		m.do(c)
+		assertValidOrder(t, c)
+	}
+}
+
+// TestTopoOrderDetectsLoopAfterCaching is the regression test for stale
+// memoization: a loop created after the order was cached must still be
+// detected.
+func TestTopoOrderDetectsLoopAfterCaching(t *testing.T) {
+	c := chain(4)
+	if _, err := c.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	// Gate 2 is the second inverter; wiring it to gate 3 forms a loop.
+	c.SetFanin(2, 0, 3)
+	if _, err := c.TopoOrder(); err == nil {
+		t.Error("TopoOrder must detect a loop created after memoization")
+	}
+}
+
+func TestReplaceFaninKeepsOrderForLACShapes(t *testing.T) {
+	c, ids := paperFig3(t)
+	c.Const0()
+	if _, err := c.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	// Wire-by-wire with a TFI switch and wire-by-const both preserve the
+	// memoized order; the fast path must keep it and stay valid.
+	tfi := c.TFI(ids[12])
+	sw := -1
+	for id := range c.Gates {
+		if tfi[id] && id != ids[12] && !c.Gates[id].Func.IsPseudo() {
+			sw = id
+			break
+		}
+	}
+	if sw < 0 {
+		t.Fatal("no TFI switch found")
+	}
+	if n := c.ReplaceFanin(ids[12], sw); n == 0 {
+		t.Fatal("ReplaceFanin rewired nothing")
+	}
+	if c.topo == nil {
+		t.Error("TFI rewire should keep the memoized order")
+	}
+	assertValidOrder(t, c)
+
+	if n := c.ReplaceFanin(ids[11], c.Const0()); n == 0 {
+		t.Fatal("ReplaceFanin rewired nothing")
+	}
+	assertValidOrder(t, c)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFanoutsMemoizedAndInvalidated(t *testing.T) {
+	c := chain(3)
+	f1 := c.Fanouts()
+	f2 := c.Fanouts()
+	if &f1[0] != &f2[0] {
+		t.Error("Fanouts must return the memoized table between mutations")
+	}
+	g := c.AddGate(cell.Inv, c.PIs[0])
+	f3 := c.Fanouts()
+	found := false
+	for _, fo := range f3[c.PIs[0]] {
+		if fo == g {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Fanouts must reflect the post-mutation netlist")
+	}
+}
+
+func TestDiffGates(t *testing.T) {
+	base := chain(5)
+	base.Const0()
+	base.Const1()
+
+	if d := base.Clone().DiffGates(base); len(d) != 0 {
+		t.Fatalf("identical clone diffs as %v, want empty", d)
+	}
+
+	cand := base.Clone()
+	cand.ReplaceFanin(2, cand.Gates[2].Fanin[0]) // rewire consumers of gate 2 to gate 1
+	want := map[int]bool{3: true}                // gate 3 read gate 2, now reads gate 1
+	got := cand.DiffGates(base)
+	if len(got) != len(want) {
+		t.Fatalf("DiffGates = %v, want keys %v", got, want)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("DiffGates reported %d, want keys %v", id, want)
+		}
+	}
+
+	// Function change and appended gates are both reported.
+	cand2 := base.Clone()
+	cand2.SetGate(1, Gate{Func: cell.Buf, Fanin: []int{0}})
+	extra := cand2.AddGate(cell.Inv, 0)
+	got2 := cand2.DiffGates(base)
+	want2 := map[int]bool{1: true, extra: true}
+	if len(got2) != len(want2) {
+		t.Fatalf("DiffGates = %v, want keys %v", got2, want2)
+	}
+	for _, id := range got2 {
+		if !want2[id] {
+			t.Fatalf("DiffGates reported %d, want keys %v", id, want2)
+		}
+	}
+}

@@ -71,7 +71,7 @@ func TestDanglingGatesDoNotBurn(t *testing.T) {
 			break
 		}
 	}
-	c.Gates[c.POs[0]].Fanin[0] = early
+	c.SetFanin(c.POs[0], 0, early)
 	cut := estimate(t, c, 1<<12)
 	if cut.Total >= full.Total {
 		t.Errorf("dangling logic must reduce power: %.3f -> %.3f", full.Total, cut.Total)

@@ -119,78 +119,90 @@ func Run(c *netlist.Circuit, v *Vectors) (*Result, error) {
 		res.Signals[pi] = v.PerPI[i]
 	}
 	tail := TailMask(v.N)
-	var in [3][]uint64
 	for _, id := range order {
 		g := &c.Gates[id]
 		if g.Func == cell.Input {
 			continue
 		}
 		sig := make([]uint64, words)
-		for p, fi := range g.Fanin {
-			in[p] = res.Signals[fi]
-		}
-		switch g.Func {
-		case cell.Const0:
-			// already zero
-		case cell.Const1:
-			for w := range sig {
-				sig[w] = ^uint64(0)
-			}
-		case cell.OutPort, cell.Buf:
-			copy(sig, in[0])
-		case cell.Inv:
-			for w := range sig {
-				sig[w] = ^in[0][w]
-			}
-		case cell.And2:
-			for w := range sig {
-				sig[w] = in[0][w] & in[1][w]
-			}
-		case cell.Nand2:
-			for w := range sig {
-				sig[w] = ^(in[0][w] & in[1][w])
-			}
-		case cell.Or2:
-			for w := range sig {
-				sig[w] = in[0][w] | in[1][w]
-			}
-		case cell.Nor2:
-			for w := range sig {
-				sig[w] = ^(in[0][w] | in[1][w])
-			}
-		case cell.Xor2:
-			for w := range sig {
-				sig[w] = in[0][w] ^ in[1][w]
-			}
-		case cell.Xnor2:
-			for w := range sig {
-				sig[w] = ^(in[0][w] ^ in[1][w])
-			}
-		case cell.Mux2:
-			for w := range sig {
-				sig[w] = (in[0][w] &^ in[2][w]) | (in[1][w] & in[2][w])
-			}
-		case cell.Aoi21:
-			for w := range sig {
-				sig[w] = ^((in[0][w] & in[1][w]) | in[2][w])
-			}
-		case cell.Oai21:
-			for w := range sig {
-				sig[w] = ^((in[0][w] | in[1][w]) & in[2][w])
-			}
-		case cell.Maj3:
-			for w := range sig {
-				sig[w] = (in[0][w] & in[1][w]) | (in[1][w] & in[2][w]) | (in[0][w] & in[2][w])
-			}
-		default:
-			return nil, fmt.Errorf("sim: gate %d has unsupported function %v", id, g.Func)
-		}
-		if words > 0 {
-			sig[words-1] &= tail
+		if err := evalGate(g, res.Signals, sig, tail); err != nil {
+			return nil, fmt.Errorf("sim: gate %d: %w", id, err)
 		}
 		res.Signals[id] = sig
 	}
 	return res, nil
+}
+
+// evalGate computes one gate's bit-parallel waveform into sig (len = words
+// per signal), reading fan-in waveforms from signals and applying the tail
+// mask. It is the shared kernel of Run and Simulator.
+func evalGate(g *netlist.Gate, signals [][]uint64, sig []uint64, tail uint64) error {
+	var in [3][]uint64
+	for p, fi := range g.Fanin {
+		in[p] = signals[fi]
+	}
+	switch g.Func {
+	case cell.Const0:
+		for w := range sig {
+			sig[w] = 0
+		}
+	case cell.Const1:
+		for w := range sig {
+			sig[w] = ^uint64(0)
+		}
+	case cell.OutPort, cell.Buf:
+		copy(sig, in[0])
+	case cell.Inv:
+		for w := range sig {
+			sig[w] = ^in[0][w]
+		}
+	case cell.And2:
+		for w := range sig {
+			sig[w] = in[0][w] & in[1][w]
+		}
+	case cell.Nand2:
+		for w := range sig {
+			sig[w] = ^(in[0][w] & in[1][w])
+		}
+	case cell.Or2:
+		for w := range sig {
+			sig[w] = in[0][w] | in[1][w]
+		}
+	case cell.Nor2:
+		for w := range sig {
+			sig[w] = ^(in[0][w] | in[1][w])
+		}
+	case cell.Xor2:
+		for w := range sig {
+			sig[w] = in[0][w] ^ in[1][w]
+		}
+	case cell.Xnor2:
+		for w := range sig {
+			sig[w] = ^(in[0][w] ^ in[1][w])
+		}
+	case cell.Mux2:
+		for w := range sig {
+			sig[w] = (in[0][w] &^ in[2][w]) | (in[1][w] & in[2][w])
+		}
+	case cell.Aoi21:
+		for w := range sig {
+			sig[w] = ^((in[0][w] & in[1][w]) | in[2][w])
+		}
+	case cell.Oai21:
+		for w := range sig {
+			sig[w] = ^((in[0][w] | in[1][w]) & in[2][w])
+		}
+	case cell.Maj3:
+		for w := range sig {
+			sig[w] = (in[0][w] & in[1][w]) | (in[1][w] & in[2][w]) | (in[0][w] & in[2][w])
+		}
+	default:
+		return fmt.Errorf("unsupported function %v", g.Func)
+	}
+	if n := len(sig); n > 0 {
+		sig[n-1] &= tail
+	}
+	return nil
 }
 
 // POSignals returns the PO waveforms of a result in PO port order.

@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Simulator is a reusable incremental simulation engine bound to one
+// reference ("golden") circuit and one shared vector sample. It exploits
+// the structure of approximate-logic-synthesis workloads: every candidate
+// circuit is the reference plus a handful of local approximate changes, so
+// only the transitive fanout cone of the changed gates can carry a
+// different waveform. IncrementalRun recomputes exactly that cone against
+// the cached golden waveforms — in topological order, pruning propagation
+// the moment a recomputed signal turns out bit-identical to the cached one
+// — and returns a Result that is exact, bit-for-bit, with a full Run of
+// the candidate.
+//
+// All working memory (the signal arena, the propagation heap, the
+// dirty-tracking state) is preallocated and recycled across calls, so the
+// steady-state hot loop performs no per-gate allocation. The returned
+// Result is owned by the Simulator and only valid until the next call; a
+// Simulator is not safe for concurrent use — use one per worker.
+type Simulator struct {
+	base    *netlist.Circuit
+	vectors *Vectors
+	golden  *Result
+	pos     []int   // gate ID → position in the base topological order
+	fanouts [][]int // base fanout adjacency (read-only, from the circuit)
+	words   int
+	tail    uint64
+
+	res        Result     // reusable result; signals reset from golden
+	arena      [][]uint64 // recycled signal buffers, one per recomputed gate
+	differs    []bool     // gate signal differs from golden (last run)
+	state      []byte     // propagation state per gate (last run)
+	seen       []int      // gates with non-zero state/differs, for O(cone) reset
+	heap       []int      // pending-gate min-heap ordered by pos
+	allTouched bool       // full-run fallback: every signal counts as touched
+}
+
+const (
+	stateIdle   byte = iota
+	stateQueued      // in the propagation heap
+	stateDone        // recomputed this run
+)
+
+// NewSimulator builds a Simulator for candidates derived from the base
+// circuit on the given vectors. golden may be a previously computed full
+// simulation of base on v (it is trusted, not recomputed); pass nil to
+// have the constructor run it.
+func NewSimulator(base *netlist.Circuit, v *Vectors, golden *Result) (*Simulator, error) {
+	if golden == nil {
+		var err error
+		golden, err = Run(base, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if golden.N != v.N || len(golden.Signals) != len(base.Gates) {
+		return nil, fmt.Errorf("sim: golden result does not match base circuit %q", base.Name)
+	}
+	pos, err := base.TopoPos()
+	if err != nil {
+		return nil, err
+	}
+	n := len(base.Gates)
+	s := &Simulator{
+		base:    base,
+		vectors: v,
+		golden:  golden,
+		pos:     pos,
+		fanouts: base.Fanouts(),
+		words:   v.Words(),
+		tail:    TailMask(v.N),
+		differs: make([]bool, n),
+		state:   make([]byte, n),
+	}
+	s.res.Signals = make([][]uint64, n)
+	s.res.N = v.N
+	return s, nil
+}
+
+// Golden returns the cached full simulation of the base circuit.
+func (s *Simulator) Golden() *Result { return s.golden }
+
+// Vectors returns the shared input sample.
+func (s *Simulator) Vectors() *Vectors { return s.vectors }
+
+// SignalDiffers reports whether, in the most recent run, gate id's
+// waveform differs from the golden one. After a full-run fallback every
+// gate conservatively reports true.
+func (s *Simulator) SignalDiffers(id int) bool {
+	return s.allTouched || (id < len(s.differs) && s.differs[id])
+}
+
+// Simulate diffs the candidate against the base circuit and runs the
+// incremental engine. The returned Result is owned by the Simulator and
+// valid only until its next call.
+func (s *Simulator) Simulate(app *netlist.Circuit) (*Result, error) {
+	return s.IncrementalRun(app, app.DiffGates(s.base))
+}
+
+// IncrementalRun simulates a candidate that shares the base circuit's gate
+// ID space, given the IDs of the gates whose function or fan-in adjacency
+// differs from the base (see netlist.DiffGates). Candidates that do not
+// share the ID space — or whose rewires broke the base topological order,
+// which LACs never do — fall back to FullRun transparently. The returned
+// Result is exact and owned by the Simulator (valid until the next call).
+func (s *Simulator) IncrementalRun(app *netlist.Circuit, changed []int) (*Result, error) {
+	if len(app.Gates) != len(s.base.Gates) || len(app.PIs) != len(s.base.PIs) {
+		return s.FullRun(app)
+	}
+	// The base order stays valid iff every changed gate still reads only
+	// gates that precede it; unchanged gates kept their base fan-ins.
+	for _, id := range changed {
+		for _, fi := range app.Gates[id].Fanin {
+			if s.pos[fi] >= s.pos[id] {
+				return s.FullRun(app)
+			}
+		}
+	}
+	s.reset(len(app.Gates))
+	copy(s.res.Signals, s.golden.Signals)
+	for _, id := range changed {
+		s.push(id)
+	}
+	arenaNext := 0
+	for len(s.heap) > 0 {
+		id := s.pop()
+		s.state[id] = stateDone
+		g := &app.Gates[id]
+		if g.Func == cell.Input {
+			continue // PIs always carry the shared input sample
+		}
+		sig := s.slot(arenaNext)
+		if err := evalGate(g, s.res.Signals, sig, s.tail); err != nil {
+			return nil, fmt.Errorf("sim: gate %d: %w", id, err)
+		}
+		gold := s.golden.Signals[id]
+		if wordsEqual(sig, gold) {
+			// Bit-identical to the cached waveform: keep sharing the
+			// golden signal, recycle the arena slot, and prune the cone —
+			// nothing downstream of this gate can change through it.
+			s.res.Signals[id] = gold
+			continue
+		}
+		arenaNext++
+		s.res.Signals[id] = sig
+		s.differs[id] = true
+		for _, fo := range s.fanouts[id] {
+			s.push(fo)
+		}
+	}
+	return &s.res, nil
+}
+
+// FullRun simulates the candidate from scratch into the recycled arena —
+// the fallback for candidates outside the base gate ID space (e.g. greedy
+// baselines' inverted-wire substitutions append gates). The returned
+// Result is owned by the Simulator; every gate reports SignalDiffers.
+func (s *Simulator) FullRun(app *netlist.Circuit) (*Result, error) {
+	if len(app.PIs) != len(s.vectors.PerPI) {
+		return nil, fmt.Errorf("sim: circuit %q has %d PIs, vectors have %d",
+			app.Name, len(app.PIs), len(s.vectors.PerPI))
+	}
+	order, err := app.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s.reset(len(app.Gates))
+	s.allTouched = true
+	for i, pi := range app.PIs {
+		s.res.Signals[pi] = s.vectors.PerPI[i]
+	}
+	arenaNext := 0
+	for _, id := range order {
+		g := &app.Gates[id]
+		if g.Func == cell.Input {
+			continue
+		}
+		sig := s.slot(arenaNext)
+		arenaNext++
+		if err := evalGate(g, s.res.Signals, sig, s.tail); err != nil {
+			return nil, fmt.Errorf("sim: gate %d: %w", id, err)
+		}
+		s.res.Signals[id] = sig
+	}
+	return &s.res, nil
+}
+
+// reset prepares the recycled buffers for a run over n gates, clearing
+// only the state touched by the previous run.
+func (s *Simulator) reset(n int) {
+	s.allTouched = false
+	for _, id := range s.seen {
+		s.state[id] = stateIdle
+		s.differs[id] = false
+	}
+	s.seen = s.seen[:0]
+	s.heap = s.heap[:0]
+	if cap(s.res.Signals) < n {
+		s.res.Signals = make([][]uint64, n)
+	}
+	s.res.Signals = s.res.Signals[:n]
+	s.res.N = s.vectors.N
+}
+
+// slot returns the k-th recycled signal buffer, allocating it on first
+// use. Buffers persist for the Simulator's lifetime, so the steady state
+// allocates nothing.
+func (s *Simulator) slot(k int) []uint64 {
+	for k >= len(s.arena) {
+		s.arena = append(s.arena, make([]uint64, s.words))
+	}
+	return s.arena[k]
+}
+
+// push enqueues a gate for recomputation unless it is already pending or
+// done. Pushes always target gates downstream of the one being processed,
+// so a popped gate can never need re-processing.
+func (s *Simulator) push(id int) {
+	if s.state[id] != stateIdle {
+		return
+	}
+	s.state[id] = stateQueued
+	s.seen = append(s.seen, id)
+	s.heap = append(s.heap, id)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.pos[s.heap[parent]] <= s.pos[s.heap[i]] {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the pending gate with the smallest topological
+// position, guaranteeing fan-ins are finalized before consumers.
+func (s *Simulator) pop() int {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s.heap) && s.pos[s.heap[l]] < s.pos[s.heap[small]] {
+			small = l
+		}
+		if r < len(s.heap) && s.pos[s.heap[r]] < s.pos[s.heap[small]] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s.heap[i], s.heap[small] = s.heap[small], s.heap[i]
+		i = small
+	}
+	return top
+}
+
+func wordsEqual(a, b []uint64) bool {
+	for w := range a {
+		if a[w] != b[w] {
+			return false
+		}
+	}
+	return true
+}

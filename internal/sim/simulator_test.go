@@ -1,0 +1,250 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// applyRandomLAC mimics one local approximate change without importing
+// package lac (which would not cycle, but keeping the dependency direction
+// clean is nicer): rewire all consumers of a random live physical gate to
+// a random member of its transitive fan-in or to a constant. Switches from
+// TFI ∪ constants can never create a loop, exactly like real LACs.
+func applyRandomLAC(t *testing.T, c *netlist.Circuit, rng *rand.Rand) int {
+	t.Helper()
+	live := c.Live()
+	var phys []int
+	for id, g := range c.Gates {
+		if live[id] && !g.Func.IsPseudo() {
+			phys = append(phys, id)
+		}
+	}
+	if len(phys) == 0 {
+		t.Fatal("no physical gates to approximate")
+	}
+	target := phys[rng.Intn(len(phys))]
+	tfi := c.TFI(target)
+	var cands []int
+	for id := range c.Gates {
+		if tfi[id] && id != target && c.Gates[id].Func != cell.OutPort {
+			cands = append(cands, id)
+		}
+	}
+	var sw int
+	switch rng.Intn(3) {
+	case 0:
+		sw = c.Const0()
+	case 1:
+		sw = c.Const1()
+	default:
+		if len(cands) == 0 {
+			sw = c.Const0()
+		} else {
+			sw = cands[rng.Intn(len(cands))]
+		}
+	}
+	c.ReplaceFanin(target, sw)
+	return target
+}
+
+func freshBase(t *testing.T, name string) *netlist.Circuit {
+	t.Helper()
+	var c *netlist.Circuit
+	if name == "Adder4" {
+		c = gen.Adder(4) // small enough for exhaustive vectors
+	} else {
+		c = gen.MustBuild(name)
+	}
+	base := c.Clone()
+	base.Const0()
+	base.Const1()
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// TestIncrementalMatchesFull is the exactness property test of the
+// incremental engine: across randomized LAC sets, every per-gate waveform
+// of IncrementalRun must be bit-identical to a from-scratch Run — on
+// random vectors with a non-64-divisible count (tail-mask edge case), on
+// word-aligned samples, and on exhaustive vectors.
+func TestIncrementalMatchesFull(t *testing.T) {
+	cases := []struct {
+		circuit string
+		vectors int // ≤ 0 selects exhaustive enumeration
+		trials  int
+		maxLACs int
+	}{
+		{"c880", 1000, 20, 4}, // 1000 % 64 != 0: exercises the tail mask
+		{"c880", 2048, 10, 4},
+		{"Adder16", 100, 20, 4},
+		{"Adder16", 4096, 10, 6},
+		{"Adder4", -1, 20, 3}, // exhaustive: 256 vectors, exact error rates
+	}
+	for _, tc := range cases {
+		base := freshBase(t, tc.circuit)
+		rng := rand.New(rand.NewSource(7))
+		var v *sim.Vectors
+		if tc.vectors <= 0 {
+			var err error
+			v, err = sim.Exhaustive(len(base.PIs))
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			v = sim.Random(rng, len(base.PIs), tc.vectors)
+		}
+		s, err := sim.NewSimulator(base, v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < tc.trials; trial++ {
+			cand := base.Clone()
+			for k := rng.Intn(tc.maxLACs) + 1; k > 0; k-- {
+				applyRandomLAC(t, cand, rng)
+			}
+			full, err := sim.Run(cand, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			incr, err := s.Simulate(cand)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := range cand.Gates {
+				fs, is := full.Signals[id], incr.Signals[id]
+				if len(fs) != len(is) {
+					t.Fatalf("%s trial %d gate %d: word count %d != %d",
+						tc.circuit, trial, id, len(is), len(fs))
+				}
+				for w := range fs {
+					if fs[w] != is[w] {
+						t.Fatalf("%s (n=%d) trial %d gate %d word %d: incremental %x != full %x",
+							tc.circuit, v.N, trial, id, w, is[w], fs[w])
+					}
+				}
+				// In the shared-ID-space path the touched flag is exact:
+				// untouched gates share the golden waveform verbatim.
+				if !s.SignalDiffers(id) {
+					gold := s.Golden().Signals[id]
+					for w := range fs {
+						if fs[w] != gold[w] {
+							t.Fatalf("%s trial %d gate %d: reported untouched but differs from golden",
+								tc.circuit, trial, id)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalIdentityCandidate checks the degenerate diff: a candidate
+// identical to the base must come back as the golden waveforms with no
+// gate reported touched.
+func TestIncrementalIdentityCandidate(t *testing.T) {
+	base := freshBase(t, "Adder16")
+	v := sim.Random(rand.New(rand.NewSource(3)), len(base.PIs), 777)
+	s, err := sim.NewSimulator(base, v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Simulate(base.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range base.Gates {
+		if s.SignalDiffers(id) {
+			t.Fatalf("gate %d reported touched on an identical candidate", id)
+		}
+		for w := range res.Signals[id] {
+			if res.Signals[id][w] != s.Golden().Signals[id][w] {
+				t.Fatalf("gate %d: identity candidate signal differs from golden", id)
+			}
+		}
+	}
+}
+
+// TestIncrementalFallbackAppendedGate covers the greedy baselines'
+// inverted-wire substitution: the candidate grows a gate, leaving the base
+// ID space, and the simulator must transparently fall back to a full run
+// with identical results.
+func TestIncrementalFallbackAppendedGate(t *testing.T) {
+	base := freshBase(t, "c880")
+	v := sim.Random(rand.New(rand.NewSource(11)), len(base.PIs), 500)
+	s, err := sim.NewSimulator(base, v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := base.Clone()
+	// Invert some mid-circuit gate's influence: rewire its consumers
+	// through a fresh inverter (the WireByInvWire shape).
+	target := -1
+	for id, g := range cand.Gates {
+		if !g.Func.IsPseudo() {
+			target = id
+		}
+	}
+	inv := cand.AddGate(cell.Inv, cand.Gates[target].Fanin[0])
+	cand.ReplaceFanin(target, inv)
+	full, err := sim.Run(cand, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := s.Simulate(cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range cand.Gates {
+		for w := range full.Signals[id] {
+			if full.Signals[id][w] != incr.Signals[id][w] {
+				t.Fatalf("gate %d word %d: fallback result differs from full run", id, w)
+			}
+		}
+		if !s.SignalDiffers(id) {
+			t.Fatalf("full-run fallback must conservatively report every gate touched")
+		}
+	}
+}
+
+// TestSimulatorReuseAcrossCandidates drives one Simulator through many
+// candidates, interleaving identity and heavily-mutated ones, to verify
+// the recycled arena and dirty-tracking reset leave no state behind.
+func TestSimulatorReuseAcrossCandidates(t *testing.T) {
+	base := freshBase(t, "Adder16")
+	rng := rand.New(rand.NewSource(5))
+	v := sim.Random(rng, len(base.PIs), 320)
+	s, err := sim.NewSimulator(base, v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		cand := base.Clone()
+		if trial%3 != 0 {
+			for k := 0; k < trial%5+1; k++ {
+				applyRandomLAC(t, cand, rng)
+			}
+		}
+		full, err := sim.Run(cand, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incr, err := s.Simulate(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range cand.Gates {
+			for w := range full.Signals[id] {
+				if full.Signals[id][w] != incr.Signals[id][w] {
+					t.Fatalf("trial %d gate %d: stale simulator state", trial, id)
+				}
+			}
+		}
+	}
+}

@@ -90,7 +90,7 @@ func TestPostOptimizeDeletesDangling(t *testing.T) {
 	c := fanoutTree(3, 2)
 	// Dangle a subtree by rewiring the last PO to a constant.
 	po := c.POs[len(c.POs)-1]
-	c.Gates[po].Fanin[0] = c.Const0()
+	c.SetFanin(po, 0, c.Const0())
 	res, err := PostOptimize(c, lib, Options{AreaCon: c.Area(lib) * 2})
 	if err != nil {
 		t.Fatal(err)

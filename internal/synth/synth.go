@@ -9,6 +9,7 @@ package synth
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/cell"
 	"repro/internal/netlist"
@@ -30,12 +31,12 @@ func Cleanup(c *netlist.Circuit) (*Result, error) {
 	work := c.Clone()
 	total := 0
 	for pass := 0; pass < 64; pass++ {
-		n, err := simplifyPass(work)
+		n, progressed, err := simplifyPass(work)
 		if err != nil {
 			return nil, err
 		}
 		total += n
-		if n == 0 {
+		if !progressed {
 			break
 		}
 	}
@@ -51,11 +52,14 @@ func Cleanup(c *netlist.Circuit) (*Result, error) {
 // simplifyPass walks the circuit once in topological order, computing for
 // every gate a replacement driver (possibly itself), then rewires all
 // consumers through the replacement map. It returns the number of gates
-// replaced.
-func simplifyPass(c *netlist.Circuit) (int, error) {
+// replaced, plus whether any mutation happened at all — simplifyGate may
+// also rewrite a gate in place (e.g. MAJ3 with a constant degenerates to
+// AND2/OR2) without replacing it, which must trigger both another
+// fixpoint pass and cache invalidation even when no gate was replaced.
+func simplifyPass(c *netlist.Circuit) (replaced int, progressed bool, err error) {
 	order, err := c.TopoOrder()
 	if err != nil {
-		return 0, fmt.Errorf("synth: %w", err)
+		return 0, false, fmt.Errorf("synth: %w", err)
 	}
 	repl := make([]int, len(c.Gates))
 	for i := range repl {
@@ -69,7 +73,7 @@ func simplifyPass(c *netlist.Circuit) (int, error) {
 		}
 		return id
 	}
-	changed := 0
+	changed, inplace := 0, 0
 	for _, id := range order {
 		g := &c.Gates[id]
 		if g.Func.IsPseudo() {
@@ -79,20 +83,30 @@ func simplifyPass(c *netlist.Circuit) (int, error) {
 		for p, fi := range g.Fanin {
 			g.Fanin[p] = resolve(fi)
 		}
+		beforeFunc := g.Func
+		var beforeFanin [3]int
+		copy(beforeFanin[:], g.Fanin)
 		if r := simplifyGate(c, id); r >= 0 && r != id {
 			repl[id] = r
 			changed++
+			continue
+		}
+		g = &c.Gates[id] // simplifyGate may have appended gates
+		if g.Func != beforeFunc || !slices.Equal(beforeFanin[:len(g.Fanin)], g.Fanin) {
+			inplace++
 		}
 	}
-	if changed == 0 {
-		return 0, nil
+	if changed == 0 && inplace == 0 {
+		return 0, false, nil
 	}
 	for id := range c.Gates {
 		for p, fi := range c.Gates[id].Fanin {
 			c.Gates[id].Fanin[p] = resolve(fi)
 		}
 	}
-	return changed, nil
+	// The pass rewired fan-ins directly; drop the memoized topology.
+	c.Invalidate()
+	return changed, true, nil
 }
 
 // constVal classifies a driver as constant 0, constant 1, or non-constant.

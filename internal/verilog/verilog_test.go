@@ -105,7 +105,7 @@ func TestRoundTripPortOrder(t *testing.T) {
 func TestWriteSkipsDangling(t *testing.T) {
 	c := sampleCircuit()
 	// Dangle the AND gate by rewiring its PO to const0.
-	c.Gates[c.POs[1]].Fanin[0] = c.Const0()
+	c.SetFanin(c.POs[1], 0, c.Const0())
 	src := Write(c)
 	if strings.Contains(src, " AND2X1 ") {
 		t.Errorf("dangling gate must not be written:\n%s", src)
