@@ -87,6 +87,30 @@ func AllMethods() []Method {
 	return []Method{MethodVecbeeSasimi, MethodVaACS, MethodHEDALS, MethodSingleChaseGWO, MethodDCGWO}
 }
 
+// ParseMethod inverts Method.String: it maps a paper-table method name
+// (e.g. "Ours", "HEDALS") back to the Method. The experiment job store
+// persists methods by name, not by enum value, so stored results stay
+// valid even if the Method constants are ever renumbered.
+func ParseMethod(name string) (Method, error) {
+	for _, m := range AllMethods() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("als: unknown method %q", name)
+}
+
+// ParseMetric maps a metric name ("ER" or "NMED") back to the Metric.
+func ParseMetric(name string) (Metric, error) {
+	switch name {
+	case MetricER.String():
+		return MetricER, nil
+	case MetricNMED.String():
+		return MetricNMED, nil
+	}
+	return 0, fmt.Errorf("als: unknown metric %q", name)
+}
+
 // Scale presets the run budget.
 type Scale uint8
 
@@ -98,6 +122,28 @@ const (
 	// Monte-Carlo sample.
 	ScalePaper
 )
+
+// String names the scale preset ("quick" or "paper").
+func (s Scale) String() string {
+	switch s {
+	case ScaleQuick:
+		return "quick"
+	case ScalePaper:
+		return "paper"
+	}
+	return fmt.Sprintf("Scale(%d)", uint8(s))
+}
+
+// ParseScale inverts Scale.String.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return ScaleQuick, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return 0, fmt.Errorf("als: unknown scale %q", name)
+}
 
 // FlowConfig configures one end-to-end run.
 type FlowConfig struct {
@@ -117,6 +163,11 @@ type FlowConfig struct {
 	DepthWeight float64
 	// Population, Iterations, Vectors override the scale preset.
 	Population, Iterations, Vectors int
+	// EvalWorkers caps the candidate-evaluation worker pool (0 =
+	// GOMAXPROCS). Evaluation is pure, so results are bit-identical at
+	// any value; schedulers that run several flows concurrently set it
+	// so nested pools don't oversubscribe the machine.
+	EvalWorkers int
 	// Seed fixes all stochastic choices.
 	Seed int64
 }
@@ -212,6 +263,7 @@ func Flow(accurate *netlist.Circuit, lib *cell.Library, cfg FlowConfig) (*FlowRe
 		ccfg.MaxIter = cfg.Iterations
 		ccfg.Vectors = cfg.Vectors
 		ccfg.DepthWeight = cfg.DepthWeight
+		ccfg.EvalWorkers = cfg.EvalWorkers
 		ccfg.Seed = cfg.Seed
 		opt, err := core.New(accurate, lib, ccfg)
 		if err != nil {
@@ -228,6 +280,7 @@ func Flow(accurate *netlist.Circuit, lib *cell.Library, cfg FlowConfig) (*FlowRe
 		bcfg.Population = cfg.Population
 		bcfg.Vectors = cfg.Vectors
 		bcfg.DepthWeight = cfg.DepthWeight
+		bcfg.EvalWorkers = cfg.EvalWorkers
 		bcfg.Seed = cfg.Seed
 		method := map[Method]baselines.Method{
 			MethodVecbeeSasimi:   baselines.VecbeeSasimi,

@@ -119,6 +119,64 @@ func TestMethodStrings(t *testing.T) {
 	}
 }
 
+func TestFlowEvalWorkersDoesNotChangeResults(t *testing.T) {
+	lib := als.NewLibrary()
+	var ref *als.FlowResult
+	for _, w := range []int{0, 1, 3} {
+		cfg := quickCfg(als.MetricNMED, 0.0244)
+		cfg.Seed = 5
+		cfg.EvalWorkers = w
+		res, err := als.Flow(als.Benchmark("Adder16"), lib, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.RatioCPD != ref.RatioCPD || res.Err != ref.Err || res.Evaluations != ref.Evaluations {
+			t.Fatalf("EvalWorkers=%d changed results: %v/%v/%d vs %v/%v/%d",
+				w, res.RatioCPD, res.Err, res.Evaluations, ref.RatioCPD, ref.Err, ref.Evaluations)
+		}
+	}
+}
+
+func TestParseMethodRoundTrip(t *testing.T) {
+	for _, m := range als.AllMethods() {
+		got, err := als.ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMethod(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := als.ParseMethod("nope"); err == nil {
+		t.Error("unknown method name must error")
+	}
+}
+
+func TestParseMetricRoundTrip(t *testing.T) {
+	for _, m := range []als.Metric{als.MetricER, als.MetricNMED} {
+		got, err := als.ParseMetric(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMetric(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := als.ParseMetric("MAE"); err == nil {
+		t.Error("unknown metric name must error")
+	}
+}
+
+func TestParseScaleRoundTrip(t *testing.T) {
+	for _, s := range []als.Scale{als.ScaleQuick, als.ScalePaper} {
+		got, err := als.ParseScale(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScale(%q) = %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	if _, err := als.ParseScale("huge"); err == nil {
+		t.Error("unknown scale name must error")
+	}
+}
+
 func TestFlowAreaConstraintSweepMonotone(t *testing.T) {
 	lib := als.NewLibrary()
 	prev := 10.0

@@ -1,136 +1,329 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures through
+// the job-graph orchestrator: every (experiment, circuit, method, seed,
+// budget) cell is one content-hashed job, cells shared between experiments
+// run once, and -out/-resume persist finished cells so an interrupted
+// sweep picks up where it left off.
 //
 // Usage:
 //
 //	experiments -exp table1
 //	experiments -exp table2 -scale paper
 //	experiments -exp fig7 -circuits c880,Max16 -seed 7
-//	experiments -exp all
+//	experiments -exp all -jobs 8 -out results/ -format json
+//	experiments -exp all -out results/ -resume        # after an interruption
+//	experiments -check testdata/golden_quick.json     # CI regression gate
+//	experiments -update-golden testdata/golden_quick.json
 //
 // -scale quick (default) runs a reduced optimizer budget suitable for a
 // laptop; -scale paper uses the paper's N=30, Imax=20 and a 1e5-class
-// Monte-Carlo sample.
+// Monte-Carlo sample. Machine-readable formats (json, csv) omit wall-clock
+// runtimes, so their bytes depend only on the job specs — identical for
+// any -jobs value and any cache state.
+//
+// Exit codes: 0 success, 1 runtime error or golden mismatch, 2 usage error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	als "repro"
 	"repro/internal/exp"
+	"repro/internal/store"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expName  = flag.String("exp", "all", "experiment: table1|table2|table3|fig6|fig7|fig8|all")
-		scale    = flag.String("scale", "quick", "optimizer budget: quick|paper")
-		circuits = flag.String("circuits", "", "comma-separated benchmark subset (default: all)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		compare  = flag.Bool("paper", true, "print paper reference values next to measurements")
-		pop      = flag.Int("pop", 0, "override population size")
-		iters    = flag.Int("iters", 0, "override iterations/rounds")
-		vectors  = flag.Int("vectors", 0, "override Monte-Carlo vector count")
+		expName  = fs.String("exp", "all", "experiment: "+strings.Join(exp.Experiments(), "|")+"|all")
+		scale    = fs.String("scale", "quick", "optimizer budget: quick|paper")
+		circuits = fs.String("circuits", "", "comma-separated benchmark subset (default: all)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		paper    = fs.Bool("paper", true, "print paper reference values next to measurements (text format)")
+		pop      = fs.Int("pop", 0, "override population size")
+		iters    = fs.Int("iters", 0, "override iterations/rounds")
+		vectors  = fs.Int("vectors", 0, "override Monte-Carlo vector count")
+		jobs     = fs.Int("jobs", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
+		outDir   = fs.String("out", "", "directory for the persistent result store and rendered reports")
+		resume   = fs.Bool("resume", false, "reuse finished cells from the -out result store")
+		format   = fs.String("format", "text", "output format: text|json|csv")
+		check    = fs.String("check", "", "diff freshly computed metrics against this golden file and exit")
+		update   = fs.String("update-golden", "", "recompute the golden suite, write it to this path and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	opts := exp.Opts{Seed: *seed, Population: *pop, Iterations: *iters, Vectors: *vectors}
-	switch *scale {
-	case "quick":
-		opts.Scale = als.ScaleQuick
-	case "paper":
-		opts.Scale = als.ScalePaper
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+	sc, err := als.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(stderr, "unknown scale %q (valid: quick, paper)\n", *scale)
+		return 2
 	}
+	opts.Scale = sc
 	if *circuits != "" {
 		opts.Circuits = strings.Split(*circuits, ",")
 	}
 
-	run := func(name string) {
-		if err := runExperiment(name, opts, *compare); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+	if *update != "" {
+		return updateGolden(*update, *seed, *jobs, stderr)
+	}
+	if *check != "" {
+		return checkGolden(*check, *jobs, stderr)
+	}
+
+	names, err := expandExperiments(*expName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(stderr, "unknown format %q (valid: text, json, csv)\n", *format)
+		return 2
+	}
+	if *resume && *outDir == "" {
+		fmt.Fprintln(stderr, "-resume requires -out (there is no store to resume from)")
+		return 2
+	}
+
+	var st *store.Store
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		path := filepath.Join(*outDir, "results.jsonl")
+		if !*resume {
+			// A fresh (non-resume) run must not serve stale cells, and must
+			// not leave rendered reports from an earlier run (possibly with
+			// different opts) lying next to this run's output.
+			stale := []string{path}
+			for _, n := range exp.Experiments() {
+				for _, ext := range []string{"txt", "json", "csv"} {
+					stale = append(stale, filepath.Join(*outDir, n+"."+ext))
+				}
+			}
+			for _, f := range stale {
+				if err := os.Remove(f); err != nil && !os.IsNotExist(err) {
+					fmt.Fprintln(stderr, err)
+					return 1
+				}
+			}
+		}
+		st, err = store.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer st.Close()
+		if n := st.Corrupt(); n > 0 {
+			fmt.Fprintf(stderr, "result store: skipped %d corrupt line(s), kept %d finished cell(s)\n", n, st.Len())
 		}
 	}
-	if *expName == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "fig6", "fig7", "fig8"} {
-			run(name)
+
+	var jobList []exp.Job
+	for _, name := range names {
+		js, err := exp.JobsFor(name, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		return
+		jobList = append(jobList, js...)
 	}
-	run(*expName)
+	rs, stats, err := exp.RunJobs(jobList, *jobs, st)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "jobs: %d executed, %d cached, %d deduplicated\n",
+		stats.Executed, stats.Cached, stats.Deduped)
+
+	for _, name := range names {
+		text, err := renderExperiment(name, opts, rs, *format, *paper)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			return 1
+		}
+		fmt.Fprint(stdout, text)
+		if *outDir != "" {
+			file := filepath.Join(*outDir, name+"."+formatExt(*format))
+			if err := os.WriteFile(file, []byte(text), 0o644); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+	}
+	return 0
 }
 
-func runExperiment(name string, opts exp.Opts, compare bool) error {
+// expandExperiments resolves the -exp flag, listing the valid names in the
+// error for an unknown value.
+func expandExperiments(name string) ([]string, error) {
+	if name == "all" {
+		return exp.Experiments(), nil
+	}
+	for _, n := range exp.Experiments() {
+		if n == name {
+			return []string{name}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q (valid: %s, all)",
+		name, strings.Join(exp.Experiments(), ", "))
+}
+
+func formatExt(format string) string {
+	if format == "text" {
+		return "txt"
+	}
+	return format
+}
+
+// renderExperiment renders one experiment from the result set in the
+// requested format.
+func renderExperiment(name string, opts exp.Opts, rs exp.ResultSet, format string, paper bool) (string, error) {
+	switch format {
+	case "json":
+		doc, err := exp.JSONReport(name, opts, rs)
+		if err != nil {
+			return "", err
+		}
+		return exp.MarshalReport(doc)
+	case "csv":
+		return exp.CSVReport(name, opts, rs)
+	}
+
+	var b strings.Builder
 	switch name {
 	case "table1":
 		rows, err := exp.Table1()
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println("== TABLE I: benchmark statistics ==")
-		fmt.Print(exp.RenderTable1(rows))
+		b.WriteString("== TABLE I: benchmark statistics ==\n")
+		b.WriteString(exp.RenderTable1(rows))
 
 	case "table2":
-		tab, err := exp.Table2(opts)
+		tab, err := exp.Table2From(opts, rs)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println("== TABLE II: 5% ER constraint, random/control circuits ==")
-		fmt.Print(exp.RenderCompare(tab))
-		if compare {
-			printPaperAverages(exp.PaperTable2)
+		b.WriteString("== TABLE II: 5% ER constraint, random/control circuits ==\n")
+		b.WriteString(exp.RenderCompare(tab))
+		if paper {
+			b.WriteString(paperAverages(exp.PaperTable2))
 		}
 
 	case "table3":
-		tab, err := exp.Table3(opts)
+		tab, err := exp.Table3From(opts, rs)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println("== TABLE III: 2.44% NMED constraint, arithmetic circuits ==")
-		fmt.Print(exp.RenderCompare(tab))
-		if compare {
-			printPaperAverages(exp.PaperTable3)
+		b.WriteString("== TABLE III: 2.44% NMED constraint, arithmetic circuits ==\n")
+		b.WriteString(exp.RenderCompare(tab))
+		if paper {
+			b.WriteString(paperAverages(exp.PaperTable3))
 		}
 
 	case "fig6":
-		series, err := exp.Fig6(opts)
+		series, err := exp.Fig6From(opts, rs)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(exp.RenderWeights(series))
+		b.WriteString(exp.RenderWeights(series))
 
 	case "fig7":
-		er, nmed, err := exp.Fig7(opts)
+		er, nmed, err := exp.Fig7From(opts, rs)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(exp.RenderSweep("Fig. 7(a): Ratiocpd vs ER constraint (random/control)", "ER", er))
-		fmt.Print(exp.RenderSweep("Fig. 7(b): Ratiocpd vs NMED constraint (arithmetic)", "NMED", nmed))
+		b.WriteString(exp.RenderSweep("Fig. 7(a): Ratiocpd vs ER constraint (random/control)", "ER", er))
+		b.WriteString(exp.RenderSweep("Fig. 7(b): Ratiocpd vs NMED constraint (arithmetic)", "NMED", nmed))
 
 	case "fig8":
-		er, nmed, err := exp.Fig8(opts)
+		er, nmed, err := exp.Fig8From(opts, rs)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(exp.RenderSweep("Fig. 8(a): Ratiocpd vs area constraint (5% ER)", "Areacon ratio", er))
-		fmt.Print(exp.RenderSweep("Fig. 8(b): Ratiocpd vs area constraint (2.44% NMED)", "Areacon ratio", nmed))
+		b.WriteString(exp.RenderSweep("Fig. 8(a): Ratiocpd vs area constraint (5% ER)", "Areacon ratio", er))
+		b.WriteString(exp.RenderSweep("Fig. 8(b): Ratiocpd vs area constraint (2.44% NMED)", "Areacon ratio", nmed))
 
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return "", fmt.Errorf("unknown experiment %q", name)
 	}
-	fmt.Println()
-	return nil
+	b.WriteString("\n")
+	return b.String(), nil
 }
 
-func printPaperAverages(table map[string]map[string]exp.PaperCell) {
+func paperAverages(table map[string]map[string]exp.PaperCell) string {
 	avg := exp.PaperAverages(table)
-	fmt.Printf("Paper averages:    ")
+	var b strings.Builder
+	fmt.Fprintf(&b, "Paper averages:    ")
 	for _, m := range als.AllMethods() {
-		fmt.Printf(" | %8.4f %9s", avg[m.String()], "")
+		fmt.Fprintf(&b, " | %8.4f %9s", avg[m.String()], "")
 	}
-	fmt.Println()
+	b.WriteString("\n")
+	return b.String()
+}
+
+// checkGolden is the CI regression gate: recompute the golden file's cells
+// and require exact metric equality.
+func checkGolden(path string, workers int, stderr io.Writer) int {
+	g, err := exp.LoadGolden(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	rs, stats, err := exp.RunJobs(g.Jobs(), workers, nil)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if diffs := exp.DiffGolden(g, rs); len(diffs) > 0 {
+		fmt.Fprintf(stderr, "golden check FAILED against %s: %d mismatch(es)\n", path, len(diffs))
+		for _, d := range diffs {
+			fmt.Fprintf(stderr, "  %s\n", d)
+		}
+		fmt.Fprintf(stderr, "after an intentional metrics change, regenerate with: %s\n", exp.GoldenRecipe)
+		return 1
+	}
+	fmt.Fprintf(stderr, "golden check passed: %d cell(s) match %s exactly (%d executed)\n",
+		len(g.Cells), path, stats.Executed)
+	return 0
+}
+
+// updateGolden recomputes the quick-scale golden suite and rewrites the
+// committed reference.
+func updateGolden(path string, seed int64, workers int, stderr io.Writer) int {
+	jobs := exp.GoldenJobs(seed)
+	rs, _, err := exp.RunJobs(jobs, workers, nil)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	g, err := exp.NewGolden(jobs, rs)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := exp.WriteGolden(path, g); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "wrote %d golden cell(s) to %s\n", len(g.Cells), path)
+	return 0
 }

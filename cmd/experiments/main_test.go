@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// runCLI invokes the command's run function with captured output.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUnknownExperimentListsValidNamesAndExits2(t *testing.T) {
+	code, _, stderr := runCLI(t, "-exp", "fig9")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown experiment "fig9"`) {
+		t.Fatalf("stderr must name the bad value: %q", stderr)
+	}
+	for _, name := range exp.Experiments() {
+		if !strings.Contains(stderr, name) {
+			t.Fatalf("stderr must list valid experiment %q: %q", name, stderr)
+		}
+	}
+	if !strings.Contains(stderr, "all") {
+		t.Fatalf("stderr must mention the 'all' pseudo-experiment: %q", stderr)
+	}
+}
+
+func TestUnknownScaleAndFormatExit2(t *testing.T) {
+	if code, _, stderr := runCLI(t, "-scale", "huge"); code != 2 || !strings.Contains(stderr, "unknown scale") {
+		t.Fatalf("bad scale: code=%d stderr=%q", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-exp", "table1", "-format", "xml"); code != 2 || !strings.Contains(stderr, "unknown format") {
+		t.Fatalf("bad format: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestResumeWithoutOutExits2(t *testing.T) {
+	code, _, stderr := runCLI(t, "-exp", "table2", "-resume")
+	if code != 2 || !strings.Contains(stderr, "-resume requires -out") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestTable1FormatsRender(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-exp", "table1")
+	if code != 0 || !strings.Contains(stdout, "TABLE I") || !strings.Contains(stdout, "Sqrt") {
+		t.Fatalf("text: code=%d stdout=%q", code, stdout)
+	}
+	code, stdout, _ = runCLI(t, "-exp", "table1", "-format", "json")
+	if code != 0 || !strings.Contains(stdout, `"experiment": "table1"`) {
+		t.Fatalf("json: code=%d stdout=%q", code, stdout)
+	}
+	code, stdout, _ = runCLI(t, "-exp", "table1", "-format", "csv")
+	if code != 0 || !strings.HasPrefix(stdout, "type,circuit,gates") {
+		t.Fatalf("csv: code=%d stdout=%q", code, stdout)
+	}
+}
+
+// cliMatrix is the cheapest real two-table run: one circuit per table, two
+// methods, tiny budgets.
+func cliMatrix(extra ...string) []string {
+	return append([]string{
+		"-circuits", "c880,Max16", "-seed", "3",
+		"-pop", "6", "-iters", "3", "-vectors", "512",
+	}, extra...)
+}
+
+func TestJSONOutputByteIdenticalAcrossJobs(t *testing.T) {
+	code1, out1, _ := runCLI(t, cliMatrix("-exp", "table2", "-format", "json", "-jobs", "1")...)
+	code8, out8, _ := runCLI(t, cliMatrix("-exp", "table2", "-format", "json", "-jobs", "8")...)
+	if code1 != 0 || code8 != 0 {
+		t.Fatalf("exit codes %d/%d", code1, code8)
+	}
+	if out1 != out8 {
+		t.Fatalf("-jobs 1 and -jobs 8 JSON differ:\n%s\nvs\n%s", out1, out8)
+	}
+	if !strings.Contains(out1, `"circuit": "c880"`) {
+		t.Fatalf("unexpected JSON: %s", out1)
+	}
+}
+
+func TestOutDirResumeAndRenderedFiles(t *testing.T) {
+	dir := t.TempDir()
+	args := cliMatrix("-exp", "table3", "-format", "csv", "-out", dir)
+
+	code, out1, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("first run: %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "5 executed") {
+		t.Fatalf("first run must execute the 5 cells: %q", stderr)
+	}
+	storePath := filepath.Join(dir, "results.jsonl")
+	if _, err := os.Stat(storePath); err != nil {
+		t.Fatalf("result store missing: %v", err)
+	}
+	rendered, err := os.ReadFile(filepath.Join(dir, "table3.csv"))
+	if err != nil || string(rendered) != out1 {
+		t.Fatalf("rendered file must mirror stdout: err=%v", err)
+	}
+
+	// Resumed run: everything cached, byte-identical output.
+	code, out2, stderr := runCLI(t, append(args, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume run: %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "0 executed, 5 cached") {
+		t.Fatalf("resume must serve all cells from cache: %q", stderr)
+	}
+	if out1 != out2 {
+		t.Fatalf("cached output differs:\n%s\nvs\n%s", out1, out2)
+	}
+
+	// Without -resume the store is truncated and cells recompute.
+	code, _, stderr = runCLI(t, args...)
+	if code != 0 || !strings.Contains(stderr, "5 executed, 0 cached") {
+		t.Fatalf("fresh run must recompute: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestGoldenUpdateAndCheckRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite runs 15 quick-scale flows")
+	}
+	path := filepath.Join(t.TempDir(), "golden.json")
+	code, _, stderr := runCLI(t, "-update-golden", path)
+	if code != 0 {
+		t.Fatalf("update-golden: %d, stderr %q", code, stderr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), exp.GoldenRecipe) {
+		t.Fatal("golden file must document its regeneration recipe")
+	}
+
+	code, _, stderr = runCLI(t, "-check", path)
+	if code != 0 || !strings.Contains(stderr, "golden check passed") {
+		t.Fatalf("check after update must pass: code=%d stderr=%q", code, stderr)
+	}
+
+	// An injected perturbation must fail the gate with exit 1.
+	g, err := exp.LoadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Cells[0].RatioCPD += 1e-12
+	if err := exp.WriteGolden(path, g); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI(t, "-check", path)
+	if code != 1 || !strings.Contains(stderr, "golden check FAILED") {
+		t.Fatalf("perturbed golden must fail: code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stderr, "RatioCPD") {
+		t.Fatalf("failure must name the mismatching metric: %q", stderr)
+	}
+}
+
+func TestCheckMissingGoldenFileFails(t *testing.T) {
+	code, _, stderr := runCLI(t, "-check", filepath.Join(t.TempDir(), "absent.json"))
+	if code != 1 || stderr == "" {
+		t.Fatalf("absent golden file: code=%d stderr=%q", code, stderr)
+	}
+}

@@ -82,6 +82,9 @@ type Config struct {
 	// DepthWeight is the fitness weight used for reporting Fit; greedy
 	// baselines optimize their own single objective regardless.
 	DepthWeight float64
+	// EvalWorkers caps the parallel-evaluation pool (0 = GOMAXPROCS);
+	// mirrors core.Config.EvalWorkers.
+	EvalWorkers int
 	// Seed fixes the run.
 	Seed int64
 }
@@ -118,6 +121,7 @@ func Run(method Method, accurate *netlist.Circuit, lib *cell.Library, cfg Config
 	if err != nil {
 		return nil, err
 	}
+	eval.SetMaxWorkers(cfg.EvalWorkers)
 	r := &runner{cfg: cfg, lib: lib, base: base, eval: eval, rng: rng}
 	switch method {
 	case VecbeeSasimi:

@@ -28,7 +28,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/errest"
@@ -101,6 +100,10 @@ type Config struct {
 	// DisableReproduction replaces every reproduction action with a
 	// searching action (ablation of the crossover operator).
 	DisableReproduction bool
+	// EvalWorkers caps the parallel-evaluation pool (0 = GOMAXPROCS).
+	// Results are identical at any value; outer schedulers that shard
+	// whole flows set it to avoid nested-pool oversubscription.
+	EvalWorkers int
 	// Seed makes the run reproducible.
 	Seed int64
 }
@@ -224,6 +227,11 @@ type Evaluator struct {
 
 	serial *sim.Simulator // simulator for serial Evaluate/Simulate calls
 
+	// maxWorkers caps EvaluateBatch's pool (0 = GOMAXPROCS). Outer
+	// schedulers that already parallelize across flows set it so nested
+	// pools don't oversubscribe the machine.
+	maxWorkers int
+
 	poolMu sync.Mutex
 	pool   []*sim.Simulator // recycled worker simulators for EvaluateBatch
 }
@@ -284,6 +292,11 @@ func (e *Evaluator) RefArea() float64 { return e.refArea }
 
 // Count returns how many circuit evaluations have been performed.
 func (e *Evaluator) Count() int { return e.count }
+
+// SetMaxWorkers caps EvaluateBatch's worker pool (0 restores the default,
+// GOMAXPROCS). Evaluation is pure, so the cap changes scheduling only —
+// never results.
+func (e *Evaluator) SetMaxWorkers(n int) { e.maxWorkers = n }
 
 // Simulate runs the incremental engine on a candidate sharing the base
 // circuit's gate ID space, returning the full per-gate waveforms (exactly
@@ -356,67 +369,48 @@ func (e *Evaluator) evaluateWith(s *sim.Simulator, c *netlist.Circuit) (*Individ
 // len(cs) — are bit-identical to evaluating the slice serially.
 func (e *Evaluator) EvaluateBatch(cs []*netlist.Circuit) ([]*Individual, error) {
 	out := make([]*Individual, len(cs))
-	workers := runtime.GOMAXPROCS(0)
+	if len(cs) == 0 {
+		return out, nil
+	}
+	workers := e.maxWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(cs) {
 		workers = len(cs)
 	}
-	if workers <= 1 {
-		// Borrow a pooled simulator rather than e.serial so a result an
-		// outer caller obtained from Simulate stays valid across a batch
-		// regardless of GOMAXPROCS or batch size.
+	if workers < 1 {
+		workers = 1
+	}
+	// Borrow pooled simulators (rather than e.serial, even for one worker)
+	// so a result an outer caller obtained from Simulate stays valid across
+	// a batch regardless of GOMAXPROCS or batch size.
+	sims := make([]*sim.Simulator, workers)
+	for w := range sims {
 		s, err := e.borrowSimulator()
 		if err != nil {
+			for _, prev := range sims[:w] {
+				e.returnSimulator(prev)
+			}
 			return nil, err
 		}
-		defer e.returnSimulator(s)
-		for i, c := range cs {
-			ind, err := e.evaluateWith(s, c)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = ind
+		sims[w] = s
+	}
+	defer func() {
+		for _, s := range sims {
+			e.returnSimulator(s)
 		}
-		e.count += len(cs)
-		return out, nil
-	}
-	var (
-		next    atomic.Int64
-		failed  atomic.Bool
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		jobErr  error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() { jobErr = err })
-		failed.Store(true)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s, err := e.borrowSimulator()
-			if err != nil {
-				fail(err)
-				return
-			}
-			defer e.returnSimulator(s)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cs) || failed.Load() {
-					return
-				}
-				ind, err := e.evaluateWith(s, cs[i])
-				if err != nil {
-					fail(err)
-					return
-				}
-				out[i] = ind
-			}
-		}()
-	}
-	wg.Wait()
-	if jobErr != nil {
-		return nil, jobErr
+	}()
+	err := ParallelFor(len(cs), workers, func(worker, i int) error {
+		ind, err := e.evaluateWith(sims[worker], cs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = ind
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	e.count += len(cs)
 	return out, nil

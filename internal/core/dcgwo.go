@@ -42,6 +42,7 @@ func New(accurate *netlist.Circuit, lib *cell.Library, cfg Config) (*Optimizer, 
 	if err != nil {
 		return nil, err
 	}
+	eval.SetMaxWorkers(cfg.EvalWorkers)
 	return &Optimizer{
 		cfg:  cfg,
 		lib:  lib,

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 57
+		hits := make([]atomic.Int32, n)
+		if err := ParallelFor(n, workers, func(_, i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	if err := ParallelFor(0, 4, func(_, _ int) error {
+		t.Fatal("fn must not run for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelForWorkerIndexBounded(t *testing.T) {
+	const workers = 3
+	var bad atomic.Bool
+	if err := ParallelFor(64, workers, func(w, _ int) error {
+		if w < 0 || w >= workers {
+			bad.Store(true)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() {
+		t.Fatal("worker index out of [0, workers)")
+	}
+}
+
+func TestParallelForErrorStopsNewWork(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := ParallelFor(1000, 4, func(_, i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// In-flight calls may finish, but the pool must not drain the whole
+	// range after the failure.
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("all %d indices ran despite early error", got)
+	}
+}
+
+func TestParallelForSerialIsInOrder(t *testing.T) {
+	var order []int
+	if err := ParallelFor(5, 1, func(w, i int) error {
+		if w != 0 {
+			t.Fatalf("serial worker index = %d", w)
+		}
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order %v, want ascending", order)
+		}
+	}
+}

@@ -4,16 +4,23 @@
 // comparison), Fig. 6 (depth-weight sweep), Fig. 7 (error-constraint
 // sweep) and Fig. 8 (area-constraint sweep).
 //
+// The evaluation is organized as a job graph: every (experiment, circuit,
+// method, seed, budget) cell is one Job with a canonical content hash
+// (jobs.go), a scheduler runs deduplicated jobs on a bounded worker pool
+// with store-backed caching (scheduler.go), and the table/figure
+// assemblers and renderers are pure functions over the resulting
+// ResultSet (render.go) — so re-runs skip finished cells, output is
+// independent of worker count, and quick-scale metrics can be diffed
+// exactly against a committed golden file (golden.go).
+//
 // Absolute numbers differ from the paper (synthetic library and
 // generators); the reproduced quantities are the Ratiocpd orderings and
-// trend shapes. PaperTable2/PaperTable3 embed the paper's reported values
-// so reports can print paper-vs-measured side by side.
+// trend shapes. PaperTable2/PaperTable3 (paper.go) embed the paper's
+// reported values so reports can print paper-vs-measured side by side.
 package exp
 
 import (
 	"fmt"
-	"strings"
-	"time"
 
 	als "repro"
 	"repro/internal/core"
@@ -51,18 +58,6 @@ func (o Opts) seed() int64 {
 	return o.Seed
 }
 
-func (o Opts) flowConfig(metric core.Metric, budget float64) als.FlowConfig {
-	return als.FlowConfig{
-		Metric:      metric,
-		ErrorBudget: budget,
-		Scale:       o.Scale,
-		Seed:        o.seed(),
-		Population:  o.Population,
-		Iterations:  o.Iterations,
-		Vectors:     o.Vectors,
-	}
-}
-
 // circuitSet returns the experiment's benchmark names filtered by Opts.
 func (o Opts) circuitSet(kind gen.Kind) []string {
 	var names []string
@@ -98,20 +93,27 @@ var (
 	Fig6Weights = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
 )
 
+// Experiments lists the valid experiment names in run order.
+func Experiments() []string {
+	return []string{"table1", "table2", "table3", "fig6", "fig7", "fig8"}
+}
+
 // ---- TABLE I -------------------------------------------------------------
 
 // Table1Row is one benchmark-statistics row.
 type Table1Row struct {
-	Type        string
-	Circuit     string
-	Gates       int
-	PIs, POs    int
-	CPDOri      float64 // ps
-	AreaOri     float64 // µm²
-	Description string
+	Type        string  `json:"type"`
+	Circuit     string  `json:"circuit"`
+	Gates       int     `json:"gates"`
+	PIs         int     `json:"pis"`
+	POs         int     `json:"pos"`
+	CPDOri      float64 `json:"cpd_ori_ps"`
+	AreaOri     float64 `json:"area_um2"`
+	Description string  `json:"description"`
 }
 
-// Table1 regenerates the benchmark statistics table.
+// Table1 regenerates the benchmark statistics table. It is pure circuit
+// analysis — no optimization — so it is not part of the job graph.
 func Table1() ([]Table1Row, error) {
 	lib := als.NewLibrary()
 	var rows []Table1Row
@@ -136,138 +138,59 @@ func Table1() ([]Table1Row, error) {
 	return rows, nil
 }
 
-// ---- TABLE II / III -------------------------------------------------------
-
-// Cell is one (circuit, method) measurement.
-type Cell struct {
-	RatioCPD float64
-	Err      float64
-	Runtime  time.Duration
-}
-
-// CompareRow is one circuit row of TABLE II/III.
-type CompareRow struct {
-	Circuit string
-	AreaCon float64
-	Cells   map[als.Method]Cell
-}
-
-// CompareTable holds a full method-comparison table plus averages.
-type CompareTable struct {
-	Metric  core.Metric
-	Budget  float64
-	Methods []als.Method
-	Rows    []CompareRow
-	// Avg maps each method to its average Ratiocpd across rows.
-	Avg map[als.Method]float64
-}
+// ---- convenience wrappers --------------------------------------------------
+//
+// The historical one-call-per-table API: build the experiment's job list,
+// run it (default worker count, no store) and assemble. Callers that want
+// sharding, caching or resume use JobsFor + RunJobs + the *From assemblers
+// directly, as cmd/experiments does.
 
 // Table2 reproduces the 5% ER comparison on the random/control circuits.
 func Table2(opts Opts) (*CompareTable, error) {
-	return compare(opts, gen.RandomControl, core.MetricER, 0.05)
+	rs, _, err := RunJobs(Table2Jobs(opts), 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return Table2From(opts, rs)
 }
 
 // Table3 reproduces the 2.44% NMED comparison on the arithmetic circuits.
 func Table3(opts Opts) (*CompareTable, error) {
-	return compare(opts, gen.Arithmetic, core.MetricNMED, 0.0244)
-}
-
-func compare(opts Opts, kind gen.Kind, metric core.Metric, budget float64) (*CompareTable, error) {
-	lib := als.NewLibrary()
-	methods := opts.methods()
-	table := &CompareTable{
-		Metric:  metric,
-		Budget:  budget,
-		Methods: methods,
-		Avg:     map[als.Method]float64{},
+	rs, _, err := RunJobs(Table3Jobs(opts), 0, nil)
+	if err != nil {
+		return nil, err
 	}
-	for _, name := range opts.circuitSet(kind) {
-		c := gen.MustBuild(name)
-		row := CompareRow{Circuit: name, Cells: map[als.Method]Cell{}}
-		for _, m := range methods {
-			cfg := opts.flowConfig(metric, budget)
-			cfg.Method = m
-			res, err := als.Flow(c, lib, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s/%s: %w", name, m, err)
-			}
-			row.AreaCon = res.AreaCon
-			row.Cells[m] = Cell{RatioCPD: res.RatioCPD, Err: res.Err, Runtime: res.Runtime}
-		}
-		table.Rows = append(table.Rows, row)
-	}
-	for _, m := range methods {
-		sum := 0.0
-		for _, row := range table.Rows {
-			sum += row.Cells[m].RatioCPD
-		}
-		if len(table.Rows) > 0 {
-			table.Avg[m] = sum / float64(len(table.Rows))
-		}
-	}
-	return table, nil
-}
-
-// ---- Fig. 6: depth-weight sweep -------------------------------------------
-
-// WeightSeries is one Fig. 6 curve: average Ratiocpd per depth weight wd
-// under one constraint setting.
-type WeightSeries struct {
-	Label   string
-	Metric  core.Metric
-	Budget  float64
-	Weights []float64
-	Ratio   []float64
+	return Table3From(opts, rs)
 }
 
 // Fig6 sweeps wd under the tightest and loosest ER and NMED constraints.
 func Fig6(opts Opts) ([]WeightSeries, error) {
-	settings := []struct {
-		label  string
-		metric core.Metric
-		budget float64
-		kind   gen.Kind
-	}{
-		{"ER 1%", core.MetricER, 0.01, gen.RandomControl},
-		{"ER 5%", core.MetricER, 0.05, gen.RandomControl},
-		{"NMED 0.48%", core.MetricNMED, 0.0048, gen.Arithmetic},
-		{"NMED 2.44%", core.MetricNMED, 0.0244, gen.Arithmetic},
+	rs, _, err := RunJobs(Fig6Jobs(opts), 0, nil)
+	if err != nil {
+		return nil, err
 	}
-	lib := als.NewLibrary()
-	var out []WeightSeries
-	for _, s := range settings {
-		series := WeightSeries{Label: s.label, Metric: s.metric, Budget: s.budget, Weights: Fig6Weights}
-		for _, wd := range Fig6Weights {
-			sum, n := 0.0, 0
-			for _, name := range opts.circuitSet(s.kind) {
-				cfg := opts.flowConfig(s.metric, s.budget)
-				cfg.Method = als.MethodDCGWO
-				cfg.DepthWeight = wd
-				if wd == 0 {
-					cfg.DepthWeight = 1e-9 // FlowConfig treats 0 as "default"
-				}
-				res, err := als.Flow(gen.MustBuild(name), lib, cfg)
-				if err != nil {
-					return nil, err
-				}
-				sum += res.RatioCPD
-				n++
-			}
-			series.Ratio = append(series.Ratio, sum/float64(n))
-		}
-		out = append(out, series)
-	}
-	return out, nil
+	return Fig6From(opts, rs)
 }
 
-// ---- Fig. 7: error-constraint sweep ----------------------------------------
+// Fig7 sweeps the error constraint for HEDALS, single-chase GWO and ours;
+// part (a) covers random/control circuits under ER, part (b) arithmetic
+// circuits under NMED.
+func Fig7(opts Opts) (er, nmed []SweepSeries, err error) {
+	rs, _, err := RunJobs(Fig7Jobs(opts), 0, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Fig7From(opts, rs)
+}
 
-// SweepSeries is one curve of Fig. 7/8: average Ratiocpd per x-value for
-// one method.
-type SweepSeries struct {
-	Method als.Method
-	X      []float64
-	Ratio  []float64
+// Fig8 sweeps the post-optimization area constraint (0.8×–1.2× Areacon)
+// under the loosest ER and NMED constraints.
+func Fig8(opts Opts) (er, nmed []SweepSeries, err error) {
+	rs, _, err := RunJobs(Fig8Jobs(opts), 0, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Fig8From(opts, rs)
 }
 
 // Fig7Methods are the methods the paper plots in Figs. 7 and 8.
@@ -275,218 +198,22 @@ func Fig7Methods() []als.Method {
 	return []als.Method{als.MethodHEDALS, als.MethodSingleChaseGWO, als.MethodDCGWO}
 }
 
-// Fig7 sweeps the error constraint for HEDALS, single-chase GWO and ours;
-// part (a) covers random/control circuits under ER, part (b) arithmetic
-// circuits under NMED.
-func Fig7(opts Opts) (er, nmed []SweepSeries, err error) {
-	er, err = errorSweep(opts, gen.RandomControl, core.MetricER, ERConstraints)
-	if err != nil {
-		return nil, nil, err
+func (o Opts) sweepMethods() []als.Method {
+	if o.Methods != nil {
+		return o.Methods
 	}
-	nmed, err = errorSweep(opts, gen.Arithmetic, core.MetricNMED, NMEDConstraints)
-	return er, nmed, err
+	return Fig7Methods()
 }
 
-func errorSweep(opts Opts, kind gen.Kind, metric core.Metric, budgets []float64) ([]SweepSeries, error) {
-	lib := als.NewLibrary()
-	methods := opts.Methods
-	if methods == nil {
-		methods = Fig7Methods()
-	}
-	var out []SweepSeries
-	for _, m := range methods {
-		series := SweepSeries{Method: m, X: budgets}
-		for _, budget := range budgets {
-			sum, n := 0.0, 0
-			for _, name := range opts.circuitSet(kind) {
-				cfg := opts.flowConfig(metric, budget)
-				cfg.Method = m
-				res, err := als.Flow(gen.MustBuild(name), lib, cfg)
-				if err != nil {
-					return nil, err
-				}
-				sum += res.RatioCPD
-				n++
-			}
-			series.Ratio = append(series.Ratio, sum/float64(n))
-		}
-		out = append(out, series)
-	}
-	return out, nil
-}
-
-// Fig8 sweeps the post-optimization area constraint (0.8×–1.2× Areacon)
-// under the loosest ER and NMED constraints.
-func Fig8(opts Opts) (er, nmed []SweepSeries, err error) {
-	er, err = areaSweep(opts, gen.RandomControl, core.MetricER, 0.05)
-	if err != nil {
-		return nil, nil, err
-	}
-	nmed, err = areaSweep(opts, gen.Arithmetic, core.MetricNMED, 0.0244)
-	return er, nmed, err
-}
-
-func areaSweep(opts Opts, kind gen.Kind, metric core.Metric, budget float64) ([]SweepSeries, error) {
-	lib := als.NewLibrary()
-	methods := opts.Methods
-	if methods == nil {
-		methods = Fig7Methods()
-	}
-	var out []SweepSeries
-	for _, m := range methods {
-		series := SweepSeries{Method: m, X: AreaRatios}
-		for _, ratio := range AreaRatios {
-			sum, n := 0.0, 0
-			for _, name := range opts.circuitSet(kind) {
-				cfg := opts.flowConfig(metric, budget)
-				cfg.Method = m
-				cfg.AreaConRatio = ratio
-				res, err := als.Flow(gen.MustBuild(name), lib, cfg)
-				if err != nil {
-					return nil, err
-				}
-				sum += res.RatioCPD
-				n++
-			}
-			series.Ratio = append(series.Ratio, sum/float64(n))
-		}
-		out = append(out, series)
-	}
-	return out, nil
-}
-
-// ---- rendering -------------------------------------------------------------
-
-// RenderTable1 prints TABLE I as aligned text.
-func RenderTable1(rows []Table1Row) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-15s %-10s %6s %5s %5s %10s %10s  %s\n",
-		"Type", "Circuit", "#gate", "#PI", "#PO", "CPDori(ps)", "Area(um2)", "Description")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-15s %-10s %6d %5d %5d %10.2f %10.2f  %s\n",
-			r.Type, r.Circuit, r.Gates, r.PIs, r.POs, r.CPDOri, r.AreaOri, r.Description)
-	}
-	return b.String()
-}
-
-// RenderCompare prints a TABLE II/III-style comparison.
-func RenderCompare(t *CompareTable) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Constraint: %s <= %.4g, post-optimization under Areacon\n", t.Metric, t.Budget)
-	fmt.Fprintf(&b, "%-10s %10s", "Circuit", "Areacon")
-	for _, m := range t.Methods {
-		fmt.Fprintf(&b, " | %-18s", m)
-	}
-	b.WriteString("\n")
-	fmt.Fprintf(&b, "%-10s %10s", "", "")
-	for range t.Methods {
-		fmt.Fprintf(&b, " | %8s %9s", "Ratiocpd", "time(s)")
-	}
-	b.WriteString("\n")
-	for _, row := range t.Rows {
-		fmt.Fprintf(&b, "%-10s %10.2f", row.Circuit, row.AreaCon)
-		for _, m := range t.Methods {
-			c := row.Cells[m]
-			fmt.Fprintf(&b, " | %8.4f %9.3f", c.RatioCPD, c.Runtime.Seconds())
-		}
-		b.WriteString("\n")
-	}
-	fmt.Fprintf(&b, "%-10s %10s", "Average", "")
-	for _, m := range t.Methods {
-		fmt.Fprintf(&b, " | %8.4f %9s", t.Avg[m], "")
-	}
-	b.WriteString("\n")
-	return b.String()
-}
-
-// RenderSweep prints one Fig. 7/8-style family of curves.
-func RenderSweep(title, xlabel string, series []SweepSeries) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n%-20s", title, xlabel)
-	if len(series) == 0 {
-		return b.String() + "\n"
-	}
-	for _, x := range series[0].X {
-		fmt.Fprintf(&b, " %8.4g", x)
-	}
-	b.WriteString("\n")
-	for _, s := range series {
-		fmt.Fprintf(&b, "%-20s", s.Method.String())
-		for _, r := range s.Ratio {
-			fmt.Fprintf(&b, " %8.4f", r)
-		}
-		b.WriteString("\n")
-	}
-	return b.String()
-}
-
-// RenderWeights prints the Fig. 6 curves.
-func RenderWeights(series []WeightSeries) string {
-	var b strings.Builder
-	b.WriteString("Fig. 6: average Ratiocpd vs depth weight wd\n")
-	if len(series) == 0 {
-		return b.String()
-	}
-	fmt.Fprintf(&b, "%-14s", "wd")
-	for _, w := range series[0].Weights {
-		fmt.Fprintf(&b, " %8.2f", w)
-	}
-	b.WriteString("\n")
-	for _, s := range series {
-		fmt.Fprintf(&b, "%-14s", s.Label)
-		for _, r := range s.Ratio {
-			fmt.Fprintf(&b, " %8.4f", r)
-		}
-		b.WriteString("\n")
-	}
-	return b.String()
-}
-
-// ---- paper reference values -------------------------------------------------
-
-// PaperCell is the paper's reported (Ratiocpd, runtime seconds).
-type PaperCell struct {
-	Ratio   float64
-	Seconds float64
-}
-
-// PaperTable2 holds the paper's TABLE II values for paper-vs-measured
-// reports, keyed by circuit then method name.
-var PaperTable2 = map[string]map[string]PaperCell{
-	"Cavlc": {"VECBEE-S": {0.9219, 60.03}, "VaACS": {0.8745, 356.89}, "HEDALS": {0.9071, 194.43}, "GWO (single-chase)": {0.8963, 407.25}, "Ours": {0.8602, 310.42}},
-	"c880":  {"VECBEE-S": {0.9026, 43.11}, "VaACS": {0.9221, 227.13}, "HEDALS": {0.8913, 104.00}, "GWO (single-chase)": {0.9183, 201.51}, "Ours": {0.8399, 193.86}},
-	"c1908": {"VECBEE-S": {0.8679, 65.32}, "VaACS": {0.5166, 235.68}, "HEDALS": {0.3372, 310.42}, "GWO (single-chase)": {0.5021, 307.56}, "Ours": {0.3865, 202.79}},
-	"c2670": {"VECBEE-S": {0.6708, 308.16}, "VaACS": {0.8101, 477.92}, "HEDALS": {0.7589, 250.28}, "GWO (single-chase)": {0.7703, 313.99}, "Ours": {0.6314, 339.63}},
-	"c3540": {"VECBEE-S": {0.9670, 391.42}, "VaACS": {0.9729, 435.26}, "HEDALS": {0.9203, 373.26}, "GWO (single-chase)": {0.9224, 479.88}, "Ours": {0.8732, 324.59}},
-	"c5315": {"VECBEE-S": {0.9113, 1857.32}, "VaACS": {0.8599, 1963.55}, "HEDALS": {0.8270, 1662.08}, "GWO (single-chase)": {0.8165, 1655.07}, "Ours": {0.8034, 1449.37}},
-	"c7552": {"VECBEE-S": {0.9262, 1726.27}, "VaACS": {0.9133, 1336.64}, "HEDALS": {0.7391, 1315.85}, "GWO (single-chase)": {0.8877, 1420.32}, "Ours": {0.7063, 1279.18}},
-}
-
-// PaperTable3 holds the paper's TABLE III values.
-var PaperTable3 = map[string]map[string]PaperCell{
-	"Int2float": {"VECBEE-S": {0.9331, 71.23}, "VaACS": {0.5047, 151.73}, "HEDALS": {0.7649, 32.68}, "GWO (single-chase)": {0.6010, 178.30}, "Ours": {0.4496, 132.12}},
-	"Adder16":   {"VECBEE-S": {0.9973, 67.20}, "VaACS": {0.5295, 173.85}, "HEDALS": {0.4513, 47.30}, "GWO (single-chase)": {0.5216, 189.01}, "Ours": {0.4275, 167.03}},
-	"Max16":     {"VECBEE-S": {0.7087, 93.17}, "VaACS": {0.4209, 189.73}, "HEDALS": {0.4470, 105.97}, "GWO (single-chase)": {0.3928, 277.38}, "Ours": {0.3708, 208.55}},
-	"c6288":     {"VECBEE-S": {0.9663, 4410.29}, "VaACS": {0.8696, 3279.62}, "HEDALS": {0.6368, 2563.41}, "GWO (single-chase)": {0.9079, 2991.00}, "Ours": {0.8313, 2103.88}},
-	"Adder":     {"VECBEE-S": {0.7814, 1697.37}, "VaACS": {0.8133, 2083.15}, "HEDALS": {0.7110, 1362.70}, "GWO (single-chase)": {0.8008, 1550.03}, "Ours": {0.6917, 1193.71}},
-	"Max":       {"VECBEE-S": {0.8809, 2600.78}, "VaACS": {0.8933, 3397.50}, "HEDALS": {0.8355, 2992.08}, "GWO (single-chase)": {0.7517, 3121.44}, "Ours": {0.6799, 2035.62}},
-	"Sin":       {"VECBEE-S": {0.9187, 5391.68}, "VaACS": {0.8326, 3872.31}, "HEDALS": {0.7945, 3380.52}, "GWO (single-chase)": {0.8722, 4392.77}, "Ours": {0.7603, 3176.46}},
-	"Sqrt":      {"VECBEE-S": {0.7993, 33117.12}, "VaACS": {0.8011, 20160.76}, "HEDALS": {0.7437, 11242.29}, "GWO (single-chase)": {0.7803, 17894.50}, "Ours": {0.7058, 9950.11}},
-}
-
-// PaperAverages returns the paper's average Ratiocpd per method for a
-// reference table.
-func PaperAverages(table map[string]map[string]PaperCell) map[string]float64 {
-	sums := map[string]float64{}
-	n := 0
-	for _, row := range table {
-		n++
-		for m, cell := range row {
-			sums[m] += cell.Ratio
-		}
-	}
-	for m := range sums {
-		sums[m] /= float64(n)
-	}
-	return sums
+// fig6Settings are the four Fig. 6 curves: metric × tight/loose budget.
+var fig6Settings = []struct {
+	label  string
+	metric core.Metric
+	budget float64
+	kind   gen.Kind
+}{
+	{"ER 1%", core.MetricER, 0.01, gen.RandomControl},
+	{"ER 5%", core.MetricER, 0.05, gen.RandomControl},
+	{"NMED 0.48%", core.MetricNMED, 0.0048, gen.Arithmetic},
+	{"NMED 2.44%", core.MetricNMED, 0.0244, gen.Arithmetic},
 }

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	als "repro"
+	"repro/internal/core"
+)
+
+// GoldenRecipe is the command that regenerates the committed golden file
+// after an intentional metrics change.
+const GoldenRecipe = "go run ./cmd/experiments -update-golden testdata/golden_quick.json"
+
+// GoldenCell pins one job's deterministic metrics. Runtime is deliberately
+// absent: the golden gate compares only quantities that are bit-exact at a
+// given job spec.
+type GoldenCell struct {
+	Job         Job     `json:"job"`
+	RatioCPD    float64 `json:"ratio_cpd"`
+	Err         float64 `json:"err"`
+	Evaluations int     `json:"evaluations"`
+}
+
+// Golden is the committed golden-metrics regression reference: a set of
+// quick-scale cells whose RatioCPD/Err/Evaluations must match a fresh run
+// exactly (the determinism PR 1 guarantees).
+type Golden struct {
+	// Recipe documents how to regenerate this file (see GoldenRecipe).
+	Recipe string       `json:"_recipe"`
+	Cells  []GoldenCell `json:"cells"`
+}
+
+// GoldenJobs is the quick-scale regression suite: the smallest circuit of
+// each kind class (c880 under the TABLE II ER setting; Adder16 and Max16
+// under the TABLE III NMED setting) across all five methods — 15 cells,
+// seconds of CI time, every optimizer exercised.
+func GoldenJobs(seed int64) []Job {
+	opts := Opts{Scale: als.ScaleQuick, Seed: seed}
+	var jobs []Job
+	for _, m := range als.AllMethods() {
+		jobs = append(jobs, opts.cellJob("c880", m, core.MetricER, 0.05))
+	}
+	for _, circuit := range []string{"Adder16", "Max16"} {
+		for _, m := range als.AllMethods() {
+			jobs = append(jobs, opts.cellJob(circuit, m, core.MetricNMED, 0.0244))
+		}
+	}
+	return jobs
+}
+
+// NewGolden assembles a golden reference from computed results, in job
+// order.
+func NewGolden(jobs []Job, rs ResultSet) (*Golden, error) {
+	g := &Golden{Recipe: GoldenRecipe}
+	for _, j := range jobs {
+		r, err := rs.get(j)
+		if err != nil {
+			return nil, err
+		}
+		g.Cells = append(g.Cells, GoldenCell{Job: j, RatioCPD: r.RatioCPD, Err: r.Err, Evaluations: r.Evaluations})
+	}
+	return g, nil
+}
+
+// Jobs lists the golden file's job specs — what -check re-runs.
+func (g *Golden) Jobs() []Job {
+	jobs := make([]Job, len(g.Cells))
+	for i, c := range g.Cells {
+		jobs[i] = c.Job
+	}
+	return jobs
+}
+
+// DiffGolden compares fresh results against the golden reference with
+// exact equality on RatioCPD, Err and Evaluations, returning one
+// human-readable line per mismatching (or missing) cell, in a stable
+// order. An empty slice means the gate passes.
+func DiffGolden(g *Golden, rs ResultSet) []string {
+	var diffs []string
+	for _, c := range g.Cells {
+		r, err := rs.get(c.Job)
+		if err != nil {
+			diffs = append(diffs, fmt.Sprintf("%s: missing result", c.Job))
+			continue
+		}
+		if r.RatioCPD != c.RatioCPD {
+			diffs = append(diffs, fmt.Sprintf("%s: RatioCPD = %v, golden %v", c.Job, r.RatioCPD, c.RatioCPD))
+		}
+		if r.Err != c.Err {
+			diffs = append(diffs, fmt.Sprintf("%s: Err = %v, golden %v", c.Job, r.Err, c.Err))
+		}
+		if r.Evaluations != c.Evaluations {
+			diffs = append(diffs, fmt.Sprintf("%s: Evaluations = %d, golden %d", c.Job, r.Evaluations, c.Evaluations))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}
+
+// LoadGolden reads a golden reference file.
+func LoadGolden(path string) (*Golden, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("exp: golden: %w", err)
+	}
+	var g Golden
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return nil, fmt.Errorf("exp: golden %s: %w", path, err)
+	}
+	if len(g.Cells) == 0 {
+		return nil, fmt.Errorf("exp: golden %s: no cells", path)
+	}
+	return &g, nil
+}
+
+// WriteGolden writes a golden reference file (indented, trailing newline,
+// recipe header first).
+func WriteGolden(path string, g *Golden) error {
+	raw, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

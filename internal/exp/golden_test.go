@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeGolden builds a golden reference from synthetic results so diff
+// tests need no flow runs.
+func fakeGolden(t *testing.T) (*Golden, ResultSet) {
+	t.Helper()
+	jobs := GoldenJobs(1)[:3]
+	rs := ResultSet{}
+	for i, j := range jobs {
+		if err := rs.Add(j, JobResult{
+			RatioCPD:    0.5 + float64(i)/10,
+			Err:         0.01 * float64(i),
+			Evaluations: 100 + i,
+			RuntimeNS:   int64(i) * 1e9, // runtime must never affect diffs
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := NewGolden(jobs, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, rs
+}
+
+func TestGoldenJobsSuite(t *testing.T) {
+	jobs := GoldenJobs(1)
+	if len(jobs) != 15 {
+		t.Fatalf("golden suite has %d cells, want 15 (3 circuits × 5 methods)", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Scale != "quick" {
+			t.Fatalf("golden job %s is not quick-scale", j)
+		}
+		if j.Seed != 1 {
+			t.Fatalf("golden job %s seed != 1", j)
+		}
+	}
+	// The suite must be duplicate-free.
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		h, err := j.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[h] {
+			t.Fatalf("duplicate golden job %s", j)
+		}
+		seen[h] = true
+	}
+}
+
+func TestDiffGoldenPassesOnIdenticalResults(t *testing.T) {
+	g, rs := fakeGolden(t)
+	if diffs := DiffGolden(g, rs); len(diffs) != 0 {
+		t.Fatalf("identical results must produce an empty diff, got %v", diffs)
+	}
+	// Runtime perturbation must not trip the gate.
+	for h, r := range rs {
+		r.RuntimeNS += 12345
+		rs[h] = r
+	}
+	if diffs := DiffGolden(g, rs); len(diffs) != 0 {
+		t.Fatalf("runtime change must not fail the gate, got %v", diffs)
+	}
+}
+
+func TestDiffGoldenFailsOnInjectedPerturbation(t *testing.T) {
+	g, rs := fakeGolden(t)
+
+	// Perturb one cell's RatioCPD in the last decimal place the store can
+	// represent: exact equality must still catch it.
+	h, err := g.Cells[1].Job.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs[h]
+	r.RatioCPD += 1e-15
+	rs[h] = r
+	diffs := DiffGolden(g, rs)
+	if len(diffs) != 1 {
+		t.Fatalf("perturbed RatioCPD must produce exactly one diff, got %v", diffs)
+	}
+	if !strings.Contains(diffs[0], "RatioCPD") || !strings.Contains(diffs[0], g.Cells[1].Job.Circuit) {
+		t.Fatalf("diff must name the metric and the cell: %q", diffs[0])
+	}
+
+	// An off-by-one evaluation count is a separate diff line.
+	r.Evaluations++
+	rs[h] = r
+	if diffs := DiffGolden(g, rs); len(diffs) != 2 {
+		t.Fatalf("want 2 diffs after also perturbing Evaluations, got %v", diffs)
+	}
+
+	// A missing cell is reported rather than silently passing.
+	delete(rs, h)
+	diffs = DiffGolden(g, rs)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "missing") {
+		t.Fatalf("missing cell must be one 'missing result' diff, got %v", diffs)
+	}
+}
+
+func TestGoldenFileRoundTrip(t *testing.T) {
+	g, _ := fakeGolden(t)
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := WriteGolden(path, g); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Recipe != GoldenRecipe {
+		t.Fatalf("recipe header lost: %q", re.Recipe)
+	}
+	if len(re.Cells) != len(g.Cells) {
+		t.Fatalf("cells lost: %d vs %d", len(re.Cells), len(g.Cells))
+	}
+	for i := range re.Cells {
+		if re.Cells[i] != g.Cells[i] {
+			t.Fatalf("cell %d round-tripped to %+v, want %+v", i, re.Cells[i], g.Cells[i])
+		}
+	}
+	if diffs := DiffGolden(re, mustResults(t, g)); len(diffs) != 0 {
+		t.Fatalf("reloaded golden must match its own cells: %v", diffs)
+	}
+}
+
+// mustResults rebuilds a ResultSet from a golden's own cells.
+func mustResults(t *testing.T, g *Golden) ResultSet {
+	t.Helper()
+	rs := ResultSet{}
+	for _, c := range g.Cells {
+		if err := rs.Add(c.Job, JobResult{RatioCPD: c.RatioCPD, Err: c.Err, Evaluations: c.Evaluations}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rs
+}
+
+func TestLoadGoldenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if _, err := LoadGolden(path); err == nil {
+		t.Fatal("absent file must error")
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGolden(path); err == nil {
+		t.Fatal("malformed file must error")
+	}
+	if err := os.WriteFile(path, []byte(`{"_recipe":"x","cells":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGolden(path); err == nil {
+		t.Fatal("empty cell list must error")
+	}
+}

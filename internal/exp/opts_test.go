@@ -16,9 +16,12 @@ func TestOptsDefaults(t *testing.T) {
 	if o.seed() != 1 {
 		t.Error("default seed must be 1")
 	}
-	cfg := o.flowConfig(core.MetricER, 0.05)
-	if cfg.ErrorBudget != 0.05 || cfg.Metric != core.MetricER {
-		t.Error("flowConfig must forward the constraint")
+	j := o.cellJob("c880", als.MethodDCGWO, core.MetricER, 0.05)
+	if j.Budget != 0.05 || j.Metric != core.MetricER.String() {
+		t.Error("cellJob must forward the constraint")
+	}
+	if j.Seed != 1 || j.Scale != "quick" {
+		t.Errorf("cellJob defaults lost: %+v", j)
 	}
 }
 
@@ -39,11 +42,11 @@ func TestOptsCircuitFiltering(t *testing.T) {
 	}
 }
 
-func TestOptsOverridesReachFlow(t *testing.T) {
+func TestOptsOverridesReachJob(t *testing.T) {
 	o := Opts{Population: 6, Iterations: 3, Vectors: 512, Seed: 9}
-	cfg := o.flowConfig(core.MetricNMED, 0.01)
-	if cfg.Population != 6 || cfg.Iterations != 3 || cfg.Vectors != 512 || cfg.Seed != 9 {
-		t.Errorf("overrides lost: %+v", cfg)
+	j := o.cellJob("Max16", als.MethodHEDALS, core.MetricNMED, 0.01)
+	if j.Population != 6 || j.Iterations != 3 || j.Vectors != 512 || j.Seed != 9 {
+		t.Errorf("overrides lost: %+v", j)
 	}
 }
 

@@ -1,0 +1,51 @@
+package exp
+
+// Paper reference values, embedded so reports can print paper-vs-measured
+// side by side.
+
+// PaperCell is the paper's reported (Ratiocpd, runtime seconds).
+type PaperCell struct {
+	Ratio   float64
+	Seconds float64
+}
+
+// PaperTable2 holds the paper's TABLE II values for paper-vs-measured
+// reports, keyed by circuit then method name.
+var PaperTable2 = map[string]map[string]PaperCell{
+	"Cavlc": {"VECBEE-S": {0.9219, 60.03}, "VaACS": {0.8745, 356.89}, "HEDALS": {0.9071, 194.43}, "GWO (single-chase)": {0.8963, 407.25}, "Ours": {0.8602, 310.42}},
+	"c880":  {"VECBEE-S": {0.9026, 43.11}, "VaACS": {0.9221, 227.13}, "HEDALS": {0.8913, 104.00}, "GWO (single-chase)": {0.9183, 201.51}, "Ours": {0.8399, 193.86}},
+	"c1908": {"VECBEE-S": {0.8679, 65.32}, "VaACS": {0.5166, 235.68}, "HEDALS": {0.3372, 310.42}, "GWO (single-chase)": {0.5021, 307.56}, "Ours": {0.3865, 202.79}},
+	"c2670": {"VECBEE-S": {0.6708, 308.16}, "VaACS": {0.8101, 477.92}, "HEDALS": {0.7589, 250.28}, "GWO (single-chase)": {0.7703, 313.99}, "Ours": {0.6314, 339.63}},
+	"c3540": {"VECBEE-S": {0.9670, 391.42}, "VaACS": {0.9729, 435.26}, "HEDALS": {0.9203, 373.26}, "GWO (single-chase)": {0.9224, 479.88}, "Ours": {0.8732, 324.59}},
+	"c5315": {"VECBEE-S": {0.9113, 1857.32}, "VaACS": {0.8599, 1963.55}, "HEDALS": {0.8270, 1662.08}, "GWO (single-chase)": {0.8165, 1655.07}, "Ours": {0.8034, 1449.37}},
+	"c7552": {"VECBEE-S": {0.9262, 1726.27}, "VaACS": {0.9133, 1336.64}, "HEDALS": {0.7391, 1315.85}, "GWO (single-chase)": {0.8877, 1420.32}, "Ours": {0.7063, 1279.18}},
+}
+
+// PaperTable3 holds the paper's TABLE III values.
+var PaperTable3 = map[string]map[string]PaperCell{
+	"Int2float": {"VECBEE-S": {0.9331, 71.23}, "VaACS": {0.5047, 151.73}, "HEDALS": {0.7649, 32.68}, "GWO (single-chase)": {0.6010, 178.30}, "Ours": {0.4496, 132.12}},
+	"Adder16":   {"VECBEE-S": {0.9973, 67.20}, "VaACS": {0.5295, 173.85}, "HEDALS": {0.4513, 47.30}, "GWO (single-chase)": {0.5216, 189.01}, "Ours": {0.4275, 167.03}},
+	"Max16":     {"VECBEE-S": {0.7087, 93.17}, "VaACS": {0.4209, 189.73}, "HEDALS": {0.4470, 105.97}, "GWO (single-chase)": {0.3928, 277.38}, "Ours": {0.3708, 208.55}},
+	"c6288":     {"VECBEE-S": {0.9663, 4410.29}, "VaACS": {0.8696, 3279.62}, "HEDALS": {0.6368, 2563.41}, "GWO (single-chase)": {0.9079, 2991.00}, "Ours": {0.8313, 2103.88}},
+	"Adder":     {"VECBEE-S": {0.7814, 1697.37}, "VaACS": {0.8133, 2083.15}, "HEDALS": {0.7110, 1362.70}, "GWO (single-chase)": {0.8008, 1550.03}, "Ours": {0.6917, 1193.71}},
+	"Max":       {"VECBEE-S": {0.8809, 2600.78}, "VaACS": {0.8933, 3397.50}, "HEDALS": {0.8355, 2992.08}, "GWO (single-chase)": {0.7517, 3121.44}, "Ours": {0.6799, 2035.62}},
+	"Sin":       {"VECBEE-S": {0.9187, 5391.68}, "VaACS": {0.8326, 3872.31}, "HEDALS": {0.7945, 3380.52}, "GWO (single-chase)": {0.8722, 4392.77}, "Ours": {0.7603, 3176.46}},
+	"Sqrt":      {"VECBEE-S": {0.7993, 33117.12}, "VaACS": {0.8011, 20160.76}, "HEDALS": {0.7437, 11242.29}, "GWO (single-chase)": {0.7803, 17894.50}, "Ours": {0.7058, 9950.11}},
+}
+
+// PaperAverages returns the paper's average Ratiocpd per method for a
+// reference table.
+func PaperAverages(table map[string]map[string]PaperCell) map[string]float64 {
+	sums := map[string]float64{}
+	n := 0
+	for _, row := range table {
+		n++
+		for m, cell := range row {
+			sums[m] += cell.Ratio
+		}
+	}
+	for m := range sums {
+		sums[m] /= float64(n)
+	}
+	return sums
+}

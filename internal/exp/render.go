@@ -1,0 +1,289 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Renderers are pure functions over assembled tables/figures (which are
+// themselves pure functions over a ResultSet), so rendered output depends
+// only on the job specs and their results — never on worker count,
+// scheduling order, or whether cells came from cache.
+//
+// Machine-readable formats (JSON/CSV) deliberately omit wall-clock
+// runtimes: every field they carry is deterministic at a given job spec,
+// which is what makes `experiments -check` an exact-equality regression
+// gate and `-jobs N` byte-identical for every N.
+
+// ---- text ------------------------------------------------------------------
+
+// RenderTable1 prints TABLE I as aligned text.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %-10s %6s %5s %5s %10s %10s  %s\n",
+		"Type", "Circuit", "#gate", "#PI", "#PO", "CPDori(ps)", "Area(um2)", "Description")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %-10s %6d %5d %5d %10.2f %10.2f  %s\n",
+			r.Type, r.Circuit, r.Gates, r.PIs, r.POs, r.CPDOri, r.AreaOri, r.Description)
+	}
+	return b.String()
+}
+
+// RenderCompare prints a TABLE II/III-style comparison.
+func RenderCompare(t *CompareTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Constraint: %s <= %.4g, post-optimization under Areacon\n", t.Metric, t.Budget)
+	fmt.Fprintf(&b, "%-10s %10s", "Circuit", "Areacon")
+	for _, m := range t.Methods {
+		fmt.Fprintf(&b, " | %-18s", m)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-10s %10s", "", "")
+	for range t.Methods {
+		fmt.Fprintf(&b, " | %8s %9s", "Ratiocpd", "time(s)")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-10s %10.2f", row.Circuit, row.AreaCon)
+		for _, m := range t.Methods {
+			c := row.Cells[m]
+			fmt.Fprintf(&b, " | %8.4f %9.3f", c.RatioCPD, c.Runtime.Seconds())
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-10s %10s", "Average", "")
+	for _, m := range t.Methods {
+		fmt.Fprintf(&b, " | %8.4f %9s", t.Avg[m], "")
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderSweep prints one Fig. 7/8-style family of curves.
+func RenderSweep(title, xlabel string, series []SweepSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-20s", title, xlabel)
+	if len(series) == 0 {
+		return b.String() + "\n"
+	}
+	for _, x := range series[0].X {
+		fmt.Fprintf(&b, " %8.4g", x)
+	}
+	b.WriteString("\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-20s", s.Method.String())
+		for _, r := range s.Ratio {
+			fmt.Fprintf(&b, " %8.4f", r)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderWeights prints the Fig. 6 curves.
+func RenderWeights(series []WeightSeries) string {
+	var b strings.Builder
+	b.WriteString("Fig. 6: average Ratiocpd vs depth weight wd\n")
+	if len(series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-14s", "wd")
+	for _, w := range series[0].Weights {
+		fmt.Fprintf(&b, " %8.2f", w)
+	}
+	b.WriteString("\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-14s", s.Label)
+		for _, r := range s.Ratio {
+			fmt.Fprintf(&b, " %8.4f", r)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---- JSON ------------------------------------------------------------------
+
+type jsonCell struct {
+	Method      string  `json:"method"`
+	RatioCPD    float64 `json:"ratio_cpd"`
+	Err         float64 `json:"err"`
+	Evaluations int     `json:"evaluations"`
+}
+
+type jsonCompareRow struct {
+	Circuit string     `json:"circuit"`
+	AreaCon float64    `json:"area_con"`
+	Cells   []jsonCell `json:"cells"`
+}
+
+type jsonAvg struct {
+	Method   string  `json:"method"`
+	RatioCPD float64 `json:"ratio_cpd"`
+}
+
+type jsonCompare struct {
+	Experiment string           `json:"experiment"`
+	Metric     string           `json:"metric"`
+	Budget     float64          `json:"budget"`
+	Rows       []jsonCompareRow `json:"rows"`
+	Avg        []jsonAvg        `json:"avg"`
+}
+
+type jsonWeightSeries struct {
+	Label   string    `json:"label"`
+	Metric  string    `json:"metric"`
+	Budget  float64   `json:"budget"`
+	Weights []float64 `json:"weights"`
+	Ratio   []float64 `json:"ratio_cpd"`
+}
+
+type jsonSweepSeries struct {
+	Method string    `json:"method"`
+	X      []float64 `json:"x"`
+	Ratio  []float64 `json:"ratio_cpd"`
+}
+
+type jsonSweep struct {
+	Experiment string            `json:"experiment"`
+	ER         []jsonSweepSeries `json:"er"`
+	NMED       []jsonSweepSeries `json:"nmed"`
+}
+
+// JSONReport builds the deterministic machine-readable document of one
+// experiment. Methods appear in table column order (slices, not maps), and
+// runtimes are omitted, so marshaling the report yields identical bytes
+// for any -jobs value and any cache state.
+func JSONReport(name string, opts Opts, rs ResultSet) (any, error) {
+	switch name {
+	case "table1":
+		rows, err := Table1()
+		if err != nil {
+			return nil, err
+		}
+		return struct {
+			Experiment string      `json:"experiment"`
+			Rows       []Table1Row `json:"rows"`
+		}{"table1", rows}, nil
+
+	case "table2", "table3":
+		assemble := Table2From
+		if name == "table3" {
+			assemble = Table3From
+		}
+		t, err := assemble(opts, rs)
+		if err != nil {
+			return nil, err
+		}
+		doc := jsonCompare{Experiment: name, Metric: t.Metric.String(), Budget: t.Budget}
+		for _, row := range t.Rows {
+			jr := jsonCompareRow{Circuit: row.Circuit, AreaCon: row.AreaCon}
+			for _, m := range t.Methods {
+				c := row.Cells[m]
+				jr.Cells = append(jr.Cells, jsonCell{
+					Method: m.String(), RatioCPD: c.RatioCPD, Err: c.Err, Evaluations: c.Evaluations,
+				})
+			}
+			doc.Rows = append(doc.Rows, jr)
+		}
+		for _, m := range t.Methods {
+			doc.Avg = append(doc.Avg, jsonAvg{Method: m.String(), RatioCPD: t.Avg[m]})
+		}
+		return doc, nil
+
+	case "fig6":
+		series, err := Fig6From(opts, rs)
+		if err != nil {
+			return nil, err
+		}
+		doc := struct {
+			Experiment string             `json:"experiment"`
+			Series     []jsonWeightSeries `json:"series"`
+		}{Experiment: "fig6"}
+		for _, s := range series {
+			doc.Series = append(doc.Series, jsonWeightSeries{
+				Label: s.Label, Metric: s.Metric.String(), Budget: s.Budget,
+				Weights: s.Weights, Ratio: s.Ratio,
+			})
+		}
+		return doc, nil
+
+	case "fig7", "fig8":
+		assemble := Fig7From
+		if name == "fig8" {
+			assemble = Fig8From
+		}
+		er, nmed, err := assemble(opts, rs)
+		if err != nil {
+			return nil, err
+		}
+		doc := jsonSweep{Experiment: name}
+		for _, s := range er {
+			doc.ER = append(doc.ER, jsonSweepSeries{Method: s.Method.String(), X: s.X, Ratio: s.Ratio})
+		}
+		for _, s := range nmed {
+			doc.NMED = append(doc.NMED, jsonSweepSeries{Method: s.Method.String(), X: s.X, Ratio: s.Ratio})
+		}
+		return doc, nil
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q", name)
+}
+
+// MarshalReport renders a JSONReport document as indented JSON with a
+// trailing newline.
+func MarshalReport(doc any) (string, error) {
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(raw) + "\n", nil
+}
+
+// ---- CSV -------------------------------------------------------------------
+
+// csvFloat formats a float with full round-trip precision.
+func csvFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// CSVReport renders one experiment as CSV. Job-cell experiments share one
+// flat schema (one row per cell, in job-list order); table1 uses its own
+// benchmark-statistics schema. Runtimes are omitted for determinism.
+func CSVReport(name string, opts Opts, rs ResultSet) (string, error) {
+	var b strings.Builder
+	if name == "table1" {
+		rows, err := Table1()
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("type,circuit,gates,pis,pos,cpd_ori_ps,area_um2\n")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%s,%s\n",
+				r.Type, r.Circuit, r.Gates, r.PIs, r.POs, csvFloat(r.CPDOri), csvFloat(r.AreaOri))
+		}
+		return b.String(), nil
+	}
+	jobs, err := JobsFor(name, opts)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("experiment,circuit,method,metric,budget,depth_weight,area_ratio,scale,seed,ratio_cpd,err,evaluations\n")
+	for _, j := range jobs {
+		r, err := rs.get(j)
+		if err != nil {
+			return "", err
+		}
+		// The wd=0 sweep point is encoded as 1e-9 inside the job spec
+		// (FlowConfig treats 0 as "default"); surface the true 0 to
+		// consumers.
+		wd := j.DepthWeight
+		if wd == 1e-9 {
+			wd = 0
+		}
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%s,%s,%s,%d,%s,%s,%d\n",
+			name, j.Circuit, j.Method, j.Metric, csvFloat(j.Budget),
+			csvFloat(wd), csvFloat(j.AreaConRatio), j.Scale, j.Seed,
+			csvFloat(r.RatioCPD), csvFloat(r.Err), r.Evaluations)
+	}
+	return b.String(), nil
+}

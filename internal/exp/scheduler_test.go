@@ -1,0 +1,306 @@
+package exp
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	als "repro"
+	"repro/internal/store"
+)
+
+// matrixOpts is a two-circuit (c880 × Max16), two-method matrix small
+// enough for CI but covering both metrics.
+func matrixOpts() Opts {
+	return Opts{
+		Circuits:   []string{"c880", "Max16"},
+		Methods:    []als.Method{als.MethodDCGWO, als.MethodHEDALS},
+		Seed:       3,
+		Population: 6,
+		Iterations: 3,
+		Vectors:    512,
+	}
+}
+
+func matrixJobs(t *testing.T, opts Opts) []Job {
+	t.Helper()
+	jobs := append(Table2Jobs(opts), Table3Jobs(opts)...)
+	if len(jobs) != 4 {
+		t.Fatalf("two-circuit matrix has %d jobs, want 4 (1 circuit × 2 methods per table)", len(jobs))
+	}
+	return jobs
+}
+
+// renderAll renders the matrix's experiments in every machine format so a
+// byte comparison covers assembly and rendering, not just raw results.
+func renderAll(t *testing.T, opts Opts, rs ResultSet) string {
+	t.Helper()
+	var out string
+	for _, name := range []string{"table2", "table3"} {
+		doc, err := JSONReport(name, opts, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := MarshalReport(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := CSVReport(name, opts, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out += j + c
+	}
+	return out
+}
+
+func TestSchedulerOutputIdenticalAcrossWorkerCounts(t *testing.T) {
+	opts := matrixOpts()
+	jobs := matrixJobs(t, opts)
+
+	rs1, stats1, err := RunJobs(jobs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs8, stats8, err := RunJobs(jobs, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Executed != len(jobs) || stats8.Executed != len(jobs) {
+		t.Fatalf("executed %d/%d jobs, want %d each", stats1.Executed, stats8.Executed, len(jobs))
+	}
+	if len(rs1) != len(rs8) {
+		t.Fatalf("result-set sizes differ: %d vs %d", len(rs1), len(rs8))
+	}
+	for h, r1 := range rs1 {
+		r8, ok := rs8[h]
+		if !ok {
+			t.Fatalf("hash %.12s… missing from 8-worker run", h)
+		}
+		if r1.RatioCPD != r8.RatioCPD || r1.Err != r8.Err || r1.Evaluations != r8.Evaluations {
+			t.Fatalf("hash %.12s…: serial %+v vs parallel %+v", h, r1, r8)
+		}
+	}
+	if out1, out8 := renderAll(t, opts, rs1), renderAll(t, opts, rs8); out1 != out8 {
+		t.Fatalf("rendered output differs between -jobs 1 and -jobs 8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", out1, out8)
+	}
+}
+
+func TestSchedulerResumeSkipsFinishedJobs(t *testing.T) {
+	opts := matrixOpts()
+	jobs := matrixJobs(t, opts)
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+
+	// "Killed" first run: only half the matrix got computed and persisted.
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsPartial, stats, err := RunJobs(jobs[:2], 2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 2 || stats.Cached != 0 {
+		t.Fatalf("partial run stats %+v, want 2 executed / 0 cached", stats)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-invocation with -resume semantics: the finished cells come from
+	// the store; only the remaining cells execute.
+	st2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rs, stats2, err := RunJobs(jobs, 2, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Cached != 2 {
+		t.Fatalf("resume served %d cells from cache, want 2", stats2.Cached)
+	}
+	if stats2.Executed != len(jobs)-2 {
+		t.Fatalf("resume executed %d jobs, want %d", stats2.Executed, len(jobs)-2)
+	}
+	// Cached results must be the ones computed before the "kill".
+	for h, r := range rsPartial {
+		if got := rs[h]; got != r {
+			t.Fatalf("cached cell %.12s… changed across resume: %+v vs %+v", h, got, r)
+		}
+	}
+	// A third invocation is a full cache hit.
+	_, stats3, err := RunJobs(jobs, 2, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.Executed != 0 || stats3.Cached != len(jobs) {
+		t.Fatalf("fully-cached run stats %+v, want 0 executed / %d cached", stats3, len(jobs))
+	}
+}
+
+func TestSchedulerDeduplicatesSharedCells(t *testing.T) {
+	opts := matrixOpts()
+	jobs := matrixJobs(t, opts)
+	// TABLE II cells are exactly the loosest Fig. 7(a) points for shared
+	// methods; here just duplicate the list wholesale.
+	doubled := append(append([]Job(nil), jobs...), jobs...)
+	rs, stats, err := RunJobs(doubled, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deduped != len(jobs) {
+		t.Fatalf("deduped %d, want %d", stats.Deduped, len(jobs))
+	}
+	if stats.Executed != len(jobs) {
+		t.Fatalf("executed %d, want %d", stats.Executed, len(jobs))
+	}
+	if len(rs) != len(jobs) {
+		t.Fatalf("result set has %d entries, want %d", len(rs), len(jobs))
+	}
+}
+
+func TestJobHashIndependentOfFieldKnowledge(t *testing.T) {
+	opts := matrixOpts()
+	j := opts.cellJob("c880", als.MethodDCGWO, als.MetricER, 0.05)
+	h1, err := j.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same logical job built in a different order must hash identically…
+	j2 := Job{Seed: 3, Scale: "quick", Budget: 0.05, Metric: "ER", Method: "Ours", Circuit: "c880",
+		Population: 6, Iterations: 3, Vectors: 512}
+	h2, err := j2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("equivalent jobs hash differently")
+	}
+	// …and any parameter change must change the hash.
+	j3 := j
+	j3.Seed = 4
+	h3, err := j3.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("seed change did not change the hash")
+	}
+}
+
+func TestDefaultEquivalentJobsShareHashes(t *testing.T) {
+	base := Opts{}.cellJob("c880", als.MethodDCGWO, als.MetricER, 0.05)
+	hBase, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 8's ratio-1.0 point and Fig. 6's wd-0.8 point recompute exactly
+	// the TABLE II cell (FlowConfig.resolve maps 0 to those defaults), so
+	// they must share its hash — one flow, one cache entry.
+	fig8 := base
+	fig8.AreaConRatio = 1.0
+	if h, err := fig8.Hash(); err != nil || h != hBase {
+		t.Fatalf("AreaConRatio 1.0 must hash as the default: %v %v", h, err)
+	}
+	fig6 := base
+	fig6.DepthWeight = 0.8
+	if h, err := fig6.Hash(); err != nil || h != hBase {
+		t.Fatalf("DepthWeight 0.8 must hash as the default: %v %v", h, err)
+	}
+	// Genuinely different parameters must still hash apart.
+	other := base
+	other.AreaConRatio = 1.2
+	if h, err := other.Hash(); err != nil || h == hBase {
+		t.Fatalf("AreaConRatio 1.2 must not hash as the default: %v %v", h, err)
+	}
+}
+
+func TestFig8DefaultRatioDedupesAgainstTables(t *testing.T) {
+	opts := matrixOpts()
+	jobs := append(Table2Jobs(opts), Table3Jobs(opts)...)
+	jobs = append(jobs, Fig8Jobs(Opts{
+		Circuits: opts.Circuits, Methods: opts.Methods, Seed: opts.Seed,
+		Population: opts.Population, Iterations: opts.Iterations, Vectors: opts.Vectors,
+	})...)
+	seen := map[string]int{}
+	for _, j := range jobs {
+		h, err := j.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[h]++
+	}
+	// Every table cell must collide with the Fig. 8 ratio-1.0 cell of the
+	// same (circuit, method): 4 table cells, each seen twice.
+	dups := 0
+	for _, n := range seen {
+		if n > 1 {
+			dups += n - 1
+		}
+	}
+	if dups != 4 {
+		t.Fatalf("expected the 4 table cells to dedupe against Fig. 8's 1.0 ratio, got %d collisions", dups)
+	}
+}
+
+func TestSingleKindCircuitFilterRendersWithoutNaN(t *testing.T) {
+	// c880 is random/control only: every arithmetic setting of fig6/7/8
+	// has an empty circuit set and must be skipped, not averaged to NaN
+	// (json.Marshal rejects NaN, so this used to fail after all jobs ran).
+	opts := Opts{
+		Circuits:   []string{"c880"},
+		Methods:    []als.Method{als.MethodHEDALS},
+		Seed:       3,
+		Population: 6,
+		Iterations: 2,
+		Vectors:    512,
+	}
+	for _, name := range []string{"fig6", "fig7", "fig8"} {
+		jobs, err := JobsFor(name, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, _, err := RunJobs(jobs, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := JSONReport(name, opts, rs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := MarshalReport(doc)
+		if err != nil {
+			t.Fatalf("%s: JSON rendering failed: %v", name, err)
+		}
+		if strings.Contains(out, "NaN") {
+			t.Fatalf("%s: NaN leaked into the report:\n%s", name, out)
+		}
+	}
+}
+
+func TestJobsForUnknownExperiment(t *testing.T) {
+	if _, err := JobsFor("fig9", Opts{}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	for _, name := range Experiments() {
+		if _, err := JobsFor(name, Opts{Circuits: []string{"c880"}}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestJobRunRejectsUnknownFields(t *testing.T) {
+	lib := als.NewLibrary()
+	for _, j := range []Job{
+		{Circuit: "nope", Method: "Ours", Metric: "ER", Budget: 0.05, Scale: "quick", Seed: 1},
+		{Circuit: "c880", Method: "nope", Metric: "ER", Budget: 0.05, Scale: "quick", Seed: 1},
+		{Circuit: "c880", Method: "Ours", Metric: "nope", Budget: 0.05, Scale: "quick", Seed: 1},
+		{Circuit: "c880", Method: "Ours", Metric: "ER", Budget: 0.05, Scale: "nope", Seed: 1},
+	} {
+		if _, err := j.Run(lib, 0); err == nil {
+			t.Fatalf("job %s must fail to run", j)
+		}
+	}
+}

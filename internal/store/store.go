@@ -1,0 +1,211 @@
+// Package store persists per-job experiment results as append-only JSONL
+// keyed by a canonical content hash of the job specification.
+//
+// The store is the substrate of the experiment orchestrator's -resume and
+// caching behavior: a scheduler asks Get(hash) before running a job and
+// Put(hash, result) after, so a re-run — or a run killed halfway and
+// re-invoked — skips every finished cell. One line holds one record:
+//
+//	{"hash":"<hex sha-256>","payload":{...}}
+//
+// Records are flushed per Put, so a crash loses at most the line being
+// written; Open tolerates (and counts) corrupt or truncated lines, keeping
+// every decodable record before and after them.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Hash returns the canonical content hash (hex SHA-256) of any
+// JSON-marshalable value. The value is marshaled, decoded into generic
+// form and re-marshaled, so object keys are serialized in sorted order and
+// insignificant whitespace is dropped: two values that represent the same
+// logical object hash identically regardless of field order or
+// formatting. Numbers are kept as their literal JSON tokens (json.Number),
+// so no float re-formatting can perturb the hash.
+func Hash(v any) (string, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("store: hash: %w", err)
+	}
+	canon, err := canonicalize(raw)
+	if err != nil {
+		return "", fmt.Errorf("store: hash: %w", err)
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalize round-trips raw JSON through generic decoding so maps
+// (and therefore object keys) re-marshal sorted.
+func canonicalize(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+// record is one JSONL line.
+type record struct {
+	Hash    string          `json:"hash"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Store is a hash-keyed result cache backed by one JSONL file. All methods
+// are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	mem     map[string]json.RawMessage
+	order   []string // insertion order, for deterministic iteration
+	corrupt int
+}
+
+// Open loads (or creates) the store at path. Undecodable lines — e.g. the
+// tail of a run killed mid-write — are skipped and counted in Corrupt();
+// every well-formed record is kept. A record whose hash repeats overwrites
+// the earlier payload (last writer wins), matching append semantics.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	s := &Store{path: path, f: f, mem: map[string]json.RawMessage{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil || r.Hash == "" || len(r.Payload) == 0 {
+			s.corrupt++
+			continue
+		}
+		if _, seen := s.mem[r.Hash]; !seen {
+			s.order = append(s.order, r.Hash)
+		}
+		s.mem[r.Hash] = append(json.RawMessage(nil), r.Payload...)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: scan %s: %w", path, err)
+	}
+	// A run killed mid-write leaves an unterminated partial line at the
+	// tail. Terminate it before appending, or the first new record would
+	// be glued onto the garbage and lost at the next Open.
+	if end, err := f.Seek(0, 2); err == nil && end > 0 {
+		buf := make([]byte, 1)
+		if _, err := f.ReadAt(buf, end-1); err == nil && buf[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: terminate partial tail: %w", err)
+			}
+		}
+	}
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// Get returns the stored payload for hash, if present.
+func (s *Store) Get(hash string) (json.RawMessage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.mem[hash]
+	return p, ok
+}
+
+// Decode unmarshals the stored payload for hash into out, reporting
+// whether the hash was present. A present-but-undecodable payload is an
+// error (the caller's schema disagrees with the file).
+func (s *Store) Decode(hash string, out any) (bool, error) {
+	p, ok := s.Get(hash)
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(p, out); err != nil {
+		return true, fmt.Errorf("store: payload for %.12s…: %w", hash, err)
+	}
+	return true, nil
+}
+
+// Put marshals payload, appends the record to the file and flushes it, and
+// updates the in-memory index.
+func (s *Store) Put(hash string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("store: put: %w", err)
+	}
+	line, err := json.Marshal(record{Hash: hash, Payload: raw})
+	if err != nil {
+		return fmt.Errorf("store: put: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	if _, seen := s.mem[hash]; !seen {
+		s.order = append(s.order, hash)
+	}
+	s.mem[hash] = raw
+	return nil
+}
+
+// Len counts distinct stored hashes.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Hashes returns the distinct stored hashes in first-insertion order.
+func (s *Store) Hashes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Corrupt reports how many undecodable lines Open skipped.
+func (s *Store) Corrupt() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corrupt
+}
+
+// Path returns the backing file's path.
+func (s *Store) Path() string { return s.path }
+
+// Close flushes and closes the backing file. The in-memory index stays
+// readable; further Puts fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	flushErr := s.w.Flush()
+	closeErr := s.f.Close()
+	s.f = nil
+	if flushErr != nil {
+		return fmt.Errorf("store: close: %w", flushErr)
+	}
+	return closeErr
+}

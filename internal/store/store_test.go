@@ -1,0 +1,300 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHashStableAcrossFieldReordering(t *testing.T) {
+	a := json.RawMessage(`{"circuit":"c880","seed":7,"budget":0.05,"nested":{"x":1,"y":[1,2,3]}}`)
+	b := json.RawMessage(`{ "nested" : {"y":[1,2,3], "x": 1}, "budget" :0.05, "seed":7, "circuit":"c880" }`)
+	ha, err := Hash(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := Hash(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("reordered fields changed the hash: %s vs %s", ha, hb)
+	}
+	// A changed value must change the hash.
+	hc, err := Hash(json.RawMessage(`{"circuit":"c880","seed":8,"budget":0.05,"nested":{"x":1,"y":[1,2,3]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Fatal("different seed hashed identically")
+	}
+}
+
+func TestHashStructMatchesEquivalentMap(t *testing.T) {
+	type job struct {
+		Circuit string  `json:"circuit"`
+		Seed    int64   `json:"seed"`
+		Budget  float64 `json:"budget"`
+	}
+	hs, err := Hash(job{Circuit: "Max16", Seed: 3, Budget: 0.0244})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := Hash(map[string]any{"seed": 3, "budget": 0.0244, "circuit": "Max16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs != hm {
+		t.Fatalf("struct and equivalent map hash differently: %s vs %s", hs, hm)
+	}
+}
+
+type payload struct {
+	Ratio float64 `json:"ratio"`
+	Evals int     `json:"evals"`
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]payload{
+		"h1": {Ratio: 0.8602, Evals: 120},
+		"h2": {Ratio: 0.9219, Evals: 88},
+		"h3": {Ratio: 0.3865, Evals: 512},
+	}
+	for h, p := range want {
+		if err := s.Put(h, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(want) {
+		t.Fatalf("reloaded %d records, want %d", re.Len(), len(want))
+	}
+	if re.Corrupt() != 0 {
+		t.Fatalf("clean file reported %d corrupt lines", re.Corrupt())
+	}
+	for h, p := range want {
+		var got payload
+		ok, err := re.Decode(h, &got)
+		if err != nil || !ok {
+			t.Fatalf("decode %s: ok=%v err=%v", h, ok, err)
+		}
+		if got != p {
+			t.Fatalf("%s round-tripped to %+v, want %+v", h, got, p)
+		}
+	}
+	if _, ok := re.Get("missing"); ok {
+		t.Fatal("absent hash reported present")
+	}
+}
+
+func TestCorruptLineRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good1", payload{Ratio: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good2", payload{Ratio: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-write plus stray garbage between valid records:
+	// truncate the last line and interleave junk.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 lines, got %d", len(lines))
+	}
+	mangled := "not json at all\n" + lines[0] + "\n{\"hash\":\"\"}\n" + lines[1][:len(lines[1])/2] + "\n"
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("recovered %d records, want 1 (good1)", re.Len())
+	}
+	var got payload
+	if ok, err := re.Decode("good1", &got); !ok || err != nil || got.Ratio != 1 {
+		t.Fatalf("good1 lost after corruption: ok=%v err=%v got=%+v", ok, err, got)
+	}
+	if re.Corrupt() != 3 {
+		t.Fatalf("Corrupt() = %d, want 3 (garbage, empty-hash, truncated)", re.Corrupt())
+	}
+	// Appending after recovery must still produce a loadable file.
+	if err := re.Put("good3", payload{Ratio: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Len() != 2 {
+		t.Fatalf("after append-and-reload Len = %d, want 2", re2.Len())
+	}
+}
+
+func TestPutAfterUnterminatedTailSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good1", payload{Ratio: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill mid-write: the tail line is truncated and has NO trailing
+	// newline.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := append(raw, []byte(`{"hash":"bbbb","payload":{"x"`)...)
+	if err := os.WriteFile(path, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resumed run recomputes the lost cell and persists it; the new
+	// record must not be glued onto the partial line.
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Corrupt() != 1 {
+		t.Fatalf("Corrupt() = %d, want 1", re.Corrupt())
+	}
+	if err := re.Put("good2", payload{Ratio: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Len() != 2 {
+		t.Fatalf("after reopen Len = %d, want 2 (good1 + good2)", re2.Len())
+	}
+	var got payload
+	if ok, err := re2.Decode("good2", &got); !ok || err != nil || got.Ratio != 2 {
+		t.Fatalf("record written after a partial tail was lost: ok=%v err=%v got=%+v", ok, err, got)
+	}
+	if re2.Corrupt() != 1 {
+		t.Fatalf("reopen Corrupt() = %d, want 1 (terminated partial line)", re2.Corrupt())
+	}
+}
+
+func TestResumeSkipsFinishedJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	jobs := []string{"a", "b", "c", "d"}
+
+	// First run finishes two jobs, then "dies".
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := 0
+	runAll := func(st *Store, upTo int) {
+		for i, h := range jobs {
+			if i >= upTo {
+				return
+			}
+			if _, done := st.Get(h); done {
+				continue
+			}
+			executed++
+			if err := st.Put(h, payload{Ratio: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	runAll(s, 2)
+	if executed != 2 {
+		t.Fatalf("first run executed %d, want 2", executed)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumed run executes only the remaining jobs.
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	runAll(re, len(jobs))
+	if executed != len(jobs) {
+		t.Fatalf("resume re-executed finished jobs: total executed %d, want %d", executed, len(jobs))
+	}
+	if re.Len() != len(jobs) {
+		t.Fatalf("store has %d records, want %d", re.Len(), len(jobs))
+	}
+}
+
+func TestPutOverwritesLastWriterWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("h", payload{Ratio: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("h", payload{Ratio: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	var got payload
+	if ok, err := re.Decode("h", &got); !ok || err != nil {
+		t.Fatal(ok, err)
+	}
+	if got.Ratio != 2 {
+		t.Fatalf("last writer must win, got ratio %v", got.Ratio)
+	}
+	if re.Len() != 1 || len(re.Hashes()) != 1 {
+		t.Fatal("duplicate hash must not duplicate the index")
+	}
+}
