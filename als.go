@@ -24,7 +24,9 @@
 package als
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/baselines"
@@ -87,25 +89,47 @@ func AllMethods() []Method {
 	return []Method{MethodVecbeeSasimi, MethodVaACS, MethodHEDALS, MethodSingleChaseGWO, MethodDCGWO}
 }
 
+// methodAliases maps accepted lower-cased spellings onto the canonical
+// Method, beyond the lower-cased paper-table names ("ours", "hedals",
+// "vecbee-s", "vaacs", "gwo (single-chase)") that ParseMethod always
+// accepts. The service API parses untrusted client input through
+// ParseMethod, so the common informal spellings are accepted too.
+var methodAliases = map[string]Method{
+	"dcgwo":            MethodDCGWO,
+	"vecbee-sasimi":    MethodVecbeeSasimi,
+	"sasimi":           MethodVecbeeSasimi,
+	"gwo":              MethodSingleChaseGWO,
+	"single-chase-gwo": MethodSingleChaseGWO,
+	"singlechasegwo":   MethodSingleChaseGWO,
+}
+
 // ParseMethod inverts Method.String: it maps a paper-table method name
 // (e.g. "Ours", "HEDALS") back to the Method. The experiment job store
 // persists methods by name, not by enum value, so stored results stay
-// valid even if the Method constants are ever renumbered.
+// valid even if the Method constants are ever renumbered. Matching is
+// case-insensitive and accepts common aliases ("dcgwo", "sasimi",
+// "single-chase-gwo"), since the serving API parses untrusted input
+// through here; canonical spellings remain the Method.String values.
 func ParseMethod(name string) (Method, error) {
+	folded := strings.ToLower(strings.TrimSpace(name))
 	for _, m := range AllMethods() {
-		if m.String() == name {
+		if strings.ToLower(m.String()) == folded {
 			return m, nil
 		}
+	}
+	if m, ok := methodAliases[folded]; ok {
+		return m, nil
 	}
 	return 0, fmt.Errorf("als: unknown method %q", name)
 }
 
-// ParseMetric maps a metric name ("ER" or "NMED") back to the Metric.
+// ParseMetric maps a metric name ("ER" or "NMED", case-insensitively)
+// back to the Metric.
 func ParseMetric(name string) (Metric, error) {
-	switch name {
-	case MetricER.String():
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "er":
 		return MetricER, nil
-	case MetricNMED.String():
+	case "nmed":
 		return MetricNMED, nil
 	}
 	return 0, fmt.Errorf("als: unknown metric %q", name)
@@ -134,9 +158,9 @@ func (s Scale) String() string {
 	return fmt.Sprintf("Scale(%d)", uint8(s))
 }
 
-// ParseScale inverts Scale.String.
+// ParseScale inverts Scale.String, case-insensitively.
 func ParseScale(name string) (Scale, error) {
-	switch name {
+	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "quick":
 		return ScaleQuick, nil
 	case "paper":
@@ -168,8 +192,28 @@ type FlowConfig struct {
 	// any value; schedulers that run several flows concurrently set it
 	// so nested pools don't oversubscribe the machine.
 	EvalWorkers int
+	// Progress, when non-nil, is invoked once per optimizer iteration
+	// (DCGWO) or round (baselines) from the flow's goroutine. It draws no
+	// randomness, so installing it never changes results; the alsd
+	// service uses it to report live per-job progress.
+	Progress func(FlowProgress)
 	// Seed fixes all stochastic choices.
 	Seed int64
+}
+
+// FlowProgress is one live progress report of a running flow.
+type FlowProgress struct {
+	// Iter counts completed optimizer iterations; Total is the configured
+	// maximum (the run may converge and stop earlier).
+	Iter, Total int
+	// BestRatioCPD is the best individual's delay so far over CPDori —
+	// an upper bound on the final RatioCPD, which post-optimization can
+	// only improve.
+	BestRatioCPD float64
+	// BestErr is the best individual's error under the configured metric.
+	BestErr float64
+	// Evaluations counts circuit evaluations so far.
+	Evaluations int
 }
 
 func (f FlowConfig) resolve() FlowConfig {
@@ -245,6 +289,16 @@ func WriteVerilog(c *netlist.Circuit) string { return verilog.Write(c) }
 // Flow runs the complete three-step framework on an accurate circuit and
 // returns the paper's reporting metrics.
 func Flow(accurate *netlist.Circuit, lib *cell.Library, cfg FlowConfig) (*FlowResult, error) {
+	return FlowContext(context.Background(), accurate, lib, cfg)
+}
+
+// FlowContext is Flow with cooperative cancellation: the context is
+// checked once per optimizer iteration, and a cancelled flow returns an
+// error wrapping ctx.Err(). Cancellation checks draw no randomness, so an
+// uncancelled FlowContext run is bit-identical to Flow at the same seed,
+// and re-running a cancelled flow reproduces the result the uncancelled
+// run would have produced.
+func FlowContext(ctx context.Context, accurate *netlist.Circuit, lib *cell.Library, cfg FlowConfig) (*FlowResult, error) {
 	cfg = cfg.resolve()
 	ref, err := sta.Analyze(accurate, lib)
 	if err != nil {
@@ -252,6 +306,26 @@ func Flow(accurate *netlist.Circuit, lib *cell.Library, cfg FlowConfig) (*FlowRe
 	}
 	areaOri := accurate.Area(lib)
 	areaCon := areaOri * cfg.AreaConRatio
+
+	// Translate optimizer-level iteration stats into flow-level progress
+	// (delay expressed as a ratio against the accurate circuit's CPD).
+	var progress func(core.IterStats)
+	if cfg.Progress != nil {
+		refCPD := ref.CPD
+		if refCPD <= 0 {
+			refCPD = 1
+		}
+		total := cfg.Iterations
+		progress = func(st core.IterStats) {
+			cfg.Progress(FlowProgress{
+				Iter:         st.Iter,
+				Total:        total,
+				BestRatioCPD: st.BestDelay / refCPD,
+				BestErr:      st.BestErr,
+				Evaluations:  st.Evaluations,
+			})
+		}
+	}
 
 	start := time.Now()
 	var best *core.Individual
@@ -264,12 +338,13 @@ func Flow(accurate *netlist.Circuit, lib *cell.Library, cfg FlowConfig) (*FlowRe
 		ccfg.Vectors = cfg.Vectors
 		ccfg.DepthWeight = cfg.DepthWeight
 		ccfg.EvalWorkers = cfg.EvalWorkers
+		ccfg.Progress = progress
 		ccfg.Seed = cfg.Seed
 		opt, err := core.New(accurate, lib, ccfg)
 		if err != nil {
 			return nil, err
 		}
-		res, err := opt.Run()
+		res, err := opt.RunContext(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -281,6 +356,7 @@ func Flow(accurate *netlist.Circuit, lib *cell.Library, cfg FlowConfig) (*FlowRe
 		bcfg.Vectors = cfg.Vectors
 		bcfg.DepthWeight = cfg.DepthWeight
 		bcfg.EvalWorkers = cfg.EvalWorkers
+		bcfg.Progress = progress
 		bcfg.Seed = cfg.Seed
 		method := map[Method]baselines.Method{
 			MethodVecbeeSasimi:   baselines.VecbeeSasimi,
@@ -288,7 +364,7 @@ func Flow(accurate *netlist.Circuit, lib *cell.Library, cfg FlowConfig) (*FlowRe
 			MethodHEDALS:         baselines.HEDALS,
 			MethodSingleChaseGWO: baselines.SingleChaseGWO,
 		}[cfg.Method]
-		res, err := baselines.Run(method, accurate, lib, bcfg)
+		res, err := baselines.RunContext(ctx, method, accurate, lib, bcfg)
 		if err != nil {
 			return nil, err
 		}

@@ -196,3 +196,60 @@ func TestFlowAreaConstraintSweepMonotone(t *testing.T) {
 		prev = res.RatioCPD
 	}
 }
+
+// TestParseCaseInsensitive covers the serving-API requirement: method,
+// metric and scale names arrive as untrusted client input and must parse
+// case-insensitively, with the common informal method spellings accepted
+// as aliases of the canonical table names.
+func TestParseCaseInsensitive(t *testing.T) {
+	methodCases := map[string]als.Method{
+		"ours":               als.MethodDCGWO,
+		"OURS":               als.MethodDCGWO,
+		"dcgwo":              als.MethodDCGWO,
+		"DCGWO":              als.MethodDCGWO,
+		"hedals":             als.MethodHEDALS,
+		"HeDaLs":             als.MethodHEDALS,
+		" HEDALS ":           als.MethodHEDALS,
+		"vecbee-s":           als.MethodVecbeeSasimi,
+		"vecbee-sasimi":      als.MethodVecbeeSasimi,
+		"sasimi":             als.MethodVecbeeSasimi,
+		"vaacs":              als.MethodVaACS,
+		"gwo":                als.MethodSingleChaseGWO,
+		"gwo (single-chase)": als.MethodSingleChaseGWO,
+		"single-chase-gwo":   als.MethodSingleChaseGWO,
+	}
+	for name, want := range methodCases {
+		if got, err := als.ParseMethod(name); err != nil || got != want {
+			t.Errorf("ParseMethod(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "annealing", "ours2", "gwo single-chase"} {
+		if _, err := als.ParseMethod(bad); err == nil {
+			t.Errorf("ParseMethod(%q) must fail", bad)
+		}
+	}
+
+	for name, want := range map[string]als.Metric{
+		"er": als.MetricER, "ER": als.MetricER, "Er": als.MetricER,
+		"nmed": als.MetricNMED, "NMED": als.MetricNMED, "NMed ": als.MetricNMED,
+	} {
+		if got, err := als.ParseMetric(name); err != nil || got != want {
+			t.Errorf("ParseMetric(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := als.ParseMetric("mae"); err == nil {
+		t.Error("ParseMetric must reject unknown metrics case-insensitively too")
+	}
+
+	for name, want := range map[string]als.Scale{
+		"quick": als.ScaleQuick, "QUICK": als.ScaleQuick,
+		"paper": als.ScalePaper, "Paper": als.ScalePaper,
+	} {
+		if got, err := als.ParseScale(name); err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := als.ParseScale("huge"); err == nil {
+		t.Error("ParseScale must reject unknown scales")
+	}
+}

@@ -1,0 +1,108 @@
+// Command alsd serves the DCGWO-ALS flow over HTTP: clients submit a
+// named benchmark or an uploaded structural-Verilog netlist with an error
+// constraint, the daemon runs the optimization on a bounded worker pool,
+// and identical requests — across restarts — are answered from the
+// persistent result store without recomputation.
+//
+// Usage:
+//
+//	alsd -addr :8080 -store alsd-results.jsonl -workers 2
+//
+// Submit, poll and fetch:
+//
+//	curl -X POST localhost:8080/v1/flows \
+//	     -d '{"circuit":"Adder16","metric":"nmed","budget":0.0244}'
+//	curl localhost:8080/v1/flows/f000001
+//	curl localhost:8080/v1/flows/f000001/result
+//	curl -X POST localhost:8080/v1/flows/f000001/cancel
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, lets in-flight jobs
+// finish (up to -drain-timeout, after which they are cancelled at their
+// next iteration boundary), flushes the store, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		storePath    = flag.String("store", "alsd-results.jsonl", "persistent result store (JSONL; empty disables persistence)")
+		workers      = flag.Int("workers", 2, "concurrent flow jobs")
+		queueDepth   = flag.Int("queue", 64, "maximum queued jobs")
+		evalWorkers  = flag.Int("eval-workers", 0, "per-flow evaluation pool (0 = GOMAXPROCS/workers)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight jobs finish on shutdown")
+	)
+	flag.Parse()
+	log.SetPrefix("alsd: ")
+	log.SetFlags(log.LstdFlags)
+
+	var st *store.Store
+	if *storePath != "" {
+		var err error
+		st, err = store.Open(*storePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := st.Corrupt(); n > 0 {
+			log.Printf("store %s: skipped %d corrupt line(s), kept %d result(s)", *storePath, n, st.Len())
+		} else {
+			log.Printf("store %s: %d cached result(s)", *storePath, st.Len())
+		}
+	}
+
+	svc := service.New(service.Options{
+		Store:       st,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		EvalWorkers: *evalWorkers,
+		Logf:        log.Printf,
+	})
+	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("serving on %s (%d worker(s), queue %d)", *addr, *workers, *queueDepth)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err) // the listener died before any signal
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received, draining (timeout %v)", *drainTimeout)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Drain(shutdownCtx); err != nil {
+		log.Printf("%v", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("store close: %v", err)
+		}
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http server: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "alsd: drained cleanly")
+}

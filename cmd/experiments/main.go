@@ -24,13 +24,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	als "repro"
 	"repro/internal/exp"
@@ -38,10 +41,16 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT/SIGTERM cancel the context; every in-flight flow stops at
+	// its next iteration boundary, the store (flushed per finished cell)
+	// is closed on the way out, and the run exits 1 with a -resume hint —
+	// so an interrupted sweep is always resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -79,10 +88,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *update != "" {
-		return updateGolden(*update, *seed, *jobs, stderr)
+		return updateGolden(ctx, *update, *seed, *jobs, stderr)
 	}
 	if *check != "" {
-		return checkGolden(*check, *jobs, stderr)
+		return checkGolden(ctx, *check, *jobs, stderr)
 	}
 
 	names, err := expandExperiments(*expName)
@@ -145,8 +154,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		jobList = append(jobList, js...)
 	}
-	rs, stats, err := exp.RunJobs(jobList, *jobs, st)
+	rs, stats, err := exp.RunJobsContext(ctx, jobList, *jobs, st)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if st != nil {
+				fmt.Fprintf(stderr, "interrupted: %d finished cell(s) flushed to %s; re-run with -resume to continue\n",
+					st.Len(), st.Path())
+			} else {
+				fmt.Fprintln(stderr, "interrupted (no -out store; finished work was discarded)")
+			}
+			return 1
+		}
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
@@ -282,13 +300,13 @@ func paperAverages(table map[string]map[string]exp.PaperCell) string {
 
 // checkGolden is the CI regression gate: recompute the golden file's cells
 // and require exact metric equality.
-func checkGolden(path string, workers int, stderr io.Writer) int {
+func checkGolden(ctx context.Context, path string, workers int, stderr io.Writer) int {
 	g, err := exp.LoadGolden(path)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	rs, stats, err := exp.RunJobs(g.Jobs(), workers, nil)
+	rs, stats, err := exp.RunJobsContext(ctx, g.Jobs(), workers, nil)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -308,9 +326,9 @@ func checkGolden(path string, workers int, stderr io.Writer) int {
 
 // updateGolden recomputes the quick-scale golden suite and rewrites the
 // committed reference.
-func updateGolden(path string, seed int64, workers int, stderr io.Writer) int {
+func updateGolden(ctx context.Context, path string, seed int64, workers int, stderr io.Writer) int {
 	jobs := exp.GoldenJobs(seed)
-	rs, _, err := exp.RunJobs(jobs, workers, nil)
+	rs, _, err := exp.RunJobsContext(ctx, jobs, workers, nil)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,8 +14,15 @@ import (
 // runCLI invokes the command's run function with captured output.
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
+	return runCLIContext(t, context.Background(), args...)
+}
+
+// runCLIContext is runCLI with a caller-supplied context (for simulating
+// a SIGINT/SIGTERM interruption, which main delivers as cancellation).
+func runCLIContext(t *testing.T, ctx context.Context, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
 	var out, errb bytes.Buffer
-	code = run(args, &out, &errb)
+	code = run(ctx, args, &out, &errb)
 	return code, out.String(), errb.String()
 }
 
@@ -173,5 +181,50 @@ func TestCheckMissingGoldenFileFails(t *testing.T) {
 	code, _, stderr := runCLI(t, "-check", filepath.Join(t.TempDir(), "absent.json"))
 	if code != 1 || stderr == "" {
 		t.Fatalf("absent golden file: code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestInterruptedRunIsResumable simulates a SIGINT/SIGTERM delivery (main
+// translates signals into context cancellation): the interrupted run must
+// exit 1 with a -resume hint and leave the store in a state a -resume
+// invocation completes from.
+func TestInterruptedRunIsResumable(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "table3", "-circuits", "Adder16",
+		"-pop", "6", "-iters", "2", "-vectors", "256", "-out", dir}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, _, stderr := runCLIContext(t, ctx, args...)
+	if code != 1 {
+		t.Fatalf("interrupted run exit = %d, want 1 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "-resume") || !strings.Contains(stderr, "interrupted") {
+		t.Fatalf("interrupted stderr must hint at -resume: %q", stderr)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results.jsonl")); err != nil {
+		t.Fatalf("interrupted run must leave the store behind: %v", err)
+	}
+
+	code, stdout, stderr := runCLI(t, append(args, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume exit = %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "TABLE III") || !strings.Contains(stdout, "Adder16") {
+		t.Fatalf("resume did not render the table: %q", stdout)
+	}
+	if !strings.Contains(stderr, "executed") {
+		t.Fatalf("resume must report job stats: %q", stderr)
+	}
+}
+
+// TestInterruptWithoutStoreExplainsDiscard covers the no -out case.
+func TestInterruptWithoutStoreExplainsDiscard(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, _, stderr := runCLIContext(t, ctx, "-exp", "table3", "-circuits", "Adder16",
+		"-pop", "6", "-iters", "2", "-vectors", "256")
+	if code != 1 || !strings.Contains(stderr, "interrupted") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
 	}
 }

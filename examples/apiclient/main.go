@@ -1,0 +1,117 @@
+// Apiclient drives a running alsd daemon end to end: it submits a flow
+// (a named benchmark by default, or an uploaded structural-Verilog file
+// with -verilog), streams the optimizer's live progress, prints the
+// result, and demonstrates the dedup cache by resubmitting the identical
+// request.
+//
+// It imports service.Request/service.JobView for the wire types so the
+// example can never drift from the daemon's JSON contract; an out-of-tree
+// client would declare the same structs from the README's API reference.
+//
+// Start the daemon, then run the client:
+//
+//	go run ./cmd/alsd -addr :8080 -store /tmp/alsd.jsonl
+//	go run ./examples/apiclient -addr http://localhost:8080 \
+//	    -circuit Adder16 -metric nmed -budget 0.0244
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "alsd base URL")
+		circuit = flag.String("circuit", "Adder16", "benchmark name")
+		verilog = flag.String("verilog", "", "path to a structural-Verilog netlist (overrides -circuit)")
+		method  = flag.String("method", "dcgwo", "optimizer method")
+		metric  = flag.String("metric", "nmed", "error metric: er|nmed")
+		budget  = flag.Float64("budget", 0.0244, "error budget")
+		scale   = flag.String("scale", "quick", "run scale: quick|paper")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	req := service.Request{Method: *method, Metric: *metric, Budget: *budget, Scale: *scale, Seed: *seed}
+	if *verilog != "" {
+		src, err := os.ReadFile(*verilog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Verilog = string(src)
+	} else {
+		req.Circuit = *circuit
+	}
+
+	first := submit(*addr, req)
+	fmt.Printf("submitted: job %s (%s, cached=%v)\n", first.ID, first.Status, first.Cached)
+
+	// Poll until terminal, printing progress as it moves.
+	lastIter := -1
+	v := first
+	for v.Status == service.StatusQueued || v.Status == service.StatusRunning {
+		time.Sleep(100 * time.Millisecond)
+		v = fetch(*addr + "/v1/flows/" + first.ID)
+		if p := v.Progress; p != nil && p.Iter != lastIter {
+			lastIter = p.Iter
+			fmt.Printf("  iter %d/%d  best Ratio_cpd so far %.4f\n", p.Iter, p.Total, p.BestRatioCPD)
+		}
+	}
+	if v.Status != service.StatusDone {
+		log.Fatalf("job ended %s: %s", v.Status, v.Error)
+	}
+	fmt.Printf("done: Ratio_cpd = %.4f, err = %.5g, %d evaluations, %v\n",
+		v.Result.RatioCPD, v.Result.Err, v.Result.Evaluations,
+		time.Duration(v.Result.RuntimeNS).Round(time.Millisecond))
+
+	// An identical resubmission is answered from cache, no recomputation.
+	again := submit(*addr, req)
+	fmt.Printf("resubmitted: job %s answered immediately (status %s, cached=%v)\n",
+		again.ID, again.Status, again.Cached)
+}
+
+func submit(addr string, req service.Request) service.JobView {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(addr+"/v1/flows", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+		log.Fatalf("submit failed (%s): %s", resp.Status, e.Error)
+	}
+	var v service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func fetch(url string) service.JobView {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

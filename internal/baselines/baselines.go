@@ -17,6 +17,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -85,6 +86,10 @@ type Config struct {
 	// EvalWorkers caps the parallel-evaluation pool (0 = GOMAXPROCS);
 	// mirrors core.Config.EvalWorkers.
 	EvalWorkers int
+	// Progress, when non-nil, is invoked once per round/generation with
+	// the best individual found so far, mirroring core.Config.Progress.
+	// It draws no randomness, so installing it never perturbs results.
+	Progress func(core.IterStats)
 	// Seed fixes the run.
 	Seed int64
 }
@@ -112,6 +117,15 @@ type Result struct {
 
 // Run executes the selected baseline on the accurate circuit.
 func Run(method Method, accurate *netlist.Circuit, lib *cell.Library, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), method, accurate, lib, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// once per greedy round / GA generation / GWO iteration, and a cancelled
+// run returns an error wrapping ctx.Err(). The check draws no randomness,
+// so an uncancelled run is bit-identical to Run and a cancelled-then-rerun
+// flow reproduces the original result exactly.
+func RunContext(ctx context.Context, method Method, accurate *netlist.Circuit, lib *cell.Library, cfg Config) (*Result, error) {
 	base := accurate.Clone()
 	base.Const0()
 	base.Const1()
@@ -122,7 +136,7 @@ func Run(method Method, accurate *netlist.Circuit, lib *cell.Library, cfg Config
 		return nil, err
 	}
 	eval.SetMaxWorkers(cfg.EvalWorkers)
-	r := &runner{cfg: cfg, lib: lib, base: base, eval: eval, rng: rng}
+	r := &runner{ctx: ctx, cfg: cfg, lib: lib, base: base, eval: eval, rng: rng}
 	switch method {
 	case VecbeeSasimi:
 		return r.greedy(objectiveArea)
@@ -137,11 +151,32 @@ func Run(method Method, accurate *netlist.Circuit, lib *cell.Library, cfg Config
 }
 
 type runner struct {
+	ctx  context.Context
 	cfg  Config
 	lib  *cell.Library
 	base *netlist.Circuit
 	eval *core.Evaluator
 	rng  *rand.Rand
+}
+
+// checkpoint reports cancellation at a round boundary and emits progress
+// for the best individual so far; it consumes no randomness.
+func (r *runner) checkpoint(round int, best *core.Individual) error {
+	if err := r.ctx.Err(); err != nil {
+		return fmt.Errorf("baselines: cancelled at round %d/%d: %w", round, r.cfg.Rounds, err)
+	}
+	if r.cfg.Progress != nil && best != nil {
+		r.cfg.Progress(core.IterStats{
+			Iter:        round,
+			BestFit:     best.Fit,
+			BestDelay:   best.Delay,
+			BestArea:    best.Area,
+			BestErr:     best.Err,
+			ErrAllowed:  r.cfg.ErrorBudget,
+			Evaluations: r.eval.Count(),
+		})
+	}
+	return nil
 }
 
 // objective scores a candidate individual for the greedy methods; lower is
@@ -163,6 +198,9 @@ func (r *runner) greedy(score objective) (*Result, error) {
 	best := cur
 	failures := 0
 	for round := 0; round < r.cfg.Rounds; round++ {
+		if err := r.checkpoint(round, best); err != nil {
+			return nil, err
+		}
 		res, err := r.eval.Simulate(cur.Circuit)
 		if err != nil {
 			return nil, err
@@ -289,6 +327,9 @@ func (r *runner) genetic() (*Result, error) {
 	best := exact
 	wt := 0.9 * r.eval.RefDelay()
 	for gen := 0; gen < r.cfg.Rounds; gen++ {
+		if err := r.checkpoint(gen, best); err != nil {
+			return nil, err
+		}
 		// Delay-driven fitness: feasible first, then faster first.
 		sort.Slice(pop, func(i, j int) bool {
 			fi, fj := pop[i].Err <= r.cfg.ErrorBudget, pop[j].Err <= r.cfg.ErrorBudget
@@ -363,6 +404,9 @@ func (r *runner) singleChaseGWO() (*Result, error) {
 	wt := 0.9 * r.eval.RefDelay()
 	const threshold = 0.5
 	for iter := 1; iter <= r.cfg.Rounds; iter++ {
+		if err := r.checkpoint(iter-1, best); err != nil {
+			return nil, err
+		}
 		a := 2 - 2*float64(iter)/float64(r.cfg.Rounds)
 		sort.Slice(pop, func(i, j int) bool { return pop[i].Fit > pop[j].Fit })
 		alpha := pop[0]

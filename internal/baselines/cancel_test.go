@@ -1,0 +1,69 @@
+package baselines
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRunContextCancelAllMethods checks every baseline stops at a round
+// boundary when its context is cancelled, and that the progress hook both
+// fires and never perturbs results.
+func TestRunContextCancelAllMethods(t *testing.T) {
+	for _, m := range Methods() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+
+			// Reference run, no hooks.
+			want, err := Run(m, adder8(), lib, smallConfig(core.MetricNMED, 0.0244))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Progress-hooked run must be bit-identical and report rounds.
+			cfg := smallConfig(core.MetricNMED, 0.0244)
+			fired := 0
+			cfg.Progress = func(st core.IterStats) {
+				fired++
+				if st.Evaluations == 0 {
+					t.Errorf("progress reported zero evaluations: %+v", st)
+				}
+			}
+			got, err := RunContext(context.Background(), m, adder8(), lib, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fired == 0 {
+				t.Error("progress hook never fired")
+			}
+			if got.Best.Fit != want.Best.Fit || got.Best.Err != want.Best.Err ||
+				got.Evaluations != want.Evaluations {
+				t.Errorf("hooked run = (%v %v %d), plain run = (%v %v %d)",
+					got.Best.Fit, got.Best.Err, got.Evaluations,
+					want.Best.Fit, want.Best.Err, want.Evaluations)
+			}
+
+			// Cancel after the first round via the progress hook.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			cfg2 := smallConfig(core.MetricNMED, 0.0244)
+			cfg2.Progress = func(core.IterStats) { cancel() }
+			if _, err := RunContext(ctx, m, adder8(), lib, cfg2); !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled run err = %v, want context.Canceled", err)
+			}
+
+			// Cancellation must not leak into a later identical run.
+			again, err := Run(m, adder8(), lib, smallConfig(core.MetricNMED, 0.0244))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Best.Fit != want.Best.Fit || again.Evaluations != want.Evaluations {
+				t.Errorf("rerun after cancel diverged: (%v %d) vs (%v %d)",
+					again.Best.Fit, again.Evaluations, want.Best.Fit, want.Evaluations)
+			}
+		})
+	}
+}

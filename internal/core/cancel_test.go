@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunContextUncancelledIsBitIdentical checks that context plumbing
+// and an installed progress hook change nothing: RunContext with a live
+// context must reproduce Run exactly, and progress must mirror History.
+func TestRunContextUncancelledIsBitIdentical(t *testing.T) {
+	cfg := smallConfig(MetricER, 0.05)
+
+	opt1, err := New(adder8(), lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := opt1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seen []IterStats
+	cfg.Progress = func(st IterStats) { seen = append(seen, st) }
+	opt2, err := New(adder8(), lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, err := opt2.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Best.Fit != hooked.Best.Fit || plain.Best.Err != hooked.Best.Err ||
+		plain.Best.Delay != hooked.Best.Delay || plain.Evaluations != hooked.Evaluations {
+		t.Errorf("RunContext diverged from Run: (%v %v %v %d) vs (%v %v %v %d)",
+			hooked.Best.Fit, hooked.Best.Err, hooked.Best.Delay, hooked.Evaluations,
+			plain.Best.Fit, plain.Best.Err, plain.Best.Delay, plain.Evaluations)
+	}
+	if len(seen) != len(hooked.History) {
+		t.Fatalf("progress fired %d times, history has %d entries", len(seen), len(hooked.History))
+	}
+	for i, st := range seen {
+		if st != hooked.History[i] {
+			t.Errorf("progress[%d] = %+v != history %+v", i, st, hooked.History[i])
+		}
+	}
+}
+
+// TestRunContextCancelMidIteration cancels from the progress hook after
+// two iterations and checks the run stops at the next iteration boundary
+// with an error wrapping context.Canceled — and that a fresh uncancelled
+// run is unaffected by the earlier cancellation (bit-identical results,
+// the serving layer's rerun-after-cancel guarantee).
+func TestRunContextCancelMidIteration(t *testing.T) {
+	cfg := smallConfig(MetricNMED, 0.0244)
+
+	ref, err := New(adder8(), lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	iters := 0
+	cfg.Progress = func(IterStats) {
+		if iters++; iters == 2 {
+			cancel()
+		}
+	}
+	opt, err := New(adder8(), lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned (%v, %v), want context.Canceled", res, err)
+	}
+	if iters != 2 {
+		t.Errorf("progress fired %d times after cancellation at iteration 2", iters)
+	}
+
+	// Rerun the same spec uncancelled: the result must match the
+	// never-cancelled reference exactly.
+	cfg.Progress = nil
+	opt2, err := New(adder8(), lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := opt2.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best.Fit != want.Best.Fit || got.Best.Err != want.Best.Err ||
+		got.Evaluations != want.Evaluations {
+		t.Errorf("rerun after cancel = (%v %v %d), want (%v %v %d)",
+			got.Best.Fit, got.Best.Err, got.Evaluations,
+			want.Best.Fit, want.Best.Err, want.Evaluations)
+	}
+}
+
+// TestRunContextPreCancelled checks the pre-start guard.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt, err := New(adder8(), lib, smallConfig(MetricER, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

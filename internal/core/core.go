@@ -104,6 +104,13 @@ type Config struct {
 	// Results are identical at any value; outer schedulers that shard
 	// whole flows set it to avoid nested-pool oversubscription.
 	EvalWorkers int
+	// Progress, when non-nil, is invoked once per iteration with the
+	// iteration's convergence stats (the same record appended to
+	// Result.History). It is called from the optimization goroutine and
+	// draws no randomness, so installing it never perturbs results; a
+	// serving layer uses it to report live per-job progress and to decide
+	// when to cancel.
+	Progress func(IterStats)
 	// Seed makes the run reproducible.
 	Seed int64
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -113,8 +114,18 @@ func (o *Optimizer) reproduceWith(ind, partner *Individual) (*netlist.Circuit, e
 
 // Run executes the full DCGWO loop and returns the best approximate
 // circuit found under the error budget.
-func (o *Optimizer) Run() (*Result, error) {
+func (o *Optimizer) Run() (*Result, error) { return o.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// once per iteration (and before the initial population is evaluated), and
+// a cancelled run returns an error wrapping ctx.Err(). The check draws no
+// randomness, so a run that is never cancelled is bit-identical to Run,
+// and a cancelled-then-rerun flow reproduces the original result exactly.
+func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 	cfg := o.cfg
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: optimization cancelled before start: %w", err)
+	}
 	pop := make([]*Individual, 0, cfg.PopulationSize)
 
 	// Initial population P0: the accurate circuit plus clones mutated by
@@ -167,6 +178,9 @@ func (o *Optimizer) Run() (*Result, error) {
 	}
 
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: optimization cancelled at iteration %d/%d: %w", iter, cfg.MaxIter, err)
+		}
 		errAllowed := math.Min(cfg.ErrorBudget, err0+bQuad*float64(iter*iter))
 		a := 2 - 2*float64(iter)/float64(cfg.MaxIter)
 
@@ -309,7 +323,7 @@ func (o *Optimizer) Run() (*Result, error) {
 			}
 		}
 
-		result.History = append(result.History, IterStats{
+		stats := IterStats{
 			Iter:        iter,
 			BestFit:     best.Fit,
 			BestDelay:   best.Delay,
@@ -317,7 +331,11 @@ func (o *Optimizer) Run() (*Result, error) {
 			BestErr:     best.Err,
 			ErrAllowed:  errAllowed,
 			Evaluations: o.eval.Count(),
-		})
+		}
+		result.History = append(result.History, stats)
+		if cfg.Progress != nil {
+			cfg.Progress(stats)
+		}
 	}
 
 	result.Best = best

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,6 +93,12 @@ type JobResult struct {
 // GOMAXPROCS); it is a scheduling knob, never part of the job spec or its
 // hash, because it cannot affect results.
 func (j Job) Run(lib *cell.Library, evalWorkers int) (JobResult, error) {
+	return j.RunContext(context.Background(), lib, evalWorkers)
+}
+
+// RunContext is Run with cooperative cancellation, forwarded to the flow's
+// per-iteration context check.
+func (j Job) RunContext(ctx context.Context, lib *cell.Library, evalWorkers int) (JobResult, error) {
 	b, ok := gen.ByName(j.Circuit)
 	if !ok {
 		return JobResult{}, fmt.Errorf("exp: job %s: unknown circuit", j)
@@ -108,7 +115,7 @@ func (j Job) Run(lib *cell.Library, evalWorkers int) (JobResult, error) {
 	if err != nil {
 		return JobResult{}, fmt.Errorf("exp: job %s: %w", j, err)
 	}
-	res, err := als.Flow(b.Build(), lib, als.FlowConfig{
+	res, err := als.FlowContext(ctx, b.Build(), lib, als.FlowConfig{
 		Metric:       metric,
 		ErrorBudget:  j.Budget,
 		Method:       method,

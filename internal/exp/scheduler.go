@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -62,6 +63,17 @@ type RunStats struct {
 // at its spec (PR 1's exactness guarantee), so the ResultSet — and any
 // rendering derived from it — is byte-identical for any worker count.
 func RunJobs(jobs []Job, workers int, st *store.Store) (ResultSet, RunStats, error) {
+	return RunJobsContext(context.Background(), jobs, workers, st)
+}
+
+// RunJobsContext is RunJobs with cooperative cancellation: the context is
+// checked before each job is claimed and once per optimizer iteration
+// inside each running flow. Because every finished cell is flushed to the
+// store the moment it completes, a cancelled invocation loses only
+// in-flight cells — a re-run with the same store resumes from the last
+// flushed cell. The returned error wraps ctx.Err() when the run was
+// cancelled.
+func RunJobsContext(ctx context.Context, jobs []Job, workers int, st *store.Store) (ResultSet, RunStats, error) {
 	rs := ResultSet{}
 	var stats RunStats
 
@@ -122,7 +134,10 @@ func RunJobs(jobs []Job, workers int, st *store.Store) (ResultSet, RunStats, err
 	)
 	lib := als.NewLibrary()
 	err := core.ParallelFor(len(pending), jobWorkers, func(_, i int) error {
-		r, err := pending[i].job.Run(lib, evalWorkers)
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("exp: run cancelled: %w", err)
+		}
+		r, err := pending[i].job.RunContext(ctx, lib, evalWorkers)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -302,5 +304,61 @@ func TestJobRunRejectsUnknownFields(t *testing.T) {
 		if _, err := j.Run(lib, 0); err == nil {
 			t.Fatalf("job %s must fail to run", j)
 		}
+	}
+}
+
+// TestRunJobsContextCancelled checks that a cancelled scheduler run
+// reports the cancellation, executes nothing new, and leaves previously
+// flushed cells in the store so a resumed run completes purely from cache.
+func TestRunJobsContextCancelled(t *testing.T) {
+	opts := matrixOpts()
+	jobs := matrixJobs(t, opts)
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunJobs(jobs, 1, st); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cancelled invocation must refuse to execute and say why.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, stats, err := RunJobsContext(ctx, matrixJobs(t, Opts{
+		Circuits:   opts.Circuits,
+		Methods:    opts.Methods,
+		Seed:       99, // all-new cells, nothing cacheable
+		Population: opts.Population,
+		Iterations: opts.Iterations,
+		Vectors:    opts.Vectors,
+	}), 1, st)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Executed != 0 {
+		t.Errorf("cancelled run executed %d jobs", stats.Executed)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The earlier run's cells survived; a resume completes from cache
+	// even under a cancelled context (no work left to refuse).
+	st2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rs, stats, err := RunJobsContext(ctx, jobs, 1, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cached != len(jobs) || stats.Executed != 0 {
+		t.Fatalf("resume stats = %+v, want all %d cached", stats, len(jobs))
+	}
+	if _, err := Table2From(opts, rs); err != nil {
+		t.Errorf("resumed results do not assemble: %v", err)
 	}
 }

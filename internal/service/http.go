@@ -1,0 +1,113 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxBodyBytes bounds a submission body (the verilog source dominates).
+const maxBodyBytes = MaxVerilogBytes + 1<<20
+
+// Handler returns the HTTP/JSON API:
+//
+//	POST /v1/flows             submit a flow (Request body) → JobView
+//	GET  /v1/flows             list jobs → []JobView
+//	GET  /v1/flows/{id}        one job's status and progress → JobView
+//	GET  /v1/flows/{id}/result finished result → JobView (409 while the
+//	                           job is queued/running, 410 once it ended
+//	                           failed or cancelled — stop polling)
+//	POST /v1/flows/{id}/cancel cancel a queued or running job → JobView
+//	GET  /healthz              liveness + Stats counters
+//
+// Errors are JSON objects {"error": "..."}: 400 malformed or invalid
+// requests, 404 unknown job, 409 result not ready yet, 410 result will
+// never exist, 503 queue full or draining.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/flows", s.handleSubmit)
+	mux.HandleFunc("GET /v1/flows", s.handleList)
+	mux.HandleFunc("GET /v1/flows/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/flows/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/flows/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	case v.Status == StatusDone:
+		writeJSON(w, http.StatusOK, v) // cache/dedup hit, result ready now
+	default:
+		writeJSON(w, http.StatusAccepted, v)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
+		return
+	}
+	switch {
+	case v.Status == StatusDone:
+		writeJSON(w, http.StatusOK, v)
+	case v.Status.terminal(): // failed/cancelled: no result will ever come
+		writeJSON(w, http.StatusGone, v)
+	default:
+		writeJSON(w, http.StatusConflict, v)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"stats":  s.Stats(),
+	})
+}

@@ -1,0 +1,560 @@
+// Package service runs the ALS flow as a long-lived, cancellable service:
+// clients submit flow requests (a named benchmark or an uploaded
+// structural-Verilog netlist) over HTTP/JSON, a bounded worker pool runs
+// them with per-job status and live progress, and identical requests are
+// deduplicated by the same canonical content hash the experiment
+// orchestrator uses (internal/exp), with finished results persisted
+// through internal/store — so a restarted daemon answers repeats from
+// cache without recomputation.
+//
+// The package splits into three layers:
+//
+//   - request.go: untrusted-input validation and canonical job identity
+//     (flowSpec wraps an exp.Job, so a named-benchmark submission shares
+//     its cache entry with the equivalent cmd/experiments cell);
+//   - service.go (this file): the job table, queue, worker pool,
+//     cancellation and graceful drain;
+//   - http.go: the HTTP/JSON API (submit/list/status/result/cancel).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	als "repro"
+	"repro/internal/cell"
+	"repro/internal/exp"
+	"repro/internal/store"
+)
+
+// Status is one job's lifecycle state.
+type Status string
+
+// The job lifecycle: queued → running → done|failed|cancelled. A queued
+// job cancelled before a worker picks it up goes straight to cancelled.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Progress is one job's live optimization progress, updated once per
+// optimizer iteration by the flow's progress hook.
+type Progress struct {
+	// Iter counts completed optimizer iterations out of Total.
+	Iter  int `json:"iter"`
+	Total int `json:"total"`
+	// BestRatioCPD is the best delay so far over CPDori — an upper bound
+	// on the final ratio, which post-optimization only improves.
+	BestRatioCPD float64 `json:"best_ratio_cpd"`
+	// BestErr is the best individual's error under the job's metric.
+	BestErr float64 `json:"best_err"`
+	// Evaluations counts circuit evaluations so far.
+	Evaluations int `json:"evaluations"`
+}
+
+// Stats counts what the server did since it started.
+type Stats struct {
+	// Submitted counts accepted submissions (including dedup/cache hits).
+	Submitted int `json:"submitted"`
+	// Executed counts flows actually computed by this process.
+	Executed int `json:"executed"`
+	// CacheHits counts submissions answered from the persistent store.
+	CacheHits int `json:"cache_hits"`
+	// Deduped counts submissions attached to an identical live or
+	// finished job instead of spawning a new one.
+	Deduped int `json:"deduped"`
+	// Cancelled and Failed count terminal outcomes.
+	Cancelled int `json:"cancelled"`
+	Failed    int `json:"failed"`
+}
+
+// Options configures a Server. The zero value is usable: no persistence,
+// one worker, a 64-deep queue, the default cell library.
+type Options struct {
+	// Store persists finished results keyed by job content hash; nil
+	// disables persistence (dedup still works within the process).
+	Store *store.Store
+	// Workers bounds how many flows run concurrently (default 1).
+	Workers int
+	// QueueDepth bounds how many jobs may wait (default 64); submissions
+	// beyond it are rejected with ErrQueueFull rather than queued
+	// unboundedly.
+	QueueDepth int
+	// EvalWorkers caps each flow's internal candidate-evaluation pool.
+	// 0 picks GOMAXPROCS/Workers (min 1) so total parallelism stays
+	// GOMAXPROCS-bounded, mirroring the experiment scheduler's split.
+	EvalWorkers int
+	// MaxJobs bounds the in-memory job table (default 1024). When a new
+	// job would exceed it, the oldest terminal jobs are evicted (their
+	// results stay served by the store); queued and running jobs are
+	// never evicted, so the table is bounded by MaxJobs + QueueDepth +
+	// Workers in the worst case.
+	MaxJobs int
+	// Lib is the cell library (default the synthetic 28nm library).
+	Lib *cell.Library
+	// Logf, when non-nil, receives one line per job state transition.
+	Logf func(format string, args ...any)
+}
+
+// Submission errors the HTTP layer maps to 503; anything else from Submit
+// is a validation error (400).
+var (
+	// ErrQueueFull rejects a submission when the pending queue is at
+	// QueueDepth.
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrDraining rejects submissions after Drain or Close began.
+	ErrDraining = errors.New("service: server is draining")
+)
+
+// jobState is one submitted flow. All mutable fields are guarded by the
+// server mutex.
+type jobState struct {
+	id       string
+	spec     *flowSpec
+	status   Status
+	cached   bool // answered from the persistent store, never computed here
+	progress Progress
+	result   *exp.JobResult
+	errMsg   string
+	// cancelRun cancels the in-flight flow; non-nil only while running.
+	cancelRun context.CancelFunc
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Server owns the job table and worker pool. Create with New, serve its
+// Handler, and shut down with Drain (graceful) or Close (immediate).
+type Server struct {
+	store       *store.Store
+	lib         *cell.Library
+	evalWorkers int
+	maxJobs     int
+	logf        func(format string, args ...any)
+
+	baseCtx    context.Context // parent of every job run; Close cancels it
+	baseCancel context.CancelFunc
+	queue      chan *jobState
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	seq      int
+	jobs     map[string]*jobState
+	order    []string          // job IDs in submission order
+	byHash   map[string]string // content hash → job ID (latest)
+	stats    Stats
+}
+
+// New starts a Server with opts.Workers worker goroutines. The caller
+// owns opts.Store and closes it after Drain/Close returns.
+func New(opts Options) *Server {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	evalWorkers := opts.EvalWorkers
+	if evalWorkers <= 0 && workers > 1 {
+		evalWorkers = runtime.GOMAXPROCS(0) / workers
+		if evalWorkers < 1 {
+			evalWorkers = 1
+		}
+	}
+	maxJobs := opts.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 1024
+	}
+	lib := opts.Lib
+	if lib == nil {
+		lib = als.NewLibrary()
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		store:       opts.Store,
+		lib:         lib,
+		evalWorkers: evalWorkers,
+		maxJobs:     maxJobs,
+		logf:        logf,
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		queue:       make(chan *jobState, depth),
+		jobs:        map[string]*jobState{},
+		byHash:      map[string]string{},
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates a request and either attaches it to an identical live
+// or finished job (dedup), answers it from the persistent store (cache),
+// or enqueues a new job. The returned view's Cached field is true when no
+// computation will happen for this submission.
+func (s *Server) Submit(req Request) (JobView, error) {
+	sp, err := validate(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobView{}, ErrDraining
+	}
+
+	// Dedup against a live or successfully finished job with the same
+	// content hash. Failed and cancelled jobs don't count — an identical
+	// resubmission gets a fresh run.
+	if id, ok := s.byHash[sp.hash]; ok {
+		j := s.jobs[id]
+		if j.status != StatusFailed && j.status != StatusCancelled {
+			s.stats.Submitted++
+			s.stats.Deduped++
+			v := s.viewLocked(j)
+			v.Cached = v.Cached || j.status == StatusDone
+			return v, nil
+		}
+	}
+
+	// Cache: a result persisted by an earlier run of this daemon, a
+	// previous daemon over the same store, or a cmd/experiments sweep.
+	if s.store != nil {
+		var r exp.JobResult
+		if ok, err := s.store.Decode(sp.hash, &r); err == nil && ok {
+			j := s.newJobLocked(sp)
+			now := time.Now()
+			j.status = StatusDone
+			j.cached = true
+			j.result = &r
+			j.started, j.finished = now, now
+			s.stats.Submitted++
+			s.stats.CacheHits++
+			s.logf("service: job %s %s served from store (%.12s…)", j.id, j.spec.job, sp.hash)
+			return s.viewLocked(j), nil
+		}
+	}
+
+	j := s.newJobLocked(sp)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.id)
+		delete(s.byHash, sp.hash)
+		s.order = s.order[:len(s.order)-1]
+		return JobView{}, ErrQueueFull
+	}
+	s.stats.Submitted++
+	s.logf("service: job %s queued: %s", j.id, j.spec.job)
+	return s.viewLocked(j), nil
+}
+
+// newJobLocked allocates a queued jobState and indexes it, evicting the
+// oldest terminal jobs once the table exceeds MaxJobs; s.mu held.
+func (s *Server) newJobLocked(sp *flowSpec) *jobState {
+	s.evictLocked()
+	s.seq++
+	j := &jobState{
+		id:      fmt.Sprintf("f%06d", s.seq),
+		spec:    sp,
+		status:  StatusQueued,
+		created: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.byHash[sp.hash] = j.id
+	return j
+}
+
+// evictLocked drops the oldest terminal jobs while the table is at or
+// above MaxJobs, so a long-lived daemon's memory stays bounded. Queued
+// and running jobs are never evicted; an evicted done job's result is
+// still served by the persistent store (in-process dedup for its hash is
+// lost, which costs at most one store lookup). s.mu held.
+func (s *Server) evictLocked() {
+	if len(s.jobs) < s.maxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if len(s.jobs) >= s.maxJobs && j.status.terminal() {
+			delete(s.jobs, id)
+			if s.byHash[j.spec.hash] == id {
+				delete(s.byHash, j.spec.hash)
+			}
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job returns a point-in-time view of one job.
+func (s *Server) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return s.viewLocked(j), true
+}
+
+// Jobs lists every job in submission order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.viewLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Stats returns the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Cancel stops a job: a queued job becomes cancelled immediately, a
+// running job's context is cancelled (the flow stops at its next
+// iteration boundary), and a terminal job is left untouched. The second
+// return is false when no job has that ID.
+func (s *Server) Cancel(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCancelled
+		j.errMsg = "cancelled before start"
+		j.finished = time.Now()
+		s.stats.Cancelled++
+		s.logf("service: job %s cancelled while queued", j.id)
+	case StatusRunning:
+		// The worker observes the context at the next iteration boundary
+		// and marks the job cancelled; report the current state meanwhile.
+		j.cancelRun()
+		s.logf("service: job %s cancellation requested", j.id)
+	}
+	return s.viewLocked(j), true
+}
+
+// Drain shuts the server down gracefully: new submissions are rejected
+// with ErrDraining, queued and running jobs are allowed to finish, and
+// Drain returns when the workers exit. If ctx expires first, every
+// in-flight job is cancelled (stopping at its next iteration boundary,
+// with its partial work discarded but every previously finished result
+// already flushed to the store) and Drain waits for the workers before
+// returning ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return fmt.Errorf("service: drain timed out, in-flight jobs cancelled: %w", ctx.Err())
+	}
+}
+
+// Close shuts down immediately: submissions are rejected, in-flight jobs
+// are cancelled, and Close returns when the workers exit.
+func (s *Server) Close() {
+	s.beginDrain()
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// beginDrain flips the draining flag and closes the queue exactly once.
+// Sends to the queue only happen in Submit under s.mu with !draining, so
+// closing under the same lock cannot race a send.
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+}
+
+// worker runs queued jobs until the queue is closed and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one queued job end to end and records its outcome.
+func (s *Server) runJob(j *jobState) {
+	s.mu.Lock()
+	if j.status != StatusQueued { // cancelled while waiting in the queue
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.status = StatusRunning
+	j.cancelRun = cancel
+	j.started = time.Now()
+	sp := j.spec
+	s.mu.Unlock()
+	defer cancel()
+	s.logf("service: job %s running: %s", j.id, sp.job)
+
+	res, err := s.execute(ctx, j, sp)
+
+	// Persist before publishing "done": once a client sees done, a
+	// restarted daemon must also be able to serve the result.
+	if err == nil && s.store != nil {
+		if perr := s.store.Put(sp.hash, res); perr != nil {
+			s.logf("service: job %s result not persisted: %v", j.id, perr)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cancelRun = nil
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.result = &res
+		s.stats.Executed++
+		s.logf("service: job %s done: Ratio_cpd=%.4f err=%.5g in %v",
+			j.id, res.RatioCPD, res.Err, j.finished.Sub(j.started).Round(time.Millisecond))
+	case errors.Is(err, context.Canceled):
+		j.status = StatusCancelled
+		j.errMsg = err.Error()
+		s.stats.Cancelled++
+		s.logf("service: job %s cancelled after %d iteration(s)", j.id, j.progress.Iter)
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+		s.stats.Failed++
+		s.logf("service: job %s failed: %v", j.id, err)
+	}
+}
+
+// execute runs the flow for one job, streaming progress into the job
+// table. It holds no locks while computing.
+func (s *Server) execute(ctx context.Context, j *jobState, sp *flowSpec) (exp.JobResult, error) {
+	circuit, err := sp.buildCircuit()
+	if err != nil {
+		return exp.JobResult{}, err
+	}
+	cfg := als.FlowConfig{
+		Metric:       sp.metric,
+		ErrorBudget:  sp.job.Budget,
+		Method:       sp.method,
+		Scale:        sp.scale,
+		AreaConRatio: sp.job.AreaConRatio,
+		DepthWeight:  sp.job.DepthWeight,
+		Population:   sp.job.Population,
+		Iterations:   sp.job.Iterations,
+		Vectors:      sp.job.Vectors,
+		EvalWorkers:  s.evalWorkers,
+		Seed:         sp.job.Seed,
+		Progress: func(p als.FlowProgress) {
+			s.mu.Lock()
+			j.progress = Progress{
+				Iter:         p.Iter,
+				Total:        p.Total,
+				BestRatioCPD: p.BestRatioCPD,
+				BestErr:      p.BestErr,
+				Evaluations:  p.Evaluations,
+			}
+			s.mu.Unlock()
+		},
+	}
+	res, err := als.FlowContext(ctx, circuit, s.lib, cfg)
+	if err != nil {
+		return exp.JobResult{}, err
+	}
+	return exp.JobResult{
+		RatioCPD:    res.RatioCPD,
+		Err:         res.Err,
+		Evaluations: res.Evaluations,
+		CPDOri:      res.CPDOri,
+		CPDFac:      res.CPDFac,
+		AreaCon:     res.AreaCon,
+		AreaFinal:   res.AreaFinal,
+		RuntimeNS:   int64(res.Runtime),
+	}, nil
+}
+
+// JobView is the API's point-in-time snapshot of one job.
+type JobView struct {
+	ID   string `json:"id"`
+	Hash string `json:"hash"`
+	// Spec is the canonical job (uploaded netlists appear as their
+	// content key "verilog:<sha256>").
+	Spec   exp.Job `json:"spec"`
+	Status Status  `json:"status"`
+	// Cached is true when the submission required no computation: the
+	// result came from the persistent store or from an identical
+	// already-finished job.
+	Cached   bool           `json:"cached"`
+	Progress *Progress      `json:"progress,omitempty"`
+	Result   *exp.JobResult `json:"result,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Created  time.Time      `json:"created"`
+	Started  time.Time      `json:"started,omitzero"`
+	Finished time.Time      `json:"finished,omitzero"`
+}
+
+// viewLocked snapshots a job; s.mu held.
+func (s *Server) viewLocked(j *jobState) JobView {
+	v := JobView{
+		ID:       j.id,
+		Hash:     j.spec.hash,
+		Spec:     j.spec.job,
+		Status:   j.status,
+		Cached:   j.cached,
+		Error:    j.errMsg,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if j.progress.Total != 0 {
+		p := j.progress
+		v.Progress = &p
+	}
+	if j.result != nil {
+		r := *j.result
+		v.Result = &r
+	}
+	return v
+}

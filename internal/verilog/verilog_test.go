@@ -207,3 +207,114 @@ func TestWriteUniqueNames(t *testing.T) {
 		t.Fatalf("writer must uniquify colliding names: %v\n%s", err, src)
 	}
 }
+
+// TestParseErrorMessages pins down the error each malformed-input class
+// produces: the alsd daemon ingests untrusted .v uploads through Parse,
+// so every rejection must be a clean, located error — never a panic, and
+// specific enough for the client to act on.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty source", "", `expected "module"`},
+		{"missing module keyword", "modul m (a, y); endmodule", `expected "module"`},
+		{"missing module name", "module ; endmodule", "missing module name"},
+		{"missing port list", "module m; endmodule", `expected "("`},
+		{"unterminated port list", "module m (a, y; endmodule", `expected ")"`},
+		{"missing semicolon after header", "module m (a, y) endmodule", `expected ";"`},
+		{"unknown cell", `module m (a, y); input a; output y; wire n;
+			FOO9X1 g (.A(a), .Y(n)); assign y = n; endmodule`, `unknown cell "FOO9X1"`},
+		{"unknown drive suffix", `module m (a, y); input a; output y; wire n;
+			INVX9 g (.A(a), .Y(n)); assign y = n; endmodule`, `unknown cell "INVX9"`},
+		{"undeclared wire", `module m (a, y); input a; output y;
+			INVX1 g (.A(bogus), .Y(y)); endmodule`, `undeclared net "bogus"`},
+		{"declared but undriven wire", `module m (a, y); input a; output y; wire n;
+			INVX1 g (.A(n), .Y(y)); endmodule`, `net "n" has no driver`},
+		{"duplicate driver", `module m (a, y); input a; output y; wire n;
+			INVX1 g1 (.A(a), .Y(n)); INVX1 g2 (.A(a), .Y(n)); assign y = n; endmodule`,
+			`net "n" driven twice`},
+		{"missing output pin", `module m (a, y); input a; output y; wire n;
+			INVX1 g (.A(a)); assign y = n; endmodule`, "missing .Y pin"},
+		{"missing input pin", `module m (a, b, y); input a, b; output y;
+			NAND2X1 g (.A(a), .Y(y)); endmodule`, "missing .B pin"},
+		{"missing instance name", `module m (a, y); input a; output y;
+			INVX1 (.A(a), .Y(y)); endmodule`, "missing instance name"},
+		{"bad wire declaration", `module m (a, y); input a; output y; wire ;
+			INVX1 g (.A(a), .Y(y)); endmodule`, "bad wire declaration"},
+		{"truncated instance", `module m (a, y); input a; output y;
+			INVX1 g (.A(a), .Y(y)`, `expected ")"`},
+		{"missing endmodule", `module m (a, y); input a; output y;
+			INVX1 g (.A(a), .Y(y));`, "missing endmodule"},
+		{"stray character", "module m (a, y); input a; output y; @", "unexpected character"},
+		{"undriven output port", `module m (a, y); input a; output y; endmodule`,
+			`output "y"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse accepted %q (got circuit with %d gates)", tc.src, len(c.Gates))
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want mention of %q", err, tc.want)
+			}
+			if !strings.HasPrefix(err.Error(), "verilog:") && !strings.Contains(err.Error(), "netlist") {
+				t.Errorf("error %q must identify its source package", err)
+			}
+		})
+	}
+}
+
+// TestParseErrorsReportLineNumbers checks the parser locates errors on
+// the offending source line.
+func TestParseErrorsReportLineNumbers(t *testing.T) {
+	src := "module m (a, y);\ninput a;\noutput y;\nwire n;\nFOO9X1 g (.A(a), .Y(n));\nassign y = n;\nendmodule"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("Parse must reject the unknown cell")
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Errorf("error = %q, want it located on line 5", err)
+	}
+}
+
+// TestParseNeverPanics throws structurally broken fragments at the parser
+// (truncations of a valid module plus hostile inputs); every one must
+// come back as (nil, error) or a valid circuit — never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	valid := `module m (a, b, y);
+  input a, b;
+  output y;
+  wire n1, n2;
+  NAND2X1 g1 (.A(a), .B(b), .Y(n1));
+  INVX2 g2 (.A(n1), .Y(n2));
+  assign y = n2;
+endmodule`
+	var inputs []string
+	for i := 0; i <= len(valid); i += 7 {
+		inputs = append(inputs, valid[:i])
+	}
+	inputs = append(inputs,
+		"((((((((",
+		"module",
+		"module m (",
+		"module m (); ; ; endmodule",
+		"module m (y); output y; assign y = y; endmodule",
+		"module m (y); output y; assign y = 1'b0; endmodule; endmodule",
+		"module m (a, y); input a; output y; TIE0 t (); endmodule",
+		strings.Repeat("wire ", 2000),
+	)
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%.40q…) panicked: %v", src, r)
+				}
+			}()
+			c, err := Parse(src)
+			if err == nil && c == nil {
+				t.Errorf("Parse(%.40q…) returned neither circuit nor error", src)
+			}
+		}()
+	}
+}
