@@ -16,6 +16,14 @@
 //	curl localhost:8080/v1/flows/f000001/result
 //	curl -X POST localhost:8080/v1/flows/f000001/cancel
 //
+// Every alsd is also a distributed-sweep worker with no extra
+// configuration: the same handler exposes the worker job API
+// (POST /v1/jobs batch submit by canonical job spec, GET /v1/jobs/{hash}
+// result fetch by content hash, GET /healthz readiness) that
+// `experiments -workers http://host:8080,...` drives. Sweep cells and
+// interactive submissions share one hash-keyed store, so either fills the
+// cache for the other.
+//
 // On SIGINT/SIGTERM the daemon stops accepting work, lets in-flight jobs
 // finish (up to -drain-timeout, after which they are cancelled at their
 // next iteration boundary), flushes the store, and exits 0.
@@ -44,6 +52,7 @@ func main() {
 		workers      = flag.Int("workers", 2, "concurrent flow jobs")
 		queueDepth   = flag.Int("queue", 64, "maximum queued jobs")
 		evalWorkers  = flag.Int("eval-workers", 0, "per-flow evaluation pool (0 = GOMAXPROCS/workers)")
+		maxJobs      = flag.Int("max-jobs", 0, "in-memory job table bound; oldest finished jobs are evicted beyond it (0 = default 1024)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight jobs finish on shutdown")
 	)
 	flag.Parse()
@@ -69,6 +78,7 @@ func main() {
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
 		EvalWorkers: *evalWorkers,
+		MaxJobs:     *maxJobs,
 		Logf:        log.Printf,
 	})
 	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}

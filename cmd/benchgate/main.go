@@ -1,0 +1,197 @@
+// Command benchgate turns `go test -bench` output into a machine-readable
+// summary and gates CI on a committed baseline: it reads benchmark output
+// on stdin, takes the best (minimum) ns/op per benchmark across -count
+// repetitions — the least-noise estimator on shared runners — writes the
+// summary JSON (the BENCH_ci.json workflow artifact), and exits 1 when the
+// gated benchmark regressed beyond the allowed fraction.
+//
+// Usage:
+//
+//	go test -run='^$' -bench='^(BenchmarkFlowSingle|...)$' -count=5 . |
+//	    go run ./cmd/benchgate -baseline testdata/bench_baseline.json -out BENCH_ci.json
+//
+// After an intentional performance change (or on a new reference machine),
+// regenerate the baseline with:
+//
+//	go test -run='^$' -bench='^(BenchmarkFlowSingle|BenchmarkSimRunIncremental|BenchmarkEvaluateBatch)$' -count=5 . |
+//	    go run ./cmd/benchgate -update testdata/bench_baseline.json
+//
+// Exit codes: 0 pass, 1 regression or missing data, 2 usage error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Summary is the machine-readable digest of one bench run (the CI
+// artifact). NsPerOp holds the minimum across repetitions; Runs counts
+// how many repetitions fed each minimum.
+type Summary struct {
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+	Runs    map[string]int     `json:"runs"`
+}
+
+// Baseline is the committed reference (testdata/bench_baseline.json).
+type Baseline struct {
+	// Recipe documents how to regenerate the file.
+	Recipe  string             `json:"_recipe"`
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// baselineRecipe is written into updated baselines.
+const baselineRecipe = "go test -run='^$' -bench='^(BenchmarkFlowSingle|BenchmarkSimRunIncremental|BenchmarkEvaluateBatch)$' -count=5 . | go run ./cmd/benchgate -update testdata/bench_baseline.json"
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkFlowSingle-8   	     226	   5136224 ns/op
+//
+// The -8 GOMAXPROCS suffix is stripped so summaries compare across
+// machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench aggregates bench output into a Summary.
+func parseBench(r io.Reader) (Summary, error) {
+	s := Summary{NsPerOp: map[string]float64{}, Runs: map[string]int{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return s, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		name := m[1]
+		if prev, ok := s.NsPerOp[name]; !ok || ns < prev {
+			s.NsPerOp[name] = ns
+		}
+		s.Runs[name]++
+	}
+	return s, sc.Err()
+}
+
+// gate checks one benchmark of the summary against the baseline with a
+// relative regression allowance, returning a human-readable verdict.
+func gate(s Summary, b Baseline, name string, maxRegress float64) (string, error) {
+	got, ok := s.NsPerOp[name]
+	if !ok {
+		return "", fmt.Errorf("benchgate: %s missing from the bench output (names: %s)", name, strings.Join(names(s.NsPerOp), ", "))
+	}
+	base, ok := b.NsPerOp[name]
+	if !ok {
+		return "", fmt.Errorf("benchgate: %s missing from the baseline (names: %s)", name, strings.Join(names(b.NsPerOp), ", "))
+	}
+	limit := base * (1 + maxRegress)
+	delta := (got - base) / base * 100
+	verdict := fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)",
+		name, got, base, delta, maxRegress*100)
+	if got > limit {
+		return "", fmt.Errorf("benchgate: REGRESSION %s", verdict)
+	}
+	return verdict, nil
+}
+
+func names(m map[string]float64) []string {
+	var out []string
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return []string{"(none)"}
+	}
+	return out
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "", "committed baseline JSON to gate against")
+		outPath      = fs.String("out", "", "write the parsed summary JSON here (the CI artifact)")
+		gateName     = fs.String("gate", "BenchmarkFlowSingle", "benchmark the regression gate applies to")
+		maxRegress   = fs.Float64("max-regress", 0.25, "allowed relative ns/op regression before failing")
+		updatePath   = fs.String("update", "", "write stdin's results as a new baseline to this path and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *updatePath == "" && *baselinePath == "" && *outPath == "" {
+		fmt.Fprintln(stderr, "benchgate: nothing to do: need -baseline, -out or -update")
+		return 2
+	}
+
+	summary, err := parseBench(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(summary.NsPerOp) == 0 {
+		fmt.Fprintln(stderr, "benchgate: no benchmark lines found on stdin")
+		return 1
+	}
+
+	if *updatePath != "" {
+		b := Baseline{Recipe: baselineRecipe, NsPerOp: summary.NsPerOp}
+		if err := writeJSON(*updatePath, b); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchgate: wrote baseline for %d benchmark(s) to %s\n", len(b.NsPerOp), *updatePath)
+		return 0
+	}
+
+	if *outPath != "" {
+		if err := writeJSON(*outPath, summary); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, fmt.Errorf("benchgate: %w", err))
+			return 1
+		}
+		var baseline Baseline
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintln(stderr, fmt.Errorf("benchgate: baseline %s: %w", *baselinePath, err))
+			return 1
+		}
+		verdict, err := gate(summary, baseline, *gateName, *maxRegress)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			fmt.Fprintf(stderr, "benchgate: after an intentional change, regenerate with: %s\n", baselineRecipe)
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchgate: PASS %s\n", verdict)
+	}
+	return 0
+}
+
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchgate: %w", err)
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleOutput is a realistic -count=3 bench transcript, including noise
+// lines parseBench must skip and a second benchmark.
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some CPU @ 3.00GHz
+BenchmarkFlowSingle-8   	     226	   5136224 ns/op
+BenchmarkFlowSingle-8   	     230	   5101833 ns/op
+BenchmarkFlowSingle-8   	     228	   5240012 ns/op
+BenchmarkSimRunIncremental-8   	  410000	      2913 ns/op
+BenchmarkSimRunIncremental-8   	  402000	      2950.5 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBenchTakesMinAcrossRepetitions(t *testing.T) {
+	s, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NsPerOp["BenchmarkFlowSingle"]; got != 5101833 {
+		t.Fatalf("FlowSingle min = %v, want 5101833", got)
+	}
+	if got := s.Runs["BenchmarkFlowSingle"]; got != 3 {
+		t.Fatalf("FlowSingle runs = %d, want 3", got)
+	}
+	if got := s.NsPerOp["BenchmarkSimRunIncremental"]; got != 2913 {
+		t.Fatalf("SimRunIncremental min = %v, want 2913 (suffix stripped, fractional parsed)", got)
+	}
+	if len(s.NsPerOp) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(s.NsPerOp), s.NsPerOp)
+	}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	s := Summary{NsPerOp: map[string]float64{"BenchmarkFlowSingle": 1200}}
+	b := Baseline{NsPerOp: map[string]float64{"BenchmarkFlowSingle": 1000}}
+
+	// +20% under a 25% allowance passes.
+	if _, err := gate(s, b, "BenchmarkFlowSingle", 0.25); err != nil {
+		t.Fatalf("+20%% must pass a 25%% gate: %v", err)
+	}
+	// +20% over a 10% allowance fails and names the numbers.
+	_, err := gate(s, b, "BenchmarkFlowSingle", 0.10)
+	if err == nil || !strings.Contains(err.Error(), "REGRESSION") {
+		t.Fatalf("+20%% must fail a 10%% gate: %v", err)
+	}
+	if !strings.Contains(err.Error(), "1200") || !strings.Contains(err.Error(), "1000") {
+		t.Fatalf("verdict must carry got and baseline ns/op: %v", err)
+	}
+	// Missing from output / baseline are errors, not silent passes.
+	if _, err := gate(Summary{NsPerOp: map[string]float64{}}, b, "BenchmarkFlowSingle", 0.25); err == nil {
+		t.Fatal("missing benchmark in output must error")
+	}
+	if _, err := gate(s, Baseline{}, "BenchmarkFlowSingle", 0.25); err == nil {
+		t.Fatal("missing benchmark in baseline must error")
+	}
+}
+
+func TestRunEndToEndGateAndArtifact(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	artifact := filepath.Join(dir, "BENCH_ci.json")
+
+	// -update writes a baseline with the recipe header.
+	var errb strings.Builder
+	code := run([]string{"-update", baseline}, strings.NewReader(sampleOutput), &errb)
+	if code != 0 {
+		t.Fatalf("-update: code=%d stderr=%q", code, errb.String())
+	}
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Recipe == "" || b.NsPerOp["BenchmarkFlowSingle"] != 5101833 {
+		t.Fatalf("baseline malformed: %+v", b)
+	}
+
+	// Same output against its own baseline passes and emits the artifact.
+	errb.Reset()
+	code = run([]string{"-baseline", baseline, "-out", artifact}, strings.NewReader(sampleOutput), &errb)
+	if code != 0 || !strings.Contains(errb.String(), "PASS") {
+		t.Fatalf("self-check: code=%d stderr=%q", code, errb.String())
+	}
+	var s Summary
+	raw, err = os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.NsPerOp["BenchmarkFlowSingle"] != 5101833 {
+		t.Fatalf("artifact malformed: %+v", s)
+	}
+
+	// A 2x slowdown fails the gate with exit 1 but still writes the
+	// artifact for the workflow upload.
+	slow := strings.ReplaceAll(sampleOutput, "5136224 ns/op", "11136224 ns/op")
+	slow = strings.ReplaceAll(slow, "5101833 ns/op", "11101833 ns/op")
+	slow = strings.ReplaceAll(slow, "5240012 ns/op", "11240012 ns/op")
+	errb.Reset()
+	code = run([]string{"-baseline", baseline, "-out", artifact}, strings.NewReader(slow), &errb)
+	if code != 1 || !strings.Contains(errb.String(), "REGRESSION") {
+		t.Fatalf("2x slowdown: code=%d stderr=%q", code, errb.String())
+	}
+	if _, err := os.Stat(artifact); err != nil {
+		t.Fatalf("artifact must exist even on failure: %v", err)
+	}
+
+	// Usage errors exit 2.
+	if code := run(nil, strings.NewReader(""), &errb); code != 2 {
+		t.Fatalf("no flags: code=%d, want 2", code)
+	}
+	// Empty input exits 1.
+	if code := run([]string{"-out", artifact}, strings.NewReader("no benches here"), &errb); code != 1 {
+		t.Fatalf("empty input: code=%d, want 1", code)
+	}
+}

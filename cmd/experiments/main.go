@@ -14,6 +14,21 @@
 //	experiments -check testdata/golden_quick.json     # CI regression gate
 //	experiments -update-golden testdata/golden_quick.json
 //
+// With -workers the job graph is dispatched to a fleet of alsd daemons
+// over HTTP instead of (or in addition to) the local pool:
+//
+//	experiments -exp all -workers http://h1:8080,http://h2:8080 -out results/
+//	experiments -exp all -workers http://h1:8080 -jobs 4   # plus 4 local lanes
+//	experiments -check testdata/golden_quick.json -workers http://h1:8080
+//
+// Cells are partitioned across workers by content hash, finished cells
+// stream into the -out store as they complete (so -resume works exactly
+// as in a local run), transient worker failures retry with capped
+// backoff, and a dead worker's remaining cells fail over to the
+// survivors. Because every cell is a pure function of its hash, a
+// distributed run renders byte-identical json/csv output to a
+// single-machine run.
+//
 // -scale quick (default) runs a reduced optimizer budget suitable for a
 // laptop; -scale paper uses the paper's N=30, Imax=20 and a 1e5-class
 // Monte-Carlo sample. Machine-readable formats (json, csv) omit wall-clock
@@ -36,6 +51,7 @@ import (
 	"syscall"
 
 	als "repro"
+	"repro/internal/dispatch"
 	"repro/internal/exp"
 	"repro/internal/store"
 )
@@ -62,7 +78,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		pop      = fs.Int("pop", 0, "override population size")
 		iters    = fs.Int("iters", 0, "override iterations/rounds")
 		vectors  = fs.Int("vectors", 0, "override Monte-Carlo vector count")
-		jobs     = fs.Int("jobs", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
+		jobs     = fs.Int("jobs", 0, "concurrent experiment cells (0 = GOMAXPROCS); with -workers, the local share (0 = remote only)")
+		workers  = fs.String("workers", "", "comma-separated alsd worker URLs; distribute cells across them by content hash")
 		outDir   = fs.String("out", "", "directory for the persistent result store and rendered reports")
 		resume   = fs.Bool("resume", false, "reuse finished cells from the -out result store")
 		format   = fs.String("format", "text", "output format: text|json|csv")
@@ -87,11 +104,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		opts.Circuits = strings.Split(*circuits, ",")
 	}
 
+	runner, err := newJobRunner(*workers, *jobs, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
 	if *update != "" {
-		return updateGolden(ctx, *update, *seed, *jobs, stderr)
+		return updateGolden(ctx, *update, *seed, runner, stderr)
 	}
 	if *check != "" {
-		return checkGolden(ctx, *check, *jobs, stderr)
+		return checkGolden(ctx, *check, runner, stderr)
 	}
 
 	names, err := expandExperiments(*expName)
@@ -154,7 +177,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		jobList = append(jobList, js...)
 	}
-	rs, stats, err := exp.RunJobsContext(ctx, jobList, *jobs, st)
+	rs, stats, err := runner(ctx, jobList, st)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			if st != nil {
@@ -187,6 +210,50 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// jobRunner abstracts where cells execute: the local worker pool, or a
+// distributed fleet through the dispatch coordinator. Either way the
+// ResultSet is keyed by content hash and carries identical deterministic
+// metrics, so everything downstream (rendering, golden checks, stores) is
+// oblivious to the choice.
+type jobRunner func(ctx context.Context, jobs []exp.Job, st *store.Store) (exp.ResultSet, exp.RunStats, error)
+
+// newJobRunner builds the runner for this invocation. Without -workers,
+// cells run on a local pool of `localJobs` goroutines; with -workers they
+// are partitioned across the fleet, and localJobs > 0 adds that many
+// local lanes (the coordinator machine's share).
+func newJobRunner(workersCSV string, localJobs int, stderr io.Writer) (jobRunner, error) {
+	if workersCSV == "" {
+		return func(ctx context.Context, jobs []exp.Job, st *store.Store) (exp.ResultSet, exp.RunStats, error) {
+			return exp.RunJobsContext(ctx, jobs, localJobs, st)
+		}, nil
+	}
+	var urls []string
+	for _, u := range strings.Split(workersCSV, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, u)
+	}
+	if len(urls) == 0 {
+		return nil, errors.New("-workers given but no worker URLs parsed")
+	}
+	return func(ctx context.Context, jobs []exp.Job, st *store.Store) (exp.ResultSet, exp.RunStats, error) {
+		rs, dstats, err := dispatch.Run(ctx, jobs, dispatch.Options{
+			Workers:   urls,
+			LocalJobs: localJobs,
+			Store:     st,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, format+"\n", args...)
+			},
+		})
+		return rs, dstats.RunStats, err
+	}, nil
 }
 
 // expandExperiments resolves the -exp flag, listing the valid names in the
@@ -299,22 +366,32 @@ func paperAverages(table map[string]map[string]exp.PaperCell) string {
 }
 
 // checkGolden is the CI regression gate: recompute the golden file's cells
-// and require exact metric equality.
-func checkGolden(ctx context.Context, path string, workers int, stderr io.Writer) int {
+// and require exact metric equality. Every mismatched cell is reported —
+// with a got/want line per differing field — before the nonzero exit, so
+// one CI run shows the full blast radius of a metrics change.
+func checkGolden(ctx context.Context, path string, runner jobRunner, stderr io.Writer) int {
 	g, err := exp.LoadGolden(path)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	rs, stats, err := exp.RunJobsContext(ctx, g.Jobs(), workers, nil)
+	rs, stats, err := runner(ctx, g.Jobs(), nil)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	if diffs := exp.DiffGolden(g, rs); len(diffs) > 0 {
-		fmt.Fprintf(stderr, "golden check FAILED against %s: %d mismatch(es)\n", path, len(diffs))
+		fmt.Fprintf(stderr, "golden check FAILED against %s: %d of %d cell(s) mismatched\n",
+			path, len(diffs), len(g.Cells))
 		for _, d := range diffs {
-			fmt.Fprintf(stderr, "  %s\n", d)
+			fmt.Fprintf(stderr, "  %s\n", d.Job)
+			if d.Missing {
+				fmt.Fprintf(stderr, "    missing result\n")
+				continue
+			}
+			for _, f := range d.Fields {
+				fmt.Fprintf(stderr, "    %-12s got %-24s want %s\n", f.Field, f.Got, f.Want)
+			}
 		}
 		fmt.Fprintf(stderr, "after an intentional metrics change, regenerate with: %s\n", exp.GoldenRecipe)
 		return 1
@@ -326,9 +403,9 @@ func checkGolden(ctx context.Context, path string, workers int, stderr io.Writer
 
 // updateGolden recomputes the quick-scale golden suite and rewrites the
 // committed reference.
-func updateGolden(ctx context.Context, path string, seed int64, workers int, stderr io.Writer) int {
+func updateGolden(ctx context.Context, path string, seed int64, runner jobRunner, stderr io.Writer) int {
 	jobs := exp.GoldenJobs(seed)
-	rs, _, err := exp.RunJobsContext(ctx, jobs, workers, nil)
+	rs, _, err := runner(ctx, jobs, nil)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/service"
 )
 
 // runCLI invokes the command's run function with captured output.
@@ -174,6 +176,154 @@ func TestGoldenUpdateAndCheckRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "RatioCPD") {
 		t.Fatalf("failure must name the mismatching metric: %q", stderr)
+	}
+}
+
+// bootWorkers starts n in-process alsd equivalents and returns a -workers
+// flag value addressing them.
+func bootWorkers(t *testing.T, n int) string {
+	t.Helper()
+	var urls []string
+	for i := 0; i < n; i++ {
+		s := service.New(service.Options{Workers: 2, Logf: t.Logf})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			s.Close()
+		})
+		urls = append(urls, ts.URL)
+	}
+	return strings.Join(urls, ",")
+}
+
+// TestWorkersFlagJSONByteIdenticalToLocal is the tentpole's contract at
+// the CLI surface: dispatching the same sweep to a 2-worker fleet must
+// render byte-identical machine-readable output to the local pool,
+// because every cell is a pure function of its content hash.
+func TestWorkersFlagJSONByteIdenticalToLocal(t *testing.T) {
+	local, localOut, stderr := runCLI(t, cliMatrix("-exp", "table2", "-format", "json", "-jobs", "4")...)
+	if local != 0 {
+		t.Fatalf("local run: %d, stderr %q", local, stderr)
+	}
+
+	workers := bootWorkers(t, 2)
+	dist, distOut, stderr := runCLI(t, cliMatrix("-exp", "table2", "-format", "json", "-workers", workers)...)
+	if dist != 0 {
+		t.Fatalf("distributed run: %d, stderr %q", dist, stderr)
+	}
+	if localOut != distOut {
+		t.Fatalf("distributed JSON differs from local:\n%s\nvs\n%s", distOut, localOut)
+	}
+
+	// The local share composes: -jobs 2 alongside the fleet, same bytes.
+	mixed, mixedOut, stderr := runCLI(t, cliMatrix("-exp", "table2", "-format", "json", "-workers", workers, "-jobs", "2")...)
+	if mixed != 0 {
+		t.Fatalf("mixed run: %d, stderr %q", mixed, stderr)
+	}
+	if mixedOut != localOut {
+		t.Fatalf("mixed local+remote JSON differs from local:\n%s\nvs\n%s", mixedOut, localOut)
+	}
+}
+
+// TestWorkersFlagComposesWithResume: a distributed run fills the -out
+// store, and a resumed invocation serves every cell from cache without
+// touching the (now gone) fleet.
+func TestWorkersFlagComposesWithResume(t *testing.T) {
+	dir := t.TempDir()
+	workers := bootWorkers(t, 2)
+	args := cliMatrix("-exp", "table3", "-format", "csv", "-out", dir)
+
+	code, out1, stderr := runCLI(t, append(args, "-workers", workers)...)
+	if code != 0 {
+		t.Fatalf("distributed run: %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "5 executed") {
+		t.Fatalf("distributed run must execute the 5 cells: %q", stderr)
+	}
+
+	code, out2, stderr := runCLI(t, append(args, "-workers", "http://127.0.0.1:1", "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume run: %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "0 executed, 5 cached") {
+		t.Fatalf("resume must serve all cells from the store: %q", stderr)
+	}
+	if out1 != out2 {
+		t.Fatalf("resumed output differs:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+func TestWorkersFlagEmptyURLListExits2(t *testing.T) {
+	code, _, stderr := runCLI(t, "-exp", "table2", "-workers", " , ,")
+	if code != 2 || !strings.Contains(stderr, "no worker URLs") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+// cheapGolden writes a 2-cell golden file from freshly computed tiny
+// cells, optionally perturbing every cell so a -check must flag them all.
+func cheapGolden(t *testing.T, path string, perturb bool) *exp.Golden {
+	t.Helper()
+	opts := exp.Opts{Seed: 3, Population: 6, Iterations: 3, Vectors: 512, Circuits: []string{"c880", "Max16"}}
+	jobs := append(exp.Table2Jobs(opts)[:1], exp.Table3Jobs(opts)[:1]...)
+	rs, _, err := exp.RunJobs(jobs, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := exp.NewGolden(jobs, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perturb {
+		for i := range g.Cells {
+			g.Cells[i].RatioCPD += 1e-12
+			g.Cells[i].Evaluations++
+		}
+	}
+	if err := exp.WriteGolden(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCheckReportsEveryMismatchedCellWithGotWant: the gate must list all
+// bad cells — each with per-field got/want lines — before exiting 1, not
+// stop at the first.
+func TestCheckReportsEveryMismatchedCellWithGotWant(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden.json")
+	g := cheapGolden(t, path, true)
+
+	code, _, stderr := runCLI(t, "-check", path)
+	if code != 1 {
+		t.Fatalf("perturbed golden: code=%d, want 1 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "2 of 2 cell(s) mismatched") {
+		t.Fatalf("summary must count every mismatched cell: %q", stderr)
+	}
+	for _, c := range g.Cells {
+		if !strings.Contains(stderr, c.Job.Circuit) {
+			t.Fatalf("stderr must name cell %s: %q", c.Job, stderr)
+		}
+	}
+	for _, field := range []string{"RatioCPD", "Evaluations"} {
+		if strings.Count(stderr, field) < 2 {
+			t.Fatalf("each cell's %s mismatch must be listed: %q", field, stderr)
+		}
+	}
+	if strings.Count(stderr, "got") < 4 || strings.Count(stderr, "want") < 4 {
+		t.Fatalf("every field diff must carry got/want: %q", stderr)
+	}
+}
+
+// TestCheckComposesWithWorkers: the golden gate runs its cells through
+// the fleet and still passes exactly.
+func TestCheckComposesWithWorkers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden.json")
+	cheapGolden(t, path, false)
+	workers := bootWorkers(t, 2)
+	code, _, stderr := runCLI(t, "-check", path, "-workers", workers)
+	if code != 0 || !strings.Contains(stderr, "golden check passed") {
+		t.Fatalf("distributed check must pass: code=%d stderr=%q", code, stderr)
 	}
 }
 

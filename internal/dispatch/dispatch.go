@@ -1,0 +1,701 @@
+// Package dispatch fans an experiment job set out to a fleet of alsd
+// workers over HTTP, assembling the same ResultSet a single-machine run
+// produces. It is the horizontal-scale-out layer above internal/exp's job
+// graph: every cell is a pure function of its content hash, so where it
+// runs cannot change what it returns — the coordinator only decides
+// placement.
+//
+// The deduplicated, cache-filtered job set (exp.PendingJobs) is
+// partitioned across lanes by content hash; a lane is either one remote
+// worker URL (driven through the worker job API of internal/service:
+// batch submit, poll by hash) or one local executor slot (the -jobs
+// "local share"). Each finished cell streams into the persistent store
+// the moment its lane observes it, so an interrupted or failed
+// distributed run resumes exactly like a local one. Transient transport
+// failures retry with capped exponential backoff; a lane that exhausts
+// its retry budget is declared dead and its unfinished cells fail over to
+// the surviving lanes. The run fails only when a cell itself fails
+// (deterministic — it would fail anywhere) or when no live lane remains.
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	als "repro"
+	"repro/internal/cell"
+	"repro/internal/exp"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// Options configures one distributed run.
+type Options struct {
+	// Workers are alsd base URLs (e.g. http://h1:8080); each becomes one
+	// lane. A URL listed twice becomes two lanes feeding the same daemon.
+	Workers []string
+	// LocalJobs > 0 adds that many local executor lanes, so the
+	// coordinator machine contributes its own cores to the sweep.
+	LocalJobs int
+	// Store persists finished cells as they stream back (nil disables
+	// persistence; cached cells are skipped up front either way).
+	Store *store.Store
+	// Lib is the cell library for local lanes (default: the synthetic
+	// 28nm library).
+	Lib *cell.Library
+	// Client issues all worker HTTP requests (default: 30s timeout).
+	Client *http.Client
+	// PollInterval spaces result polls per lane (default 50ms).
+	PollInterval time.Duration
+	// SubmitBatch caps job specs per submission (default 16, so a worker
+	// at the default 64-deep queue absorbs several lanes' bursts).
+	SubmitBatch int
+	// RetryBudget is how many consecutive transport failures a lane
+	// tolerates before it is declared dead (default 4).
+	RetryBudget int
+	// Backoff is the first retry delay; it doubles per consecutive
+	// failure up to MaxBackoff (defaults 100ms and 2s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Logf, when non-nil, receives lane lifecycle and failover events.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 50 * time.Millisecond
+	}
+	if o.SubmitBatch <= 0 {
+		o.SubmitBatch = 16
+	}
+	if o.SubmitBatch > service.MaxBatchJobs {
+		o.SubmitBatch = service.MaxBatchJobs
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 4
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Lib == nil {
+		o.Lib = als.NewLibrary()
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Stats extends the scheduler's counters with placement detail.
+type Stats struct {
+	exp.RunStats
+	// ByLane counts completed cells per lane name ("local" aggregates
+	// every local slot).
+	ByLane map[string]int
+	// FailedOver counts cells reassigned away from a dead lane.
+	FailedOver int
+	// DeadLanes lists lanes that exhausted their retry budget.
+	DeadLanes []string
+}
+
+// task is one pending cell and its cache key.
+type task struct {
+	job  exp.Job
+	hash string
+}
+
+// localLaneName aggregates every local executor slot in Stats.ByLane.
+const localLaneName = "local"
+
+// errPermanent marks failures that must abort the whole run rather than
+// fail over: an invalid spec, a deterministic job failure, a store write
+// error. The run error itself is recorded via shared.fail.
+var errPermanent = errors.New("dispatch: permanent failure")
+
+// shared is the state every lane goroutine works against.
+type shared struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	opts   Options
+	// failover receives the unfinished cells of dead lanes; its capacity
+	// is the full pending count, so pushes never block.
+	failover chan *task
+	// done closes when remaining reaches zero.
+	done      chan struct{}
+	remaining atomic.Int64
+	live      atomic.Int64
+
+	mu       sync.Mutex
+	rs       exp.ResultSet
+	stats    *Stats
+	firstErr error
+}
+
+// Run executes jobs across the configured lanes and returns the ResultSet
+// keyed by job hash — element-for-element identical to what
+// exp.RunJobsContext computes for the same list, wall-clock fields aside.
+// On cancellation the returned error wraps ctx.Err(), and the store holds
+// every cell that finished, so the run is resumable.
+func Run(ctx context.Context, jobs []exp.Job, opts Options) (exp.ResultSet, Stats, error) {
+	opts = opts.withDefaults()
+	stats := Stats{ByLane: map[string]int{}}
+	if len(opts.Workers) == 0 && opts.LocalJobs <= 0 {
+		return nil, stats, errors.New("dispatch: no workers and no local share")
+	}
+
+	rs := exp.ResultSet{}
+	pending, hashes, runStats, err := exp.PendingJobs(jobs, opts.Store, rs)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.RunStats = runStats
+	if len(pending) == 0 {
+		return rs, stats, nil
+	}
+
+	// The worker job API enforces the service's untrusted-input resource
+	// caps; a spec beyond them (e.g. a -pop override over MaxPopulation)
+	// would 400 the first batch that carries it. Check the whole set up
+	// front so the run fails immediately with the offending job named,
+	// instead of mid-sweep — but only when remote lanes exist: a pure
+	// local share runs anything the local scheduler would.
+	if len(opts.Workers) > 0 {
+		for _, j := range pending {
+			if err := service.ValidateJobSpec(j); err != nil {
+				return nil, stats, fmt.Errorf("dispatch: job %s would be rejected by the worker API: %w (lower the override or run without -workers)", j, err)
+			}
+		}
+	}
+
+	// Readiness preflight: one concurrent /healthz probe per worker
+	// (unreachable hosts cost one shared 2s deadline, not 2s each).
+	// Unreachable workers still get a lane (a transient outage heals
+	// under the lane's own retry budget, and a truly dead worker's share
+	// fails over), but when nothing at all is reachable the run aborts
+	// with a clear error instead of burning the full retry budget
+	// everywhere.
+	var (
+		reachable int32
+		probeWG   sync.WaitGroup
+	)
+	for _, w := range opts.Workers {
+		probeWG.Add(1)
+		go func(w string) {
+			defer probeWG.Done()
+			if err := probeHealth(ctx, opts.Client, w); err != nil {
+				opts.Logf("dispatch: worker %s not ready: %v", w, err)
+				return
+			}
+			atomic.AddInt32(&reachable, 1)
+		}(w)
+	}
+	probeWG.Wait()
+	if reachable == 0 && opts.LocalJobs <= 0 {
+		return nil, stats, fmt.Errorf("dispatch: none of the %d worker(s) answered /healthz and no local share is configured", len(opts.Workers))
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s := &shared{
+		ctx:      runCtx,
+		cancel:   cancel,
+		opts:     opts,
+		failover: make(chan *task, len(pending)),
+		done:     make(chan struct{}),
+		rs:       rs,
+		stats:    &stats,
+	}
+	s.remaining.Store(int64(len(pending)))
+
+	// Partition by content hash: lane i owns every cell whose hash maps
+	// to it. Placement is deterministic for a given fleet shape, but has
+	// no bearing on results — only on who computes what first.
+	laneCount := len(opts.Workers) + max(opts.LocalJobs, 0)
+	assigned := make([][]*task, laneCount)
+	for i := range pending {
+		t := &task{job: pending[i], hash: hashes[i]}
+		lane := laneForHash(t.hash, laneCount)
+		assigned[lane] = append(assigned[lane], t)
+	}
+
+	s.live.Store(int64(laneCount))
+	var wg sync.WaitGroup
+	for i, url := range opts.Workers {
+		wg.Add(1)
+		go func(url string, own []*task) {
+			defer wg.Done()
+			l := &remoteLane{s: s, name: url, base: strings.TrimRight(url, "/")}
+			l.run(own)
+		}(url, assigned[i])
+	}
+	// Each local slot is its own lane; the flow-internal evaluation pool
+	// is split so total local parallelism stays GOMAXPROCS-bounded,
+	// mirroring the local scheduler.
+	evalWorkers := 0
+	if opts.LocalJobs > 1 {
+		evalWorkers = runtime.GOMAXPROCS(0) / opts.LocalJobs
+		if evalWorkers < 1 {
+			evalWorkers = 1
+		}
+	}
+	for i := 0; i < opts.LocalJobs; i++ {
+		wg.Add(1)
+		go func(own []*task) {
+			defer wg.Done()
+			runLocalLane(s, evalWorkers, own)
+		}(assigned[len(opts.Workers)+i])
+	}
+	wg.Wait()
+
+	if s.remaining.Load() == 0 {
+		if len(stats.DeadLanes) > 0 {
+			opts.Logf("dispatch: completed despite %d dead lane(s); %d cell(s) failed over", len(stats.DeadLanes), stats.FailedOver)
+		}
+		opts.Logf("dispatch: %d cell(s) done: %s", stats.Executed, laneSummary(stats.ByLane))
+		return s.rs, stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("dispatch: run cancelled: %w", err)
+	}
+	s.mu.Lock()
+	err = s.firstErr
+	s.mu.Unlock()
+	if err == nil {
+		err = fmt.Errorf("dispatch: %d cell(s) unfinished", s.remaining.Load())
+	}
+	return nil, stats, err
+}
+
+// laneForHash maps a content hash onto [0, lanes) via its leading hex
+// digits.
+func laneForHash(hash string, lanes int) int {
+	const digits = 15 // 60 bits, always within uint64
+	h := hash
+	if len(h) > digits {
+		h = h[:digits]
+	}
+	v, err := strconv.ParseUint(h, 16, 64)
+	if err != nil {
+		// Content hashes are hex by construction; fall back to a byte sum
+		// for anything else rather than crashing placement.
+		for i := 0; i < len(hash); i++ {
+			v += uint64(hash[i])
+		}
+	}
+	return int(v % uint64(lanes))
+}
+
+func laneSummary(byLane map[string]int) string {
+	parts := make([]string, 0, len(byLane))
+	for lane, n := range byLane {
+		parts = append(parts, fmt.Sprintf("%s=%d", lane, n))
+	}
+	if len(parts) == 0 {
+		return "(nothing executed)"
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// probeHealth issues one short-deadline readiness probe.
+func probeHealth(ctx context.Context, client *http.Client, base string) error {
+	probeCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(probeCtx, http.MethodGet, strings.TrimRight(base, "/")+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// ---- shared-state transitions ----------------------------------------------
+
+// complete records one finished cell: persist first (a cell the store
+// never saw must not count as done for -resume), then publish.
+func (s *shared) complete(lane string, t *task, r exp.JobResult) error {
+	if s.opts.Store != nil {
+		if err := s.opts.Store.Put(t.hash, r); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.rs[t.hash] = r
+	s.stats.Executed++
+	s.stats.ByLane[lane]++
+	s.mu.Unlock()
+	if s.remaining.Add(-1) == 0 {
+		close(s.done)
+	}
+	return nil
+}
+
+// fail records the run's first fatal error and cancels every lane.
+func (s *shared) fail(err error) {
+	s.mu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.mu.Unlock()
+	s.cancel()
+}
+
+// laneDied pushes a dead lane's unfinished cells to the failover pool; if
+// it was the last live lane and work remains, the run fails (the store
+// already holds every finished cell, so a -resume completes it later).
+func (s *shared) laneDied(name string, cause error, leftovers []*task) {
+	s.opts.Logf("dispatch: lane %s dead (%v); failing over %d cell(s)", name, cause, len(leftovers))
+	s.mu.Lock()
+	s.stats.DeadLanes = append(s.stats.DeadLanes, name)
+	s.stats.FailedOver += len(leftovers)
+	s.mu.Unlock()
+	for _, t := range leftovers {
+		s.failover <- t
+	}
+	if s.live.Add(-1) == 0 && s.remaining.Load() > 0 {
+		s.fail(fmt.Errorf("dispatch: every lane is dead with %d cell(s) unfinished (last: %s: %w)", s.remaining.Load(), name, cause))
+	}
+}
+
+// next pops the lane's own queue, then blocks on the failover pool until
+// a task arrives, the run completes, or the run is cancelled.
+func (s *shared) next(own *[]*task) (*task, bool) {
+	if len(*own) > 0 {
+		t := (*own)[0]
+		*own = (*own)[1:]
+		return t, true
+	}
+	select {
+	case <-s.done:
+		return nil, false
+	case <-s.ctx.Done():
+		return nil, false
+	case t := <-s.failover:
+		return t, true
+	}
+}
+
+// sleep waits d, returning early on completion or cancellation.
+func (s *shared) sleep(d time.Duration) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-s.done:
+	case <-s.ctx.Done():
+	}
+}
+
+// ---- local lane ------------------------------------------------------------
+
+// runLocalLane executes cells in-process, one at a time. A job error here
+// is deterministic (the same cell fails identically everywhere), so it
+// aborts the run rather than failing over.
+func runLocalLane(s *shared, evalWorkers int, own []*task) {
+	for {
+		t, ok := s.next(&own)
+		if !ok {
+			return
+		}
+		r, err := t.job.RunContext(s.ctx, s.opts.Lib, evalWorkers)
+		if err != nil {
+			if s.ctx.Err() == nil {
+				s.fail(fmt.Errorf("dispatch: local: %w", err))
+			}
+			return
+		}
+		if err := s.complete(localLaneName, t, r); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+}
+
+// ---- remote lane -----------------------------------------------------------
+
+// remoteLane drives one worker URL: submit batches of specs, poll results
+// by hash, stream completions back. All fields are goroutine-local.
+type remoteLane struct {
+	s    *shared
+	name string
+	base string
+	// unsubmitted holds cells the worker has not accepted yet;
+	// outstanding maps accepted cells by hash until a poll resolves them.
+	unsubmitted []*task
+	outstanding map[string]*task
+	// failures counts consecutive transport-level failures; any success
+	// resets it, exceeding the retry budget kills the lane.
+	failures int
+}
+
+func (l *remoteLane) run(own []*task) {
+	l.unsubmitted = own
+	l.outstanding = map[string]*task{}
+	for {
+		if l.idle() {
+			t, ok := l.s.next(&l.unsubmitted)
+			if !ok {
+				return
+			}
+			l.unsubmitted = append(l.unsubmitted, t)
+			l.drainFailover()
+		}
+		if err := l.step(); err != nil {
+			if errors.Is(err, errPermanent) {
+				return // the run itself is failing; nothing to fail over to
+			}
+			l.die(err)
+			return
+		}
+		if l.s.ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func (l *remoteLane) idle() bool {
+	return len(l.unsubmitted) == 0 && len(l.outstanding) == 0
+}
+
+// drainFailover opportunistically batches up additional failed-over cells
+// behind the one next() delivered.
+func (l *remoteLane) drainFailover() {
+	for len(l.unsubmitted) < l.s.opts.SubmitBatch {
+		select {
+		case t := <-l.s.failover:
+			l.unsubmitted = append(l.unsubmitted, t)
+		default:
+			return
+		}
+	}
+}
+
+// step advances the lane one round: submit what the worker will take,
+// sweep outstanding results, pace the next poll.
+func (l *remoteLane) step() error {
+	if len(l.unsubmitted) > 0 {
+		if err := l.submit(); err != nil {
+			return err
+		}
+	}
+	if len(l.outstanding) > 0 {
+		if err := l.poll(); err != nil {
+			return err
+		}
+		if len(l.outstanding) > 0 {
+			l.s.sleep(l.s.opts.PollInterval)
+		}
+	}
+	return nil
+}
+
+// transient handles one transport-level failure: back off and retry until
+// the consecutive-failure budget is spent, then report the lane dead.
+func (l *remoteLane) transient(op string, err error) error {
+	l.failures++
+	if l.failures > l.s.opts.RetryBudget {
+		return fmt.Errorf("%s failed %d consecutive time(s): %w", op, l.failures, err)
+	}
+	backoff := l.s.opts.Backoff << (l.failures - 1)
+	if backoff > l.s.opts.MaxBackoff {
+		backoff = l.s.opts.MaxBackoff
+	}
+	l.s.opts.Logf("dispatch: lane %s: %s failed (attempt %d/%d, retrying in %v): %v",
+		l.name, op, l.failures, l.s.opts.RetryBudget+1, backoff, err)
+	l.s.sleep(backoff)
+	return nil
+}
+
+// die hands every cell this lane still owns to the failover pool.
+func (l *remoteLane) die(cause error) {
+	leftovers := append([]*task(nil), l.unsubmitted...)
+	for _, t := range l.outstanding {
+		leftovers = append(leftovers, t)
+	}
+	l.s.laneDied(l.name, cause, leftovers)
+}
+
+// submit offers the worker one batch of specs. The accepted prefix moves
+// to outstanding; on queue-full the remainder simply waits for a later
+// round (the worker is alive, just saturated), while draining and
+// validation failures are terminal for the lane and run respectively.
+func (l *remoteLane) submit() error {
+	n := min(len(l.unsubmitted), l.s.opts.SubmitBatch)
+	batch := l.unsubmitted[:n]
+	jobs := make([]exp.Job, n)
+	for i, t := range batch {
+		jobs[i] = t.job
+	}
+	body, err := json.Marshal(service.BatchRequest{Jobs: jobs})
+	if err != nil {
+		l.s.fail(fmt.Errorf("dispatch: marshal batch: %w", err))
+		return errPermanent
+	}
+	req, err := http.NewRequestWithContext(l.s.ctx, http.MethodPost, l.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		l.s.fail(err)
+		return errPermanent
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := l.s.opts.Client.Do(req)
+	if err != nil {
+		if l.s.ctx.Err() != nil {
+			return nil
+		}
+		return l.transient("submit", err)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	resp.Body.Close()
+	if err != nil {
+		return l.transient("submit", err)
+	}
+
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusServiceUnavailable:
+		var br service.BatchResponse
+		if err := json.Unmarshal(raw, &br); err != nil {
+			return l.transient("submit", fmt.Errorf("undecodable response: %w", err))
+		}
+		if len(br.Jobs) > len(batch) {
+			return l.transient("submit", fmt.Errorf("worker accepted %d of %d jobs", len(br.Jobs), len(batch)))
+		}
+		for i, v := range br.Jobs {
+			if v.Hash != batch[i].hash {
+				l.s.fail(fmt.Errorf("dispatch: %s: job %s hashed to %.12s… on the worker, %.12s… here — incompatible worker build",
+					l.name, batch[i].job, v.Hash, batch[i].hash))
+				return errPermanent
+			}
+			l.outstanding[v.Hash] = batch[i]
+		}
+		l.unsubmitted = l.unsubmitted[len(br.Jobs):]
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if br.Reason == service.ReasonDraining {
+				return fmt.Errorf("worker is draining: %s", br.Error)
+			}
+			// Queue full: not a failure — the worker is alive and will make
+			// room as it finishes cells. Let the poll pace the next attempt.
+			l.failures = 0
+			if len(l.outstanding) == 0 {
+				l.s.sleep(l.s.opts.PollInterval)
+			}
+			return nil
+		}
+		l.failures = 0
+		return nil
+	case http.StatusBadRequest:
+		l.s.fail(fmt.Errorf("dispatch: %s rejected batch: %s", l.name, errorBody(raw)))
+		return errPermanent
+	default:
+		return l.transient("submit", fmt.Errorf("HTTP %d: %s", resp.StatusCode, errorBody(raw)))
+	}
+}
+
+// poll sweeps the outstanding set once. Finished cells complete, failed
+// cells abort the run (job failures are deterministic), a 404 — a worker
+// restarted or evicted between submit and poll — requeues the cell for
+// resubmission.
+func (l *remoteLane) poll() error {
+	for hash, t := range l.outstanding {
+		if l.s.ctx.Err() != nil {
+			return nil
+		}
+		req, err := http.NewRequestWithContext(l.s.ctx, http.MethodGet, l.base+"/v1/jobs/"+hash, nil)
+		if err != nil {
+			l.s.fail(err)
+			return errPermanent
+		}
+		resp, err := l.s.opts.Client.Do(req)
+		if err != nil {
+			if l.s.ctx.Err() != nil {
+				return nil
+			}
+			return l.transient("poll", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if err != nil {
+			return l.transient("poll", err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusNotFound:
+			l.failures = 0
+			delete(l.outstanding, hash)
+			l.unsubmitted = append(l.unsubmitted, t)
+			l.s.opts.Logf("dispatch: lane %s forgot %.12s… (worker restarted?); resubmitting", l.name, hash)
+			continue
+		default:
+			return l.transient("poll", fmt.Errorf("HTTP %d: %s", resp.StatusCode, errorBody(raw)))
+		}
+		var v service.JobView
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return l.transient("poll", fmt.Errorf("undecodable job view: %w", err))
+		}
+		l.failures = 0
+		switch v.Status {
+		case service.StatusDone:
+			if v.Result == nil {
+				return l.transient("poll", fmt.Errorf("done view for %.12s… carries no result", hash))
+			}
+			delete(l.outstanding, hash)
+			if err := l.s.complete(l.name, t, *v.Result); err != nil {
+				l.s.fail(err)
+				return errPermanent
+			}
+		case service.StatusFailed:
+			l.s.fail(fmt.Errorf("dispatch: job %s failed on %s: %s", t.job, l.name, v.Error))
+			return errPermanent
+		case service.StatusCancelled:
+			// The worker cancelled it (drain timeout, operator action); the
+			// cell itself is fine — run it elsewhere.
+			delete(l.outstanding, hash)
+			l.unsubmitted = append(l.unsubmitted, t)
+			l.s.opts.Logf("dispatch: lane %s cancelled %.12s…; resubmitting", l.name, hash)
+		}
+	}
+	return nil
+}
+
+// errorBody extracts {"error": ...} from a response body for messages.
+func errorBody(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := strings.TrimSpace(string(raw))
+	if len(s) > 200 {
+		s = s[:200] + "…"
+	}
+	if s == "" {
+		return "(empty body)"
+	}
+	return s
+}

@@ -1,0 +1,442 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	als "repro"
+	"repro/internal/exp"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// testJobs is the cheapest real cross-experiment matrix: TABLE II on c880
+// plus TABLE III on Adder16/Max16, five methods each, tiny budgets — 15
+// cells, milliseconds apiece.
+func testJobs(seed int64) []exp.Job {
+	opts := exp.Opts{
+		Scale: als.ScaleQuick, Seed: seed,
+		Population: 6, Iterations: 3, Vectors: 512,
+		Circuits: []string{"c880", "Adder16", "Max16"},
+	}
+	return append(exp.Table2Jobs(opts), exp.Table3Jobs(opts)...)
+}
+
+// newWorker boots an in-process alsd equivalent and returns its base URL.
+func newWorker(t *testing.T, opts service.Options) *httptest.Server {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	s := service.New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// fastOpts keeps retry/poll pacing test-friendly.
+func fastOpts(o Options) Options {
+	o.PollInterval = 2 * time.Millisecond
+	o.Backoff = 2 * time.Millisecond
+	o.MaxBackoff = 10 * time.Millisecond
+	o.RetryBudget = 2
+	return o
+}
+
+// wantResults computes the reference ResultSet on the local scheduler.
+func wantResults(t *testing.T, jobs []exp.Job) exp.ResultSet {
+	t.Helper()
+	rs, _, err := exp.RunJobs(jobs, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// assertSameMetrics requires got to hold exactly want's cells with
+// identical deterministic metrics (RuntimeNS is wall clock and excluded).
+func assertSameMetrics(t *testing.T, got, want exp.ResultSet) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("result set has %d cells, want %d", len(got), len(want))
+	}
+	for h, w := range want {
+		g, ok := got[h]
+		if !ok {
+			t.Fatalf("missing cell %.12s…", h)
+		}
+		if g.RatioCPD != w.RatioCPD || g.Err != w.Err || g.Evaluations != w.Evaluations {
+			t.Fatalf("cell %.12s… = (%v, %v, %d), want (%v, %v, %d)",
+				h, g.RatioCPD, g.Err, g.Evaluations, w.RatioCPD, w.Err, w.Evaluations)
+		}
+	}
+}
+
+func TestDistributedMatchesLocalRun(t *testing.T) {
+	jobs := testJobs(3)
+	want := wantResults(t, jobs)
+
+	w1 := newWorker(t, service.Options{})
+	w2 := newWorker(t, service.Options{})
+	got, stats, err := Run(context.Background(), jobs, fastOpts(Options{
+		Workers: []string{w1.URL, w2.URL},
+		Logf:    t.Logf,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMetrics(t, got, want)
+	if stats.Executed != len(want) {
+		t.Fatalf("executed = %d, want %d", stats.Executed, len(want))
+	}
+	total := 0
+	for lane, n := range stats.ByLane {
+		if lane != w1.URL && lane != w2.URL {
+			t.Fatalf("unexpected lane %q", lane)
+		}
+		total += n
+	}
+	if total != len(want) {
+		t.Fatalf("per-lane counts sum to %d, want %d", total, len(want))
+	}
+	if len(stats.DeadLanes) != 0 || stats.FailedOver != 0 {
+		t.Fatalf("healthy fleet reported deaths: %+v", stats)
+	}
+}
+
+func TestLocalShareOnlyMatchesLocalRun(t *testing.T) {
+	jobs := testJobs(4)
+	want := wantResults(t, jobs)
+	got, stats, err := Run(context.Background(), jobs, fastOpts(Options{
+		LocalJobs: 3,
+		Logf:      t.Logf,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMetrics(t, got, want)
+	if stats.ByLane[localLaneName] != len(want) {
+		t.Fatalf("local lane ran %d cells, want %d", stats.ByLane[localLaneName], len(want))
+	}
+}
+
+func TestMixedWorkersAndLocalShare(t *testing.T) {
+	jobs := testJobs(5)
+	want := wantResults(t, jobs)
+	w1 := newWorker(t, service.Options{})
+	got, stats, err := Run(context.Background(), jobs, fastOpts(Options{
+		Workers:   []string{w1.URL},
+		LocalJobs: 2,
+		Logf:      t.Logf,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMetrics(t, got, want)
+	if stats.ByLane[w1.URL] == 0 || stats.ByLane[localLaneName] == 0 {
+		t.Fatalf("both the worker and the local share must execute cells: %+v", stats.ByLane)
+	}
+}
+
+// flakyWorker proxies a real worker but starts failing every request with
+// 500 once allow requests have been served — a deterministic mid-run
+// death.
+func flakyWorker(t *testing.T, allow int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	real := newWorker(t, service.Options{})
+	var served atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) > allow {
+			http.Error(w, `{"error":"injected worker death"}`, http.StatusInternalServerError)
+			return
+		}
+		resp, err := http.Get(real.URL + r.URL.Path)
+		if r.Method == http.MethodPost {
+			resp, err = http.Post(real.URL+r.URL.Path, "application/json", r.Body)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n]) //nolint:errcheck
+			}
+			if err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(proxy.Close)
+	return proxy, &served
+}
+
+// TestFailoverMidRun kills one of two workers after it has accepted work
+// (healthz + first submit round succeed, then nothing but 500s): the
+// survivor must absorb the dead lane's cells and the run must still match
+// the local reference exactly.
+func TestFailoverMidRun(t *testing.T) {
+	jobs := testJobs(6)
+	want := wantResults(t, jobs)
+	healthy := newWorker(t, service.Options{})
+	flaky, _ := flakyWorker(t, 2) // healthz + one submit, then dead
+	got, stats, err := Run(context.Background(), jobs, fastOpts(Options{
+		Workers: []string{healthy.URL, flaky.URL},
+		Logf:    t.Logf,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMetrics(t, got, want)
+	if len(stats.DeadLanes) != 1 || stats.DeadLanes[0] != flaky.URL {
+		t.Fatalf("flaky lane must be reported dead: %+v", stats.DeadLanes)
+	}
+	if stats.FailedOver == 0 {
+		t.Fatal("dead lane owned cells, so failover count must be positive")
+	}
+	if stats.ByLane[healthy.URL] != len(want) {
+		t.Fatalf("survivor must complete every cell: %+v", stats.ByLane)
+	}
+}
+
+// TestDeadAtStartWorkerFailsOver: a worker that never comes up (connection
+// refused from the first request) loses its share to the survivor.
+func TestDeadAtStartWorkerFailsOver(t *testing.T) {
+	jobs := testJobs(7)
+	want := wantResults(t, jobs)
+	healthy := newWorker(t, service.Options{})
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // keep the URL, kill the listener
+
+	got, stats, err := Run(context.Background(), jobs, fastOpts(Options{
+		Workers: []string{healthy.URL, dead.URL},
+		Logf:    t.Logf,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMetrics(t, got, want)
+	if len(stats.DeadLanes) != 1 || stats.DeadLanes[0] != dead.URL {
+		t.Fatalf("dead-at-start lane must be reported: %+v", stats.DeadLanes)
+	}
+}
+
+// TestAllLanesDeadIsResumable: when every lane dies the run errors, but
+// the store keeps what finished, and a local re-run with the same store
+// completes the sweep — the distributed path never forfeits -resume.
+func TestAllLanesDeadIsResumable(t *testing.T) {
+	jobs := testJobs(8)
+	st, err := store.Open(filepath.Join(t.TempDir(), "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	f1, _ := flakyWorker(t, 1) // healthz only, dead at first submit
+	f2, _ := flakyWorker(t, 1)
+	_, stats, err := Run(context.Background(), jobs, fastOpts(Options{
+		Workers: []string{f1.URL, f2.URL},
+		Store:   st,
+		Logf:    t.Logf,
+	}))
+	if err == nil {
+		t.Fatal("run with every lane dead must fail")
+	}
+	if !strings.Contains(err.Error(), "unfinished") {
+		t.Fatalf("error must report unfinished cells: %v", err)
+	}
+	if len(stats.DeadLanes) != 2 {
+		t.Fatalf("both lanes must be dead: %+v", stats.DeadLanes)
+	}
+
+	rs, runStats, err := exp.RunJobs(jobs, 0, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runStats.Executed+runStats.Cached != len(rs) {
+		t.Fatalf("resume accounting: %+v over %d cells", runStats, len(rs))
+	}
+	assertSameMetrics(t, rs, wantResults(t, jobs))
+}
+
+// TestUnreachableFleetWithoutLocalShareFailsFast: the readiness preflight
+// turns a typo'd fleet into an immediate, clear error.
+func TestUnreachableFleetWithoutLocalShareFailsFast(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	_, _, err := Run(context.Background(), testJobs(9), fastOpts(Options{
+		Workers: []string{dead.URL},
+		Logf:    t.Logf,
+	}))
+	if err == nil || !strings.Contains(err.Error(), "healthz") {
+		t.Fatalf("unreachable fleet must fail the preflight: %v", err)
+	}
+}
+
+// TestOverCapOverrideFailsFastWithWorkers: a spec the worker API would
+// 400 (here: a population override beyond the service resource cap)
+// fails the run up front with the job named — before any worker is
+// contacted — while a pure local share still runs it.
+func TestOverCapOverrideFailsFastWithWorkers(t *testing.T) {
+	jobs := testJobs(13)
+	jobs[0].Population = service.MaxPopulation + 1
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // never contacted: validation precedes the preflight
+	_, _, err := Run(context.Background(), jobs[:1], fastOpts(Options{
+		Workers: []string{dead.URL},
+		Logf:    t.Logf,
+	}))
+	if err == nil || !strings.Contains(err.Error(), "population") || !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("over-cap spec must fail fast naming the cap: %v", err)
+	}
+}
+
+func TestNoLanesConfiguredErrors(t *testing.T) {
+	_, _, err := Run(context.Background(), testJobs(1), Options{})
+	if err == nil || !strings.Contains(err.Error(), "no workers") {
+		t.Fatalf("lane-less run must error: %v", err)
+	}
+}
+
+// TestCachedRunNeedsNoWorkers: a fully cached sweep returns before any
+// HTTP traffic — resubmitting a finished sweep costs nothing even when
+// the fleet is gone.
+func TestCachedRunNeedsNoWorkers(t *testing.T) {
+	jobs := testJobs(10)
+	st, err := store.Open(filepath.Join(t.TempDir(), "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	want, _, err := exp.RunJobs(jobs, 0, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	got, stats, err := Run(context.Background(), jobs, fastOpts(Options{
+		Workers: []string{dead.URL},
+		Store:   st,
+		Logf:    t.Logf,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMetrics(t, got, want)
+	if stats.Executed != 0 || stats.Cached != len(want) {
+		t.Fatalf("cached run must not execute: %+v", stats.RunStats)
+	}
+}
+
+// TestWorkerAmnesiaResubmits: a worker that 404s a submitted hash (table
+// eviction, restart without store) gets the cell resubmitted rather than
+// losing it.
+func TestWorkerAmnesiaResubmits(t *testing.T) {
+	jobs := testJobs(11)
+	want := wantResults(t, jobs)
+	real := newWorker(t, service.Options{})
+	var forgot atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/") && forgot.CompareAndSwap(false, true) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error":"service: unknown job hash"}`)) //nolint:errcheck
+			return
+		}
+		resp, err := http.Get(real.URL + r.URL.Path)
+		if r.Method == http.MethodPost {
+			resp, err = http.Post(real.URL+r.URL.Path, "application/json", r.Body)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n]) //nolint:errcheck
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(proxy.Close)
+
+	got, _, err := Run(context.Background(), jobs, fastOpts(Options{
+		Workers: []string{proxy.URL},
+		Logf:    t.Logf,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forgot.Load() {
+		t.Fatal("the injected 404 never triggered")
+	}
+	assertSameMetrics(t, got, want)
+}
+
+// TestCancelledRunWrapsContextCanceled mirrors the local scheduler's
+// contract so cmd/experiments prints the same -resume hint either way.
+func TestCancelledRunWrapsContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Run(ctx, testJobs(12), fastOpts(Options{
+		LocalJobs: 2,
+		Logf:      t.Logf,
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want context.Canceled wrap", err)
+	}
+}
+
+// TestPartitionIsDeterministicAndTotal: every hash maps to exactly one
+// lane, stably.
+func TestPartitionIsDeterministicAndTotal(t *testing.T) {
+	jobs := testJobs(3)
+	for _, lanes := range []int{1, 2, 3, 7} {
+		counts := make([]int, lanes)
+		for _, j := range jobs {
+			h, err := j.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			lane := laneForHash(h, lanes)
+			if lane != laneForHash(h, lanes) {
+				t.Fatal("placement must be deterministic")
+			}
+			if lane < 0 || lane >= lanes {
+				t.Fatalf("lane %d out of range [0,%d)", lane, lanes)
+			}
+			counts[lane]++
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != len(jobs) {
+			t.Fatalf("partition dropped cells: %v over %d jobs", counts, len(jobs))
+		}
+	}
+}

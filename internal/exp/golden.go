@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
+	"strings"
 
 	als "repro"
 	"repro/internal/core"
@@ -74,29 +74,64 @@ func (g *Golden) Jobs() []Job {
 	return jobs
 }
 
+// FieldDiff is one mismatching metric of a golden cell, pre-rendered for
+// reporting.
+type FieldDiff struct {
+	Field string
+	Got   string
+	Want  string
+}
+
+// CellDiff collects every mismatching field of one golden cell, so a
+// single gate run reports the complete blast radius of a metrics change
+// instead of one discrepancy at a time. Missing marks a cell the fresh
+// run produced no result for.
+type CellDiff struct {
+	Job     Job
+	Missing bool
+	Fields  []FieldDiff
+}
+
+// String flattens the diff to one line (tests and logs; checkGolden
+// renders the multi-line form).
+func (d CellDiff) String() string {
+	if d.Missing {
+		return fmt.Sprintf("%s: missing result", d.Job)
+	}
+	parts := make([]string, len(d.Fields))
+	for i, f := range d.Fields {
+		parts[i] = fmt.Sprintf("%s got %s want %s", f.Field, f.Got, f.Want)
+	}
+	return fmt.Sprintf("%s: %s", d.Job, strings.Join(parts, "; "))
+}
+
 // DiffGolden compares fresh results against the golden reference with
-// exact equality on RatioCPD, Err and Evaluations, returning one
-// human-readable line per mismatching (or missing) cell, in a stable
-// order. An empty slice means the gate passes.
-func DiffGolden(g *Golden, rs ResultSet) []string {
-	var diffs []string
+// exact equality on RatioCPD, Err and Evaluations. It returns one entry
+// per mismatching (or missing) cell — never stopping at the first — in
+// golden-file order, each carrying a got/want pair per differing field.
+// An empty slice means the gate passes.
+func DiffGolden(g *Golden, rs ResultSet) []CellDiff {
+	var diffs []CellDiff
 	for _, c := range g.Cells {
 		r, err := rs.get(c.Job)
 		if err != nil {
-			diffs = append(diffs, fmt.Sprintf("%s: missing result", c.Job))
+			diffs = append(diffs, CellDiff{Job: c.Job, Missing: true})
 			continue
 		}
+		var fields []FieldDiff
 		if r.RatioCPD != c.RatioCPD {
-			diffs = append(diffs, fmt.Sprintf("%s: RatioCPD = %v, golden %v", c.Job, r.RatioCPD, c.RatioCPD))
+			fields = append(fields, FieldDiff{"RatioCPD", fmt.Sprintf("%v", r.RatioCPD), fmt.Sprintf("%v", c.RatioCPD)})
 		}
 		if r.Err != c.Err {
-			diffs = append(diffs, fmt.Sprintf("%s: Err = %v, golden %v", c.Job, r.Err, c.Err))
+			fields = append(fields, FieldDiff{"Err", fmt.Sprintf("%v", r.Err), fmt.Sprintf("%v", c.Err)})
 		}
 		if r.Evaluations != c.Evaluations {
-			diffs = append(diffs, fmt.Sprintf("%s: Evaluations = %d, golden %d", c.Job, r.Evaluations, c.Evaluations))
+			fields = append(fields, FieldDiff{"Evaluations", fmt.Sprintf("%d", r.Evaluations), fmt.Sprintf("%d", c.Evaluations)})
+		}
+		if len(fields) > 0 {
+			diffs = append(diffs, CellDiff{Job: c.Job, Fields: fields})
 		}
 	}
-	sort.Strings(diffs)
 	return diffs
 }
 

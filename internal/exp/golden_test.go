@@ -85,25 +85,72 @@ func TestDiffGoldenFailsOnInjectedPerturbation(t *testing.T) {
 	r.RatioCPD += 1e-15
 	rs[h] = r
 	diffs := DiffGolden(g, rs)
-	if len(diffs) != 1 {
-		t.Fatalf("perturbed RatioCPD must produce exactly one diff, got %v", diffs)
+	if len(diffs) != 1 || len(diffs[0].Fields) != 1 {
+		t.Fatalf("perturbed RatioCPD must produce exactly one single-field diff, got %v", diffs)
 	}
-	if !strings.Contains(diffs[0], "RatioCPD") || !strings.Contains(diffs[0], g.Cells[1].Job.Circuit) {
+	if !strings.Contains(diffs[0].String(), "RatioCPD") || !strings.Contains(diffs[0].String(), g.Cells[1].Job.Circuit) {
 		t.Fatalf("diff must name the metric and the cell: %q", diffs[0])
 	}
 
-	// An off-by-one evaluation count is a separate diff line.
+	// An off-by-one evaluation count on the same cell joins that cell's
+	// diff as a second field rather than a separate entry.
 	r.Evaluations++
 	rs[h] = r
-	if diffs := DiffGolden(g, rs); len(diffs) != 2 {
-		t.Fatalf("want 2 diffs after also perturbing Evaluations, got %v", diffs)
+	diffs = DiffGolden(g, rs)
+	if len(diffs) != 1 || len(diffs[0].Fields) != 2 {
+		t.Fatalf("want one diff with 2 fields after also perturbing Evaluations, got %v", diffs)
+	}
+	if diffs[0].Fields[0].Field != "RatioCPD" || diffs[0].Fields[1].Field != "Evaluations" {
+		t.Fatalf("fields misnamed: %+v", diffs[0].Fields)
 	}
 
 	// A missing cell is reported rather than silently passing.
 	delete(rs, h)
 	diffs = DiffGolden(g, rs)
-	if len(diffs) != 1 || !strings.Contains(diffs[0], "missing") {
+	if len(diffs) != 1 || !diffs[0].Missing || !strings.Contains(diffs[0].String(), "missing") {
 		t.Fatalf("missing cell must be one 'missing result' diff, got %v", diffs)
+	}
+}
+
+// TestDiffGoldenReportsEveryMismatchedCell pins the -check contract: the
+// gate never stops at the first bad cell — every mismatch is listed, each
+// with a got/want pair per field, in golden-file order.
+func TestDiffGoldenReportsEveryMismatchedCell(t *testing.T) {
+	g, rs := fakeGolden(t)
+
+	// Perturb cells 0 and 2 (two fields each), leave cell 1 clean.
+	for _, idx := range []int{0, 2} {
+		h, err := g.Cells[idx].Job.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rs[h]
+		r.Err += 0.001
+		r.Evaluations += 7
+		rs[h] = r
+	}
+
+	diffs := DiffGolden(g, rs)
+	if len(diffs) != 2 {
+		t.Fatalf("want both perturbed cells reported, got %d: %v", len(diffs), diffs)
+	}
+	for i, wantIdx := range []int{0, 2} {
+		d := diffs[i]
+		wantJob := g.Cells[wantIdx].Job
+		if d.Job != wantJob {
+			t.Fatalf("diff %d is for %s, want %s (golden-file order)", i, d.Job, wantJob)
+		}
+		if len(d.Fields) != 2 {
+			t.Fatalf("diff %d must carry both mismatched fields, got %+v", i, d.Fields)
+		}
+		for _, f := range d.Fields {
+			if f.Field != "Err" && f.Field != "Evaluations" {
+				t.Fatalf("unexpected field %q", f.Field)
+			}
+			if f.Got == "" || f.Want == "" || f.Got == f.Want {
+				t.Fatalf("field %s must carry distinct got/want: %+v", f.Field, f)
+			}
+		}
 	}
 }
 

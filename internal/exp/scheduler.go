@@ -66,27 +66,18 @@ func RunJobs(jobs []Job, workers int, st *store.Store) (ResultSet, RunStats, err
 	return RunJobsContext(context.Background(), jobs, workers, st)
 }
 
-// RunJobsContext is RunJobs with cooperative cancellation: the context is
-// checked before each job is claimed and once per optimizer iteration
-// inside each running flow. Because every finished cell is flushed to the
-// store the moment it completes, a cancelled invocation loses only
-// in-flight cells — a re-run with the same store resumes from the last
-// flushed cell. The returned error wraps ctx.Err() when the run was
-// cancelled.
-func RunJobsContext(ctx context.Context, jobs []Job, workers int, st *store.Store) (ResultSet, RunStats, error) {
-	rs := ResultSet{}
-	var stats RunStats
-
-	type pendingJob struct {
-		job  Job
-		hash string
-	}
-	var pending []pendingJob
+// PendingJobs deduplicates a job list by canonical content hash and, when
+// st is non-nil, strips cells whose results are already persisted, loading
+// those into rs. It returns the jobs still to be computed alongside their
+// hashes (parallel slices) and the Cached/Deduped counts — the shared
+// prelude of the local scheduler and the distributed coordinator
+// (internal/dispatch), which differ only in where the pending cells run.
+func PendingJobs(jobs []Job, st *store.Store, rs ResultSet) (pending []Job, hashes []string, stats RunStats, err error) {
 	seen := map[string]bool{}
 	for _, j := range jobs {
 		h, err := j.Hash()
 		if err != nil {
-			return nil, stats, err
+			return nil, nil, stats, err
 		}
 		if seen[h] {
 			stats.Deduped++
@@ -97,7 +88,7 @@ func RunJobsContext(ctx context.Context, jobs []Job, workers int, st *store.Stor
 			var r JobResult
 			ok, err := st.Decode(h, &r)
 			if err != nil {
-				return nil, stats, err
+				return nil, nil, stats, err
 			}
 			if ok {
 				rs[h] = r
@@ -105,7 +96,24 @@ func RunJobsContext(ctx context.Context, jobs []Job, workers int, st *store.Stor
 				continue
 			}
 		}
-		pending = append(pending, pendingJob{job: j, hash: h})
+		pending = append(pending, j)
+		hashes = append(hashes, h)
+	}
+	return pending, hashes, stats, nil
+}
+
+// RunJobsContext is RunJobs with cooperative cancellation: the context is
+// checked before each job is claimed and once per optimizer iteration
+// inside each running flow. Because every finished cell is flushed to the
+// store the moment it completes, a cancelled invocation loses only
+// in-flight cells — a re-run with the same store resumes from the last
+// flushed cell. The returned error wraps ctx.Err() when the run was
+// cancelled.
+func RunJobsContext(ctx context.Context, jobs []Job, workers int, st *store.Store) (ResultSet, RunStats, error) {
+	rs := ResultSet{}
+	pending, hashes, stats, err := PendingJobs(jobs, st, rs)
+	if err != nil {
+		return nil, stats, err
 	}
 
 	// Split the machine between the job pool and each flow's internal
@@ -133,22 +141,22 @@ func RunJobsContext(ctx context.Context, jobs []Job, workers int, st *store.Stor
 		executed atomic.Int64
 	)
 	lib := als.NewLibrary()
-	err := core.ParallelFor(len(pending), jobWorkers, func(_, i int) error {
+	err = core.ParallelFor(len(pending), jobWorkers, func(_, i int) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("exp: run cancelled: %w", err)
 		}
-		r, err := pending[i].job.RunContext(ctx, lib, evalWorkers)
+		r, err := pending[i].RunContext(ctx, lib, evalWorkers)
 		if err != nil {
 			return err
 		}
 		executed.Add(1)
 		if st != nil {
-			if err := st.Put(pending[i].hash, r); err != nil {
+			if err := st.Put(hashes[i], r); err != nil {
 				return err
 			}
 		}
 		mu.Lock()
-		rs[pending[i].hash] = r
+		rs[hashes[i]] = r
 		mu.Unlock()
 		return nil
 	})

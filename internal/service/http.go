@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 )
 
@@ -20,6 +21,12 @@ const maxBodyBytes = MaxVerilogBytes + 1<<20
 //	POST /v1/flows/{id}/cancel cancel a queued or running job → JobView
 //	GET  /healthz              liveness + Stats counters
 //
+// plus the worker-facing job API (worker.go) used by the distributed
+// sweep coordinator:
+//
+//	POST /v1/jobs              batch-submit exp.Job specs → BatchResponse
+//	GET  /v1/jobs/{hash}       status/result by content hash → JobView
+//
 // Errors are JSON objects {"error": "..."}: 400 malformed or invalid
 // requests, 404 unknown job, 409 result not ready yet, 410 result will
 // never exist, 503 queue full or draining.
@@ -30,6 +37,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/flows/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/flows/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /v1/flows/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs", s.handleBatchSubmit)
+	mux.HandleFunc("GET /v1/jobs/{hash}", s.handleJobByHash)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -100,6 +109,58 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	v, ok := s.Cancel(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleBatchSubmit accepts job specs in order until one is rejected: an
+// invalid spec fails the whole batch with 400 (it would be invalid on
+// every worker — the coordinator must not retry it), while queue-full and
+// draining return 503 with the accepted prefix so the coordinator can
+// resubmit the remainder after a backoff.
+func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("service: batch has no jobs"))
+		return
+	}
+	if len(req.Jobs) > MaxBatchJobs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("service: batch of %d jobs exceeds the %d-job limit", len(req.Jobs), MaxBatchJobs))
+		return
+	}
+	var resp BatchResponse
+	for i, j := range req.Jobs {
+		v, err := s.Submit(RequestFromJob(j))
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+			resp.Reason = ReasonQueueFull
+			if errors.Is(err, ErrDraining) {
+				resp.Reason = ReasonDraining
+			}
+			resp.Error = err.Error()
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch job %d (%s): %w", i, j, err))
+			return
+		}
+		resp.Jobs = append(resp.Jobs, v)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobByHash(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.JobByHash(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown job hash"))
 		return
 	}
 	writeJSON(w, http.StatusOK, v)

@@ -14,7 +14,10 @@
 //     its cache entry with the equivalent cmd/experiments cell);
 //   - service.go (this file): the job table, queue, worker pool,
 //     cancellation and graceful drain;
-//   - http.go: the HTTP/JSON API (submit/list/status/result/cancel).
+//   - http.go: the HTTP/JSON API (submit/list/status/result/cancel);
+//   - worker.go: the worker-facing job API (batch submit by canonical
+//     exp.Job spec, result fetch by content hash) that lets any running
+//     daemon serve as a distributed-sweep worker for internal/dispatch.
 package service
 
 import (
