@@ -21,6 +21,20 @@
 //	res, _ := als.Flow(circuit, als.NewLibrary(), als.FlowConfig{
 //		Metric: als.MetricNMED, ErrorBudget: 0.0244})
 //	fmt.Printf("Ratio_cpd = %.4f\n", res.RatioCPD)
+//
+// The session API (v2) is the preferred entry point for new code: it
+// configures a run with functional options (so legal zero values like
+// WithDepthWeight(0) are expressible), streams the run as an event
+// sequence, and returns the optimizer's whole delay/error/area trade-off
+// front rather than only the single best solution:
+//
+//	sess, _ := als.NewSession(circuit, als.NewLibrary(),
+//		als.WithMetric(als.MetricNMED), als.WithErrorBudget(0.0244))
+//	res, front, _ := sess.Collect(ctx)
+//
+// Flow and FlowContext are thin shims over the same engine and stay
+// bit-identical to sessions at the same effective configuration and
+// seed; see NewSession, Session.Run, Option and Front.
 package als
 
 import (
@@ -34,8 +48,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/netlist"
-	"repro/internal/sizing"
-	"repro/internal/sta"
 	"repro/internal/verilog"
 )
 
@@ -216,30 +228,11 @@ type FlowProgress struct {
 	Evaluations int
 }
 
+// resolve maps every zero value onto the paper default. It shares the
+// sessionConfig defaults table (with no explicit-set flags raised), so
+// the v1 shims and option-built sessions can never drift apart.
 func (f FlowConfig) resolve() FlowConfig {
-	if f.AreaConRatio == 0 {
-		f.AreaConRatio = 1.0
-	}
-	if f.DepthWeight == 0 {
-		f.DepthWeight = 0.8
-	}
-	pop, iters, vecs := 10, 8, 2048
-	if f.Scale == ScalePaper {
-		pop, iters, vecs = 30, 20, 1<<17
-	}
-	if f.Population == 0 {
-		f.Population = pop
-	}
-	if f.Iterations == 0 {
-		f.Iterations = iters
-	}
-	if f.Vectors == 0 {
-		f.Vectors = vecs
-	}
-	if f.Seed == 0 {
-		f.Seed = 1
-	}
-	return f
+	return sessionConfig{cfg: f}.resolved()
 }
 
 // FlowResult reports one end-to-end run in the units of the paper's
@@ -274,8 +267,22 @@ type FlowResult struct {
 func NewLibrary() *cell.Library { return cell.Default28nm() }
 
 // Benchmark builds one of the paper's TABLE I circuits by name
-// (e.g. "Adder16", "c6288"); it panics on unknown names.
+// (e.g. "Adder16", "c6288"). It panics on unknown names — a documented
+// convenience for examples and benchmarks where the name is a literal;
+// code handling untrusted or configured names uses BenchmarkByName.
 func Benchmark(name string) *netlist.Circuit { return gen.MustBuild(name) }
+
+// BenchmarkByName builds one of the paper's TABLE I circuits by name,
+// returning an error wrapping ErrUnknownBenchmark (with the valid names)
+// instead of panicking — the entry point for CLI flags and service
+// request validation.
+func BenchmarkByName(name string) (*netlist.Circuit, error) {
+	b, ok := gen.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (valid: %s)", ErrUnknownBenchmark, name, strings.Join(gen.Names(), ", "))
+	}
+	return b.Build(), nil
+}
 
 // BenchmarkNames lists the TABLE I circuit names in paper order.
 func BenchmarkNames() []string { return gen.Names() }
@@ -298,106 +305,14 @@ func Flow(accurate *netlist.Circuit, lib *cell.Library, cfg FlowConfig) (*FlowRe
 // uncancelled FlowContext run is bit-identical to Flow at the same seed,
 // and re-running a cancelled flow reproduces the result the uncancelled
 // run would have produced.
+//
+// Flow and FlowContext are the frozen v1 shims over the session engine
+// (runFlow): a FlowConfig resolves its zero values to the paper defaults
+// and runs exactly the configuration the equivalent option-built Session
+// would, so both entry points are bit-identical at the same seed. New
+// code should prefer NewSession, which streams progress and returns the
+// whole trade-off front; an infeasible run reports ErrInfeasible.
 func FlowContext(ctx context.Context, accurate *netlist.Circuit, lib *cell.Library, cfg FlowConfig) (*FlowResult, error) {
-	cfg = cfg.resolve()
-	ref, err := sta.Analyze(accurate, lib)
-	if err != nil {
-		return nil, fmt.Errorf("als: accurate circuit: %w", err)
-	}
-	areaOri := accurate.Area(lib)
-	areaCon := areaOri * cfg.AreaConRatio
-
-	// Translate optimizer-level iteration stats into flow-level progress
-	// (delay expressed as a ratio against the accurate circuit's CPD).
-	var progress func(core.IterStats)
-	if cfg.Progress != nil {
-		refCPD := ref.CPD
-		if refCPD <= 0 {
-			refCPD = 1
-		}
-		total := cfg.Iterations
-		progress = func(st core.IterStats) {
-			cfg.Progress(FlowProgress{
-				Iter:         st.Iter,
-				Total:        total,
-				BestRatioCPD: st.BestDelay / refCPD,
-				BestErr:      st.BestErr,
-				Evaluations:  st.Evaluations,
-			})
-		}
-	}
-
-	start := time.Now()
-	var best *core.Individual
-	var history []core.IterStats
-	evaluations := 0
-	if cfg.Method == MethodDCGWO {
-		ccfg := core.DefaultConfig(cfg.Metric, cfg.ErrorBudget)
-		ccfg.PopulationSize = cfg.Population
-		ccfg.MaxIter = cfg.Iterations
-		ccfg.Vectors = cfg.Vectors
-		ccfg.DepthWeight = cfg.DepthWeight
-		ccfg.EvalWorkers = cfg.EvalWorkers
-		ccfg.Progress = progress
-		ccfg.Seed = cfg.Seed
-		opt, err := core.New(accurate, lib, ccfg)
-		if err != nil {
-			return nil, err
-		}
-		res, err := opt.RunContext(ctx)
-		if err != nil {
-			return nil, err
-		}
-		best, history, evaluations = res.Best, res.History, res.Evaluations
-	} else {
-		bcfg := baselines.DefaultConfig(cfg.Metric, cfg.ErrorBudget)
-		bcfg.Rounds = cfg.Iterations
-		bcfg.Population = cfg.Population
-		bcfg.Vectors = cfg.Vectors
-		bcfg.DepthWeight = cfg.DepthWeight
-		bcfg.EvalWorkers = cfg.EvalWorkers
-		bcfg.Progress = progress
-		bcfg.Seed = cfg.Seed
-		method := map[Method]baselines.Method{
-			MethodVecbeeSasimi:   baselines.VecbeeSasimi,
-			MethodVaACS:          baselines.VaACS,
-			MethodHEDALS:         baselines.HEDALS,
-			MethodSingleChaseGWO: baselines.SingleChaseGWO,
-		}[cfg.Method]
-		res, err := baselines.RunContext(ctx, method, accurate, lib, bcfg)
-		if err != nil {
-			return nil, err
-		}
-		best, evaluations = res.Best, res.Evaluations
-	}
-	if best == nil {
-		return nil, fmt.Errorf("als: no feasible approximate circuit under budget %v", cfg.ErrorBudget)
-	}
-
-	post, err := sizing.PostOptimize(best.Circuit, lib, sizing.Options{AreaCon: areaCon})
-	if err != nil {
-		return nil, err
-	}
-	elapsed := time.Since(start)
-
-	ratio := 1.0
-	if ref.CPD > 0 {
-		ratio = post.Report.CPD / ref.CPD
-	}
-	return &FlowResult{
-		Circuit:     accurate.Name,
-		Method:      cfg.Method,
-		CPDOri:      ref.CPD,
-		AreaOri:     areaOri,
-		CPDFac:      post.Report.CPD,
-		RatioCPD:    ratio,
-		AreaCon:     areaCon,
-		AreaFinal:   post.Area,
-		Err:         best.Err,
-		Runtime:     elapsed,
-		Evaluations: evaluations,
-		Approx:      best.Circuit,
-		Final:       post.Circuit,
-		History:     history,
-	}, nil
+	res, _, err := runFlow(ctx, accurate, lib, cfg.resolve(), runHooks{progress: cfg.Progress})
+	return res, err
 }

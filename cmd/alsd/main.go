@@ -8,7 +8,22 @@
 //
 //	alsd -addr :8080 -store alsd-results.jsonl -workers 2
 //
-// Submit, poll and fetch:
+// The preferred client surface is /v2: submit, stream the run's events
+// (per-iteration progress and every improved solution, over SSE), then
+// read the result with its delay/error/area trade-off front:
+//
+//	curl -X POST localhost:8080/v2/jobs \
+//	     -d '{"circuit":"Adder16","metric":"nmed","budget":0.0244}'
+//	curl -N localhost:8080/v2/jobs/f000001/events
+//	curl localhost:8080/v2/jobs/f000001/result
+//	curl 'localhost:8080/v2/jobs?offset=0&limit=20'
+//	curl -X POST localhost:8080/v2/jobs/f000001/cancel
+//
+// /v2 errors carry machine-readable codes ({"error":{"code":...}}), e.g.
+// unknown_benchmark (404), infeasible (422), queue_full (503).
+//
+// The legacy /v1 polling API keeps serving unchanged (same job table,
+// same cache, same JSON shapes):
 //
 //	curl -X POST localhost:8080/v1/flows \
 //	     -d '{"circuit":"Adder16","metric":"nmed","budget":0.0244}'

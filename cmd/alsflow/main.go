@@ -1,15 +1,20 @@
 // Command alsflow runs the complete timing-driven ALS flow on one circuit:
 // representation → DCGWO (or a baseline) → post-optimization, and writes
-// the final approximate netlist as structural Verilog.
+// the final approximate netlist as structural Verilog. It drives the
+// session API, so it can stream the optimizer's live progress (-progress)
+// and print the delay/error/area trade-off front (-front) instead of only
+// the single best solution.
 //
 // Usage:
 //
 //	alsflow -bench Adder16 -metric nmed -budget 0.0244 -out approx.v
 //	alsflow -in design.v -metric er -budget 0.05 -method hedals
 //	alsflow -bench c6288 -scale paper -areacon 1.1
+//	alsflow -bench c880 -metric er -budget 0.05 -progress -front 5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,16 +25,18 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "", "built-in benchmark name (see -list)")
-		in      = flag.String("in", "", "structural Verilog input file")
-		out     = flag.String("out", "", "write the final approximate netlist here (default: stdout summary only)")
-		metric  = flag.String("metric", "er", "error metric: er|nmed")
-		budget  = flag.Float64("budget", 0.05, "error budget (e.g. 0.05 = 5% ER)")
-		method  = flag.String("method", "dcgwo", "optimizer: dcgwo|sasimi|vaacs|hedals|gwo")
-		scale   = flag.String("scale", "quick", "run budget: quick|paper")
-		areacon = flag.Float64("areacon", 1.0, "area constraint as a ratio of the accurate area")
-		seed    = flag.Int64("seed", 1, "random seed")
-		list    = flag.Bool("list", false, "list built-in benchmarks and exit")
+		bench    = flag.String("bench", "", "built-in benchmark name (see -list)")
+		in       = flag.String("in", "", "structural Verilog input file")
+		out      = flag.String("out", "", "write the final approximate netlist here (default: stdout summary only)")
+		metric   = flag.String("metric", "er", "error metric: er|nmed")
+		budget   = flag.Float64("budget", 0.05, "error budget (e.g. 0.05 = 5% ER)")
+		method   = flag.String("method", "dcgwo", "optimizer: dcgwo|sasimi|vaacs|hedals|gwo")
+		scale    = flag.String("scale", "quick", "run budget: quick|paper")
+		areacon  = flag.Float64("areacon", 1.0, "area constraint as a ratio of the accurate area")
+		seed     = flag.Int64("seed", 1, "random seed")
+		front    = flag.Int("front", 0, "print up to this many trade-off front solutions (0 = best only)")
+		progress = flag.Bool("progress", false, "stream per-iteration progress to stderr")
+		list     = flag.Bool("list", false, "list built-in benchmarks and exit")
 	)
 	flag.Parse()
 
@@ -45,53 +52,66 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := als.FlowConfig{
-		ErrorBudget:  *budget,
-		AreaConRatio: *areacon,
-		Seed:         *seed,
+	m, err := als.ParseMetric(*metric)
+	if err != nil {
+		fatal(err)
 	}
-	switch *metric {
-	case "er":
-		cfg.Metric = als.MetricER
-	case "nmed":
-		cfg.Metric = als.MetricNMED
-	default:
-		fatal(fmt.Errorf("unknown metric %q", *metric))
+	mth, err := als.ParseMethod(*method)
+	if err != nil {
+		fatal(err)
 	}
-	switch *method {
-	case "dcgwo":
-		cfg.Method = als.MethodDCGWO
-	case "sasimi":
-		cfg.Method = als.MethodVecbeeSasimi
-	case "vaacs":
-		cfg.Method = als.MethodVaACS
-	case "hedals":
-		cfg.Method = als.MethodHEDALS
-	case "gwo":
-		cfg.Method = als.MethodSingleChaseGWO
-	default:
-		fatal(fmt.Errorf("unknown method %q", *method))
+	sc, err := als.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
 	}
-	switch *scale {
-	case "quick":
-		cfg.Scale = als.ScaleQuick
-	case "paper":
-		cfg.Scale = als.ScalePaper
-	default:
-		fatal(fmt.Errorf("unknown scale %q", *scale))
+	opts := []als.Option{
+		als.WithMetric(m),
+		als.WithErrorBudget(*budget),
+		als.WithMethod(mth),
+		als.WithScale(sc),
+		als.WithAreaConRatio(*areacon),
+		als.WithSeed(*seed),
 	}
-
-	res, err := als.Flow(circuit, als.NewLibrary(), cfg)
+	if *front > 0 {
+		opts = append(opts, als.WithTopK(*front))
+	}
+	sess, err := als.NewSession(circuit, als.NewLibrary(), opts...)
 	if err != nil {
 		fatal(err)
 	}
 
+	var res *als.FlowResult
+	var tradeoff als.Front
+	for ev, err := range sess.Run(context.Background()) {
+		if err != nil {
+			fatal(err)
+		}
+		switch ev.Kind {
+		case als.EventProgress:
+			if *progress {
+				fmt.Fprintf(os.Stderr, "iter %d/%d: best Ratio_cpd <= %.4f err=%.5g (%d evaluations)\n",
+					ev.Progress.Iter, ev.Progress.Total, ev.Progress.BestRatioCPD,
+					ev.Progress.BestErr, ev.Progress.Evaluations)
+			}
+		case als.EventImproved:
+			if *progress {
+				fmt.Fprintf(os.Stderr, "improved: Ratio_cpd <= %.4f err=%.5g area=%.2f\n",
+					ev.Solution.RatioCPD, ev.Solution.Err, ev.Solution.Area)
+			}
+		case als.EventDone:
+			res, tradeoff = ev.Result, ev.Front
+		}
+	}
+
 	fmt.Printf("circuit   : %s (%d gates)\n", res.Circuit, circuit.NumPhysical())
-	fmt.Printf("method    : %s under %s <= %.4g\n", res.Method, cfg.Metric, cfg.ErrorBudget)
+	fmt.Printf("method    : %s under %s <= %.4g\n", res.Method, m, *budget)
 	fmt.Printf("CPD       : %.2f ps -> %.2f ps   (Ratio_cpd = %.4f)\n", res.CPDOri, res.CPDFac, res.RatioCPD)
 	fmt.Printf("area      : %.2f um2 -> %.2f um2 (budget %.2f)\n", res.AreaOri, res.AreaFinal, res.AreaCon)
 	fmt.Printf("error     : %.5f\n", res.Err)
 	fmt.Printf("runtime   : %v (%d evaluations)\n", res.Runtime, res.Evaluations)
+	if *front > 0 {
+		fmt.Printf("front     : %d solution(s)\n%s", len(tradeoff), tradeoff)
+	}
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(als.WriteVerilog(res.Final)), 0o644); err != nil {
@@ -106,12 +126,11 @@ func loadCircuit(bench, in string) (*netlist.Circuit, error) {
 	case bench != "" && in != "":
 		return nil, fmt.Errorf("pass either -bench or -in, not both")
 	case bench != "":
-		for _, n := range als.BenchmarkNames() {
-			if n == bench {
-				return als.Benchmark(bench), nil
-			}
+		c, err := als.BenchmarkByName(bench)
+		if err != nil {
+			return nil, fmt.Errorf("%w (use -list)", err)
 		}
-		return nil, fmt.Errorf("unknown benchmark %q (use -list)", bench)
+		return c, nil
 	case in != "":
 		src, err := os.ReadFile(in)
 		if err != nil {

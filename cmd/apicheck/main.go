@@ -1,0 +1,305 @@
+// Command apicheck freezes a package's exported API surface: it parses
+// the package source (no build needed), renders every exported top-level
+// declaration — functions, methods with exported receivers, types with
+// their exported fields, consts and vars — in a canonical, sorted text
+// form, and diffs it against a committed baseline. CI runs it over the
+// public als package so an accidental signature change to the frozen v1
+// shims (or any other exported name) fails the build with an explicit
+// added/removed report; intentional changes regenerate the baseline.
+//
+// Usage:
+//
+//	apicheck -dir . -check testdata/api_v1.txt    # gate (exit 1 on drift)
+//	apicheck -dir . -update testdata/api_v1.txt   # regenerate baseline
+//	apicheck -dir .                               # print surface to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+const header = `# Exported API surface, frozen by cmd/apicheck.
+# Regenerate after an intentional API change:
+#   go run ./cmd/apicheck -dir . -update testdata/api_v1.txt
+
+`
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "package directory to scan")
+		check  = flag.String("check", "", "baseline file to diff against; drift exits 1")
+		update = flag.String("update", "", "write the current surface to this baseline file")
+	)
+	flag.Parse()
+
+	surface, err := Surface(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(2)
+	}
+	text := header + strings.Join(surface, "\n\n") + "\n"
+
+	switch {
+	case *update != "":
+		if err := os.WriteFile(*update, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("apicheck: wrote %d exported declaration(s) to %s\n", len(surface), *update)
+	case *check != "":
+		raw, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(2)
+		}
+		if string(raw) == text {
+			fmt.Printf("apicheck: %s matches (%d exported declaration(s))\n", *check, len(surface))
+			return
+		}
+		fmt.Fprintf(os.Stderr, "apicheck: exported surface of %s drifted from %s\n", *dir, *check)
+		for _, line := range Diff(string(raw), text) {
+			fmt.Fprintln(os.Stderr, "  "+line)
+		}
+		fmt.Fprintf(os.Stderr, "apicheck: if the change is intentional: go run ./cmd/apicheck -dir %s -update %s\n", *dir, *check)
+		os.Exit(1)
+	default:
+		fmt.Print(text)
+	}
+}
+
+// Surface parses the package in dir (tests excluded) and returns one
+// canonically-rendered text block per exported declaration, sorted.
+func Surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				entries = append(entries, declEntries(decl)...)
+			}
+		}
+	}
+	sort.Strings(entries)
+	return entries, nil
+}
+
+// declEntries renders the exported parts of one top-level declaration.
+func declEntries(decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return nil
+		}
+		fn := *d
+		fn.Doc, fn.Body = nil, nil
+		return []string{render(&fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				cp := *sp
+				cp.Doc, cp.Comment = nil, nil
+				cp.Type = filterType(sp.Type)
+				out = append(out, render(&ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{&cp}}))
+			case *ast.ValueSpec:
+				names := exportedNames(sp.Names)
+				if len(names) == 0 {
+					continue
+				}
+				cp := *sp
+				cp.Doc, cp.Comment = nil, nil
+				cp.Names = names
+				out = append(out, render(&ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{&cp}}))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (plain functions trivially qualify).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true // unusual receiver: keep it, never hide surface
+		}
+	}
+}
+
+// filterType drops unexported struct fields and interface methods, so
+// private implementation detail can change without moving the baseline.
+func filterType(t ast.Expr) ast.Expr {
+	switch tt := t.(type) {
+	case *ast.StructType:
+		cp := *tt
+		cp.Fields = filterFields(tt.Fields, false)
+		return &cp
+	case *ast.InterfaceType:
+		cp := *tt
+		cp.Methods = filterFields(tt.Methods, true)
+		return &cp
+	}
+	return t
+}
+
+// filterFields keeps exported (or embedded, for interfaces) entries of a
+// field list, stripping comments.
+func filterFields(fl *ast.FieldList, keepEmbedded bool) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			if keepEmbedded || embeddedExported(f.Type) {
+				cp := *f
+				cp.Doc, cp.Comment = nil, nil
+				out.List = append(out.List, &cp)
+			}
+			continue
+		}
+		names := exportedNames(f.Names)
+		if len(names) == 0 {
+			continue
+		}
+		cp := *f
+		cp.Doc, cp.Comment = nil, nil
+		cp.Names = names
+		out.List = append(out.List, &cp)
+	}
+	return out
+}
+
+// embeddedExported reports whether an embedded struct field is visible
+// outside the package.
+func embeddedExported(t ast.Expr) bool {
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.SelectorExpr:
+			return tt.Sel.IsExported()
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func exportedNames(ids []*ast.Ident) []*ast.Ident {
+	var out []*ast.Ident
+	for _, id := range ids {
+		if id.IsExported() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// render prints a node against an empty fileset, which collapses original
+// source spacing into printer-canonical form — the property that makes
+// the baseline stable under reformatting.
+func render(node any) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, token.NewFileSet(), node); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return b.String()
+}
+
+// Diff reports the baseline drift as added/removed declaration blocks
+// (blocks are compared as units; a changed signature shows up as one
+// removal plus one addition).
+func Diff(baseline, current string) []string {
+	want := blockSet(baseline)
+	got := blockSet(current)
+	var out []string
+	for _, b := range sortedKeys(want) {
+		if !got[b] {
+			out = append(out, "removed: "+firstLine(b))
+		}
+	}
+	for _, b := range sortedKeys(got) {
+		if !want[b] {
+			out = append(out, "added:   "+firstLine(b))
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, "formatting-only difference (regenerate the baseline)")
+	}
+	return out
+}
+
+// blockSet splits a surface file into declaration blocks. Blocks start at
+// unindented declaration lines, so multi-line types (whose bodies are
+// indented) stay whole; the # header is skipped.
+func blockSet(text string) map[string]bool {
+	set := map[string]bool{}
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			set[strings.Join(cur, "\n")] = true
+			cur = nil
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, "#"), strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, " "), strings.HasPrefix(line, "\t"), strings.HasPrefix(line, "}"), strings.HasPrefix(line, ")"):
+			cur = append(cur, line)
+		default:
+			flush()
+			cur = append(cur, line)
+		}
+	}
+	flush()
+	return set
+}
+
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func firstLine(block string) string {
+	if i := strings.IndexByte(block, '\n'); i >= 0 {
+		return block[:i] + " …"
+	}
+	return block
+}

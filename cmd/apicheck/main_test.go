@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePkg materializes a throwaway package directory for Surface.
+func writePkg(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestSurfaceExportedOnly(t *testing.T) {
+	dir := writePkg(t, map[string]string{
+		"a.go": `package p
+
+// Exported doc.
+func Exported(x int) (y int, err error) { return x, nil }
+
+func unexported() {}
+
+type Public struct {
+	// Visible field.
+	Visible int
+	hidden  string
+}
+
+func (p *Public) Method() int { return p.Visible }
+
+func (p *Public) unexportedMethod() {}
+
+type private struct{ X int }
+
+func (p private) Exported() {} // hidden: unexported receiver
+
+const Answer = 42
+const secret = 7
+
+var ExportedVar int
+`,
+		"a_test.go": `package p
+
+func TestOnlyHelper() {}
+`,
+	})
+	surface, err := Surface(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(surface, "\n\n")
+	for _, want := range []string{
+		"func Exported(x int) (y int, err error)",
+		"func (p *Public) Method() int",
+		"type Public struct {\n\tVisible int\n}",
+		"const Answer = 42",
+		"var ExportedVar int",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("surface missing %q:\n%s", want, joined)
+		}
+	}
+	for _, banned := range []string{"unexported", "hidden", "private", "secret", "TestOnlyHelper"} {
+		if strings.Contains(joined, banned) {
+			t.Errorf("surface leaked %q:\n%s", banned, joined)
+		}
+	}
+}
+
+func TestSurfaceDeterministicAndSorted(t *testing.T) {
+	dir := writePkg(t, map[string]string{
+		"z.go": "package p\n\nfunc Zeta() {}\n",
+		"a.go": "package p\n\nfunc Alpha() {}\n",
+	})
+	first, err := Surface(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Surface(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(first, "|") != strings.Join(second, "|") {
+		t.Error("surface not deterministic across runs")
+	}
+	if len(first) != 2 || first[0] != "func Alpha()" || first[1] != "func Zeta()" {
+		t.Errorf("surface not sorted: %q", first)
+	}
+}
+
+func TestSurfaceStableUnderReformatting(t *testing.T) {
+	compact := writePkg(t, map[string]string{
+		"a.go": "package p\n\nfunc F(a int, b string) error { return nil }\n",
+	})
+	spaced := writePkg(t, map[string]string{
+		"a.go": "package p\n\n\n// moved around\nfunc F(a int,\n\tb string) error {\n\treturn nil\n}\n",
+	})
+	s1, err := Surface(compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Surface(spaced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(s1, "|") != strings.Join(s2, "|") {
+		t.Errorf("reformatting moved the surface: %q vs %q", s1, s2)
+	}
+}
+
+func TestDiffReportsAddedAndRemoved(t *testing.T) {
+	baseline := header + "func Old(x int)\n\ntype T struct {\n\tA int\n}\n"
+	current := header + "func New(x int)\n\ntype T struct {\n\tA int\n}\n"
+	lines := strings.Join(Diff(baseline, current), "\n")
+	if !strings.Contains(lines, "removed: func Old(x int)") {
+		t.Errorf("missing removal report: %s", lines)
+	}
+	if !strings.Contains(lines, "added:   func New(x int)") {
+		t.Errorf("missing addition report: %s", lines)
+	}
+	if strings.Contains(lines, "type T") {
+		t.Errorf("unchanged multi-line block reported: %s", lines)
+	}
+}
+
+func TestDiffKeepsMultiLineBlocksWhole(t *testing.T) {
+	text := header + "type T struct {\n\tA int\n\tB string\n}\n\nfunc F()\n"
+	if lines := Diff(text, text); len(lines) != 1 || !strings.Contains(lines[0], "formatting-only") {
+		t.Errorf("identical surfaces diffed: %v", lines)
+	}
+	grown := header + "type T struct {\n\tA int\n\tB string\n\tC bool\n}\n\nfunc F()\n"
+	lines := strings.Join(Diff(text, grown), "\n")
+	if !strings.Contains(lines, "removed: type T struct {") || !strings.Contains(lines, "added:   type T struct {") {
+		t.Errorf("field change not reported as block change: %s", lines)
+	}
+}

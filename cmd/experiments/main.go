@@ -47,6 +47,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"slices"
 	"strings"
 	"syscall"
 
@@ -102,6 +103,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	opts.Scale = sc
 	if *circuits != "" {
 		opts.Circuits = strings.Split(*circuits, ",")
+		// A typo'd name would otherwise just silently shrink the matrix
+		// (circuitSet intersects with the experiment's kind set). The name
+		// list is enough — building the netlists is the job runner's work.
+		for _, name := range opts.Circuits {
+			if !slices.Contains(als.BenchmarkNames(), name) {
+				fmt.Fprintf(stderr, "unknown benchmark %q (valid: %s)\n",
+					name, strings.Join(als.BenchmarkNames(), ", "))
+				return 2
+			}
+		}
 	}
 
 	runner, err := newJobRunner(*workers, *jobs, stderr)

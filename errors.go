@@ -1,0 +1,28 @@
+package als
+
+import "errors"
+
+// Sentinel errors of the public API. Callers branch on them with
+// errors.Is — never by matching error prose, which stays free to carry
+// human-readable context (budgets, valid-name lists, …). The HTTP service
+// layer maps them onto structured /v2 error codes the same way.
+var (
+	// ErrInfeasible reports that a flow found no approximate circuit
+	// meeting the error budget. It cannot occur under the default
+	// optimizers when the budget is non-negative (the accurate circuit
+	// itself, at zero error, is always a feasible fallback), but the
+	// sentinel keeps the contract explicit for future optimizers that may
+	// start from an infeasible point.
+	ErrInfeasible = errors.New("als: no feasible approximate circuit under the error budget")
+
+	// ErrUnknownBenchmark reports a benchmark name outside the paper's
+	// TABLE I set; BenchmarkByName returns it wrapped with the offending
+	// name and the valid names.
+	ErrUnknownBenchmark = errors.New("als: unknown benchmark")
+
+	// ErrSessionConsumed reports a second Run on a Session. A Session is
+	// single-shot: its stream, result and front describe exactly one flow
+	// execution. Build a new Session (same circuit, same options) to run
+	// again — at the same seed it reproduces the first run bit-exactly.
+	ErrSessionConsumed = errors.New("als: session already run")
+)

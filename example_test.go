@@ -1,0 +1,92 @@
+package als_test
+
+import (
+	"context"
+	"fmt"
+
+	als "repro"
+)
+
+// ExampleNewSession runs the paper's flow through the v2 session API and
+// reads the whole delay/error/area trade-off front instead of only the
+// single best solution.
+func ExampleNewSession() {
+	circuit, err := als.BenchmarkByName("Adder16")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sess, err := als.NewSession(circuit, als.NewLibrary(),
+		als.WithMetric(als.MetricNMED),
+		als.WithErrorBudget(0.0244),
+		als.WithSeed(1),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, front, err := sess.Collect(context.Background())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	best, _ := front.Best()
+	fmt.Printf("speedup found: %v\n", res.RatioCPD < 1)
+	fmt.Printf("front is non-empty: %v\n", len(front) >= 1)
+	fmt.Printf("front best is within budget: %v\n", best.Err <= 0.0244)
+	// Output:
+	// speedup found: true
+	// front is non-empty: true
+	// front best is within budget: true
+}
+
+// ExampleNewSession_streaming consumes the run as a live event stream:
+// one progress event per optimizer iteration, an improved event for every
+// new best solution, and a final done event carrying the front.
+func ExampleNewSession_streaming() {
+	sess, err := als.NewSession(als.Benchmark("c880"), als.NewLibrary(),
+		als.WithMetric(als.MetricER),
+		als.WithErrorBudget(0.05),
+		als.WithIterations(4),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var progress, improved int
+	var front als.Front
+	for ev, err := range sess.Run(context.Background()) {
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		switch ev.Kind {
+		case als.EventProgress:
+			progress++
+		case als.EventImproved:
+			improved++
+		case als.EventDone:
+			front = ev.Front
+		}
+	}
+	fmt.Printf("progress events: %d\n", progress)
+	fmt.Printf("saw improvements: %v\n", improved >= 1)
+	fmt.Printf("front delivered: %v\n", len(front) >= 1)
+	// Output:
+	// progress events: 4
+	// saw improvements: true
+	// front delivered: true
+}
+
+// ExampleBenchmarkByName shows the non-panicking benchmark lookup used
+// for untrusted or configured names.
+func ExampleBenchmarkByName() {
+	circuit, err := als.BenchmarkByName("c880")
+	fmt.Printf("built %s: %v\n", circuit.Name, err == nil)
+
+	_, err = als.BenchmarkByName("c4242")
+	fmt.Printf("unknown handled: %v\n", err != nil)
+	// Output:
+	// built c880: true
+	// unknown handled: true
+}

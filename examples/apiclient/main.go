@@ -1,10 +1,13 @@
-// Apiclient drives a running alsd daemon end to end: it submits a flow
-// (a named benchmark by default, or an uploaded structural-Verilog file
-// with -verilog), streams the optimizer's live progress, prints the
-// result, and demonstrates the dedup cache by resubmitting the identical
-// request.
+// Apiclient drives a running alsd daemon end to end over the /v2 API: it
+// submits a flow (a named benchmark by default, or an uploaded
+// structural-Verilog file with -verilog), consumes the job's live
+// Server-Sent Events stream (per-iteration progress and every improved
+// solution — no polling), prints the result with its delay/error/area
+// trade-off front, and demonstrates the dedup cache by resubmitting the
+// identical request. Pass -v1 to run the same scenario over the legacy
+// polling API instead.
 //
-// It imports service.Request/service.JobView for the wire types so the
+// It imports service.Request/service.JobViewV2 for the wire types so the
 // example can never drift from the daemon's JSON contract; an out-of-tree
 // client would declare the same structs from the README's API reference.
 //
@@ -16,6 +19,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -23,6 +27,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/service"
@@ -38,6 +43,7 @@ func main() {
 		budget  = flag.Float64("budget", 0.0244, "error budget")
 		scale   = flag.String("scale", "quick", "run scale: quick|paper")
 		seed    = flag.Int64("seed", 1, "random seed")
+		useV1   = flag.Bool("v1", false, "use the legacy /v1 polling API instead of /v2 SSE")
 	)
 	flag.Parse()
 
@@ -52,26 +58,30 @@ func main() {
 		req.Circuit = *circuit
 	}
 
+	if *useV1 {
+		runV1(*addr, req)
+		return
+	}
+
 	first := submit(*addr, req)
 	fmt.Printf("submitted: job %s (%s, cached=%v)\n", first.ID, first.Status, first.Cached)
 
-	// Poll until terminal, printing progress as it moves.
-	lastIter := -1
-	v := first
-	for v.Status == service.StatusQueued || v.Status == service.StatusRunning {
-		time.Sleep(100 * time.Millisecond)
-		v = fetch(*addr + "/v1/flows/" + first.ID)
-		if p := v.Progress; p != nil && p.Iter != lastIter {
-			lastIter = p.Iter
-			fmt.Printf("  iter %d/%d  best Ratio_cpd so far %.4f\n", p.Iter, p.Total, p.BestRatioCPD)
-		}
+	// One SSE connection replaces the whole polling loop: the stream ends
+	// with a terminal event carrying the full job view.
+	final := first
+	if !first.terminalLike() {
+		final = stream(*addr, first.ID)
 	}
-	if v.Status != service.StatusDone {
-		log.Fatalf("job ended %s: %s", v.Status, v.Error)
+	if final.Status != service.StatusDone {
+		log.Fatalf("job ended %s: %s", final.Status, final.Error)
 	}
 	fmt.Printf("done: Ratio_cpd = %.4f, err = %.5g, %d evaluations, %v\n",
-		v.Result.RatioCPD, v.Result.Err, v.Result.Evaluations,
-		time.Duration(v.Result.RuntimeNS).Round(time.Millisecond))
+		final.Result.RatioCPD, final.Result.Err, final.Result.Evaluations,
+		time.Duration(final.Result.RuntimeNS).Round(time.Millisecond))
+	fmt.Printf("front (%d solutions):\n", len(final.Front))
+	for i, sol := range final.Front {
+		fmt.Printf("  #%d Ratio_cpd=%.4f err=%.5g area=%.2f\n", i, sol.RatioCPD, sol.Err, sol.Area)
+	}
 
 	// An identical resubmission is answered from cache, no recomputation.
 	again := submit(*addr, req)
@@ -79,7 +89,85 @@ func main() {
 		again.ID, again.Status, again.Cached)
 }
 
-func submit(addr string, req service.Request) service.JobView {
+func submit(addr string, req service.Request) submittedJob {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(addr+"/v2/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e service.ErrorBody
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+		log.Fatalf("submit failed (%s): [%s] %s", resp.Status, e.Error.Code, e.Error.Message)
+	}
+	var v submittedJob
+	if err := json.NewDecoder(resp.Body).Decode(&v.JobViewV2); err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+type submittedJob struct {
+	service.JobViewV2
+}
+
+func (v submittedJob) terminalLike() bool {
+	return v.Status == service.StatusDone || v.Status == service.StatusFailed || v.Status == service.StatusCancelled
+}
+
+// stream consumes the job's SSE feed, printing progress and improved
+// solutions, and returns the terminal job view the stream ends with.
+func stream(addr, id string) submittedJob {
+	resp, err := http.Get(addr + "/v2/jobs/" + id + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("events stream failed: %s", resp.Status)
+	}
+	var event, data string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			switch event {
+			case service.EventTypeProgress:
+				var p service.Progress
+				if err := json.Unmarshal([]byte(data), &p); err == nil {
+					fmt.Printf("  iter %d/%d  best Ratio_cpd so far %.4f\n", p.Iter, p.Total, p.BestRatioCPD)
+				}
+			case service.EventTypeSolution:
+				var s service.SolutionView
+				if err := json.Unmarshal([]byte(data), &s); err == nil {
+					fmt.Printf("  improved -> Ratio_cpd <= %.4f err=%.5g area=%.2f\n", s.RatioCPD, s.Err, s.Area)
+				}
+			case string(service.StatusDone), string(service.StatusFailed), string(service.StatusCancelled):
+				var v submittedJob
+				if err := json.Unmarshal([]byte(data), &v.JobViewV2); err != nil {
+					log.Fatal(err)
+				}
+				return v
+			}
+			event, data = "", ""
+		}
+	}
+	log.Fatalf("events stream ended without a terminal event: %v", sc.Err())
+	return submittedJob{}
+}
+
+// runV1 is the original polling scenario, kept runnable against the
+// compatibility surface.
+func runV1(addr string, req service.Request) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		log.Fatal(err)
@@ -96,14 +184,31 @@ func submit(addr string, req service.Request) service.JobView {
 		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
 		log.Fatalf("submit failed (%s): %s", resp.Status, e.Error)
 	}
-	var v service.JobView
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+	var first service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
 		log.Fatal(err)
 	}
-	return v
+	fmt.Printf("submitted: job %s (%s, cached=%v)\n", first.ID, first.Status, first.Cached)
+
+	lastIter := -1
+	v := first
+	for v.Status == service.StatusQueued || v.Status == service.StatusRunning {
+		time.Sleep(100 * time.Millisecond)
+		v = fetchV1(addr + "/v1/flows/" + first.ID)
+		if p := v.Progress; p != nil && p.Iter != lastIter {
+			lastIter = p.Iter
+			fmt.Printf("  iter %d/%d  best Ratio_cpd so far %.4f\n", p.Iter, p.Total, p.BestRatioCPD)
+		}
+	}
+	if v.Status != service.StatusDone {
+		log.Fatalf("job ended %s: %s", v.Status, v.Error)
+	}
+	fmt.Printf("done: Ratio_cpd = %.4f, err = %.5g, %d evaluations, %v\n",
+		v.Result.RatioCPD, v.Result.Err, v.Result.Evaluations,
+		time.Duration(v.Result.RuntimeNS).Round(time.Millisecond))
 }
 
-func fetch(url string) service.JobView {
+func fetchV1(url string) service.JobView {
 	resp, err := http.Get(url)
 	if err != nil {
 		log.Fatal(err)

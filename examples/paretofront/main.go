@@ -1,0 +1,76 @@
+// Paretofront demonstrates the als/v2 session API: it streams a DCGWO
+// run live (per-iteration progress on one line, every improved solution
+// as the optimizer finds it) and then walks the returned delay/error/area
+// trade-off front — the multi-solution view the paper's population
+// optimizer naturally produces, which the legacy single-result Flow call
+// hid.
+//
+//	go run ./examples/paretofront
+//	go run ./examples/paretofront -bench Max16 -budget 0.03 -topk 5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+)
+
+import als "repro"
+
+func main() {
+	var (
+		bench  = flag.String("bench", "Adder16", "benchmark name")
+		budget = flag.Float64("budget", 0.0244, "NMED budget")
+		topk   = flag.Int("topk", 4, "front size cap")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	circuit, err := als.BenchmarkByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := als.NewSession(circuit, als.NewLibrary(),
+		als.WithMetric(als.MetricNMED),
+		als.WithErrorBudget(*budget),
+		als.WithSeed(*seed),
+		als.WithTopK(*topk),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var front als.Front
+	var result *als.FlowResult
+	for ev, err := range sess.Run(context.Background()) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch ev.Kind {
+		case als.EventProgress:
+			fmt.Printf("iter %2d/%d: best Ratio_cpd <= %.4f (err %.5f, %d evaluations)\n",
+				ev.Progress.Iter, ev.Progress.Total, ev.Progress.BestRatioCPD,
+				ev.Progress.BestErr, ev.Progress.Evaluations)
+		case als.EventImproved:
+			fmt.Printf("  improved -> Ratio_cpd <= %.4f err=%.5f area=%.2f\n",
+				ev.Solution.RatioCPD, ev.Solution.Err, ev.Solution.Area)
+		case als.EventDone:
+			result, front = ev.Result, ev.Front
+		}
+	}
+
+	fmt.Printf("\nbest: Ratio_cpd = %.4f at err %.5f (area %.2f/%.2f um2)\n",
+		result.RatioCPD, result.Err, result.AreaFinal, result.AreaCon)
+	fmt.Printf("\ntrade-off front (%d solutions):\n%s", len(front), front)
+
+	// The front is a plain slice, so a caller can trivially pick by any
+	// policy — e.g. the tightest-error solution instead of the fastest.
+	tightest, ok := front.Within(*budget / 2).Best()
+	if ok {
+		fmt.Printf("\nfastest solution within half the budget: Ratio_cpd = %.4f (err %.5f)\n",
+			tightest.RatioCPD, tightest.Err)
+	} else {
+		fmt.Printf("\nno solution within half the budget (%g)\n", *budget/2)
+	}
+}

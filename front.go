@@ -1,0 +1,75 @@
+package als
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// Solution is one point of the delay/error/area trade-off a flow
+// explored.
+//
+// In a final Front every solution is fully post-optimized (dangling-gate
+// deletion plus resizing under the session's area constraint), so
+// RatioCPD/Area are directly comparable to FlowResult. In a streamed
+// EventImproved the solution is the optimizer's raw best-so-far — its
+// RatioCPD and Area are upper bounds that post-optimization can only
+// improve, exactly like FlowProgress.BestRatioCPD.
+type Solution struct {
+	// RatioCPD is the solution's critical path delay over CPDori — the
+	// paper's headline metric.
+	RatioCPD float64
+	// Err is the solution's error under the session's metric.
+	Err float64
+	// Area is the solution's live area in µm².
+	Area float64
+	// CPD is the absolute critical path delay in ps.
+	CPD float64
+	// Circuit is the solution netlist: the compacted, resized final
+	// netlist for front members, the raw approximation for streamed
+	// improvements.
+	Circuit *netlist.Circuit
+}
+
+// Front is the set of trade-off solutions a session returns: the
+// feasible, non-dominated subset of the optimizer's final population
+// (capped at the session's top-K), post-optimized and sorted by ascending
+// RatioCPD (Err, then Area, break ties). A front always holds at least
+// one solution when the flow succeeds; single-solution optimizers (the
+// greedy baselines) simply return a front of one.
+type Front []Solution
+
+// Best returns the lowest-delay solution (the first, by sort order); ok
+// is false on an empty front.
+func (f Front) Best() (sol Solution, ok bool) {
+	if len(f) == 0 {
+		return Solution{}, false
+	}
+	return f[0], true
+}
+
+// Within returns the sub-front whose solutions meet a tighter error
+// budget, preserving order. It lets a caller run one session at the
+// loosest budget of interest and read off the fronts of every tighter
+// budget for free.
+func (f Front) Within(errBudget float64) Front {
+	var out Front
+	for _, s := range f {
+		if s.Err <= errBudget {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// String renders the front as a small fixed-width table (one line per
+// solution), for CLIs and examples.
+func (f Front) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-10s %-12s %-10s\n", "#", "Ratio_cpd", "Err", "Area")
+	for i, s := range f {
+		fmt.Fprintf(&b, "%-4d %-10.4f %-12.5g %-10.2f\n", i, s.RatioCPD, s.Err, s.Area)
+	}
+	return b.String()
+}

@@ -90,6 +90,10 @@ type Config struct {
 	// the best individual found so far, mirroring core.Config.Progress.
 	// It draws no randomness, so installing it never perturbs results.
 	Progress func(core.IterStats)
+	// OnImproved, when non-nil, is invoked every time the running best
+	// feasible individual improves, mirroring core.Config.OnImproved. It
+	// draws no randomness, so installing it never perturbs results.
+	OnImproved func(*core.Individual)
 	// Seed fixes the run.
 	Seed int64
 }
@@ -109,9 +113,13 @@ func DefaultConfig(m core.Metric, budget float64) Config {
 	}
 }
 
-// Result mirrors core.Result for a baseline run.
+// Result mirrors core.Result for a baseline run. Front is the feasible
+// non-dominated set the method ends with: the final population's front
+// for the population methods (VaACS, single-chase GWO), and the best/
+// current pair for the greedy methods (which keep no population).
 type Result struct {
 	Best        *core.Individual
+	Front       []*core.Individual
 	Evaluations int
 }
 
@@ -179,6 +187,21 @@ func (r *runner) checkpoint(round int, best *core.Individual) error {
 	return nil
 }
 
+// improved reports a new running best to the OnImproved hook; like
+// checkpoint it consumes no randomness.
+func (r *runner) improved(best *core.Individual) {
+	if r.cfg.OnImproved != nil && best != nil {
+		r.cfg.OnImproved(best)
+	}
+}
+
+// front assembles the Result.Front from the method's final candidates via
+// the shared core helper (feasible, deduplicated, non-dominated, best
+// always retained, deterministic order).
+func (r *runner) front(best *core.Individual, others []*core.Individual) []*core.Individual {
+	return core.FeasibleFront(best, others, r.cfg.ErrorBudget, r.eval.RefDelay(), r.eval.RefArea())
+}
+
 // objective scores a candidate individual for the greedy methods; lower is
 // better.
 type objective func(ind *core.Individual) float64
@@ -196,6 +219,7 @@ func (r *runner) greedy(score objective) (*Result, error) {
 		return nil, err
 	}
 	best := cur
+	r.improved(best)
 	failures := 0
 	for round := 0; round < r.cfg.Rounds; round++ {
 		if err := r.checkpoint(round, best); err != nil {
@@ -248,6 +272,7 @@ func (r *runner) greedy(score objective) (*Result, error) {
 			improved = true
 			if cur.Fit > best.Fit {
 				best = cur
+				r.improved(best)
 			}
 		}
 		// A dry round may just be an unlucky target sample; give the
@@ -258,7 +283,7 @@ func (r *runner) greedy(score objective) (*Result, error) {
 			break
 		}
 	}
-	return &Result{Best: best, Evaluations: r.eval.Count()}, nil
+	return &Result{Best: best, Front: r.front(best, []*core.Individual{cur}), Evaluations: r.eval.Count()}, nil
 }
 
 // pickTargets selects candidate target gates for one greedy round: HEDALS
@@ -325,6 +350,7 @@ func (r *runner) genetic() (*Result, error) {
 		return nil, err
 	}
 	best := exact
+	r.improved(best)
 	wt := 0.9 * r.eval.RefDelay()
 	for gen := 0; gen < r.cfg.Rounds; gen++ {
 		if err := r.checkpoint(gen, best); err != nil {
@@ -340,6 +366,7 @@ func (r *runner) genetic() (*Result, error) {
 		})
 		if pop[0].Err <= r.cfg.ErrorBudget && pop[0].Fit > best.Fit {
 			best = pop[0]
+			r.improved(best)
 		}
 		elite := pop[:max(2, popSize/4)]
 		next := append([]*core.Individual(nil), elite...)
@@ -368,9 +395,10 @@ func (r *runner) genetic() (*Result, error) {
 	for _, ind := range pop {
 		if ind.Err <= r.cfg.ErrorBudget && ind.Fit > best.Fit {
 			best = ind
+			r.improved(best)
 		}
 	}
-	return &Result{Best: best, Evaluations: r.eval.Count()}, nil
+	return &Result{Best: best, Front: r.front(best, pop), Evaluations: r.eval.Count()}, nil
 }
 
 // mutateClone clones the individual and applies one similarity-guided LAC
@@ -401,6 +429,7 @@ func (r *runner) singleChaseGWO() (*Result, error) {
 		return nil, err
 	}
 	best := bestFeasible(pop, r.cfg.ErrorBudget)
+	r.improved(best)
 	wt := 0.9 * r.eval.RefDelay()
 	const threshold = 0.5
 	for iter := 1; iter <= r.cfg.Rounds; iter++ {
@@ -461,9 +490,10 @@ func (r *runner) singleChaseGWO() (*Result, error) {
 		pop = feasible
 		if b := bestFeasible(pop, r.cfg.ErrorBudget); b != nil && (best == nil || b.Fit > best.Fit) {
 			best = b
+			r.improved(best)
 		}
 	}
-	return &Result{Best: best, Evaluations: r.eval.Count()}, nil
+	return &Result{Best: best, Front: r.front(best, pop), Evaluations: r.eval.Count()}, nil
 }
 
 func bestFeasible(pop []*core.Individual, budget float64) *core.Individual {

@@ -111,6 +111,14 @@ type Config struct {
 	// serving layer uses it to report live per-job progress and to decide
 	// when to cancel.
 	Progress func(IterStats)
+	// OnImproved, when non-nil, is invoked from the optimization goroutine
+	// every time the running best feasible individual improves — once for
+	// the first feasible individual found (the accurate circuit always
+	// qualifies) and again for every later fitness improvement under the
+	// final error budget. Like Progress it draws no randomness, so
+	// installing it never perturbs results; the streaming session API uses
+	// it to surface improved solutions as they are found.
+	OnImproved func(*Individual)
 	// Seed makes the run reproducible.
 	Seed int64
 }
@@ -202,6 +210,12 @@ type IterStats struct {
 type Result struct {
 	// Best is the highest-fitness individual meeting the final budget.
 	Best *Individual
+	// Front is the feasible non-dominated subset of the final population
+	// (plus Best) under the depth/area objectives — the delay/area
+	// trade-off set the population explored, of which Best is the
+	// single-fitness summary. It is assembled by FeasibleFront after the
+	// optimization loop, so collecting it never perturbs the run.
+	Front []*Individual
 	// History holds per-iteration convergence stats.
 	History []IterStats
 	// Evaluations counts circuit evaluations performed.

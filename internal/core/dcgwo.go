@@ -167,6 +167,9 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 	bQuad := (cfg.ErrorBudget - err0) / (relaxIters * relaxIters)
 
 	best := bestFeasible(pop, cfg.ErrorBudget)
+	if best != nil && cfg.OnImproved != nil {
+		cfg.OnImproved(best)
+	}
 	result := &Result{}
 	// consider tracks the best individual over everything evaluated, not
 	// just selection survivors: a child rejected by the current relaxed
@@ -174,6 +177,9 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 	consider := func(ind *Individual) {
 		if ind.Err <= cfg.ErrorBudget && (best == nil || ind.Fit > best.Fit) {
 			best = ind
+			if cfg.OnImproved != nil {
+				cfg.OnImproved(ind)
+			}
 		}
 	}
 
@@ -339,6 +345,7 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 	}
 
 	result.Best = best
+	result.Front = FeasibleFront(best, pop, cfg.ErrorBudget, o.eval.RefDelay(), o.eval.RefArea())
 	result.Evaluations = o.eval.Count()
 	return result, nil
 }

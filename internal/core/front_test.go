@@ -1,0 +1,41 @@
+package core
+
+import "testing"
+
+// TestFeasibleFrontRetainsDominatedBest pins the contract that the
+// reported best individual is always part of the front. At the
+// degenerate fitness weights (DepthWeight 0 or 1) an equal-fitness
+// member can strictly Pareto-dominate the best — e.g. under the
+// pure-area fitness, equal area but strictly lower delay — and the
+// Pareto filter alone would drop it.
+func TestFeasibleFrontRetainsDominatedBest(t *testing.T) {
+	// Equal area ⇒ equal pure-area fitness; the dominator is strictly
+	// faster, so it dominates best on (fd, fa).
+	best := &Individual{Delay: 10, Area: 5, Err: 0.01, Fit: 2}
+	dominator := &Individual{Delay: 8, Area: 5, Err: 0.02, Fit: 2}
+	front := FeasibleFront(best, []*Individual{dominator}, 0.05, 10, 10)
+	hasBest, hasDominator := false, false
+	for _, ind := range front {
+		hasBest = hasBest || ind == best
+		hasDominator = hasDominator || ind == dominator
+	}
+	if !hasBest {
+		t.Error("front dropped the reported best individual")
+	}
+	if !hasDominator {
+		t.Error("front dropped the dominating individual")
+	}
+}
+
+func TestFeasibleFrontFiltersAndDedups(t *testing.T) {
+	best := &Individual{Delay: 10, Area: 5, Err: 0.01, Fit: 2}
+	overBudget := &Individual{Delay: 1, Area: 1, Err: 0.5, Fit: 9}
+	duplicate := &Individual{Delay: 10, Area: 5, Err: 0.01, Fit: 2}
+	front := FeasibleFront(best, []*Individual{overBudget, duplicate, nil}, 0.05, 10, 10)
+	if len(front) != 1 || front[0] != best {
+		t.Errorf("front = %v, want exactly the best individual", front)
+	}
+	if got := FeasibleFront(nil, nil, 0.05, 10, 10); len(got) != 0 {
+		t.Errorf("empty input produced %v", got)
+	}
+}

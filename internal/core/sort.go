@@ -113,6 +113,71 @@ func crowdingDistance(front []*Individual, refDelay, refArea float64) []float64 
 	return dist
 }
 
+// ParetoFront returns the rank-0 (non-dominated) subset of cands under
+// the depth/area ratio objectives, in input order. It draws no randomness
+// and never mutates its inputs.
+func ParetoFront(cands []*Individual, refDelay, refArea float64) []*Individual {
+	if len(cands) == 0 {
+		return nil
+	}
+	return nonDominatedSort(cands, refDelay, refArea)[0]
+}
+
+// FeasibleFront assembles the trade-off front an optimizer reports
+// alongside its single best individual: candidates over the error budget
+// are dropped, duplicate (delay, area, err) points are collapsed (keeping
+// the first), and the non-dominated subset of the remainder is returned
+// sorted by descending fitness (delay then area break ties), so the order
+// is deterministic. best (when feasible) is always retained even if the
+// Pareto filter would drop it — at the degenerate fitness weights 0 and 1
+// an equal-fitness member can strictly dominate it, and the front must
+// still contain the solution the optimizer's Result.Best reports. The
+// whole computation draws no randomness, which is what lets Result
+// surface a whole front without perturbing bit-identical replays.
+func FeasibleFront(best *Individual, others []*Individual, budget, refDelay, refArea float64) []*Individual {
+	type point struct{ delay, area, err float64 }
+	cands := make([]*Individual, 0, len(others)+1)
+	seen := make(map[point]bool, len(others)+1)
+	add := func(ind *Individual) {
+		if ind == nil || ind.Err > budget {
+			return
+		}
+		p := point{ind.Delay, ind.Area, ind.Err}
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		cands = append(cands, ind)
+	}
+	add(best)
+	for _, ind := range others {
+		add(ind)
+	}
+	front := ParetoFront(cands, refDelay, refArea)
+	if best != nil && best.Err <= budget {
+		present := false
+		for _, ind := range front {
+			if ind == best {
+				present = true
+				break
+			}
+		}
+		if !present {
+			front = append(front, best)
+		}
+	}
+	sort.SliceStable(front, func(i, j int) bool {
+		if front[i].Fit != front[j].Fit {
+			return front[i].Fit > front[j].Fit
+		}
+		if front[i].Delay != front[j].Delay {
+			return front[i].Delay < front[j].Delay
+		}
+		return front[i].Area < front[j].Area
+	})
+	return front
+}
+
 // selectSurvivors picks the next population of size n: fronts in rank
 // order, each front sorted by descending crowding distance (with fitness
 // as the tiebreaker so the selection is deterministic).

@@ -99,9 +99,9 @@ func (j Job) Run(lib *cell.Library, evalWorkers int) (JobResult, error) {
 // RunContext is Run with cooperative cancellation, forwarded to the flow's
 // per-iteration context check.
 func (j Job) RunContext(ctx context.Context, lib *cell.Library, evalWorkers int) (JobResult, error) {
-	b, ok := gen.ByName(j.Circuit)
-	if !ok {
-		return JobResult{}, fmt.Errorf("exp: job %s: unknown circuit", j)
+	circuit, err := als.BenchmarkByName(j.Circuit)
+	if err != nil {
+		return JobResult{}, fmt.Errorf("exp: job %s: %w", j, err)
 	}
 	method, err := als.ParseMethod(j.Method)
 	if err != nil {
@@ -115,7 +115,7 @@ func (j Job) RunContext(ctx context.Context, lib *cell.Library, evalWorkers int)
 	if err != nil {
 		return JobResult{}, fmt.Errorf("exp: job %s: %w", j, err)
 	}
-	res, err := als.FlowContext(ctx, b.Build(), lib, als.FlowConfig{
+	res, err := als.FlowContext(ctx, circuit, lib, als.FlowConfig{
 		Metric:       metric,
 		ErrorBudget:  j.Budget,
 		Method:       method,

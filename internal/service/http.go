@@ -10,7 +10,10 @@ import (
 // maxBodyBytes bounds a submission body (the verilog source dominates).
 const maxBodyBytes = MaxVerilogBytes + 1<<20
 
-// Handler returns the HTTP/JSON API:
+// Handler returns the HTTP/JSON API. The preferred surface is /v2
+// (registerV2 in v2.go): SSE event streaming, solution fronts, paginated
+// listing and structured error codes. The legacy /v1 surface below stays
+// mounted unchanged as a compatibility adapter over the same job table:
 //
 //	POST /v1/flows             submit a flow (Request body) → JobView
 //	GET  /v1/flows             list jobs → []JobView
@@ -27,7 +30,7 @@ const maxBodyBytes = MaxVerilogBytes + 1<<20
 //	POST /v1/jobs              batch-submit exp.Job specs → BatchResponse
 //	GET  /v1/jobs/{hash}       status/result by content hash → JobView
 //
-// Errors are JSON objects {"error": "..."}: 400 malformed or invalid
+// /v1 errors are JSON objects {"error": "..."}: 400 malformed or invalid
 // requests, 404 unknown job, 409 result not ready yet, 410 result will
 // never exist, 503 queue full or draining.
 func (s *Server) Handler() http.Handler {
@@ -39,6 +42,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/flows/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("POST /v1/jobs", s.handleBatchSubmit)
 	mux.HandleFunc("GET /v1/jobs/{hash}", s.handleJobByHash)
+	s.registerV2(mux)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }

@@ -79,11 +79,11 @@ func (sp *flowSpec) buildCircuit() (*netlist.Circuit, error) {
 	if sp.parsed != nil {
 		return sp.parsed.Clone(), nil
 	}
-	b, ok := gen.ByName(sp.job.Circuit)
-	if !ok {
-		return nil, fmt.Errorf("service: unknown circuit %q", sp.job.Circuit)
+	c, err := als.BenchmarkByName(sp.job.Circuit)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
 	}
-	return b.Build(), nil
+	return c, nil
 }
 
 // validate canonicalizes one untrusted request into a flowSpec, rejecting
@@ -154,8 +154,14 @@ func validate(req Request) (*flowSpec, error) {
 		circuitKey = "verilog:" + hex.EncodeToString(sum[:])
 		sp.parsed = c
 	} else if _, ok := gen.ByName(req.Circuit); !ok {
-		return nil, fmt.Errorf("service: unknown circuit %q (valid: %s)",
-			req.Circuit, strings.Join(gen.Names(), ", "))
+		// The cheap existence probe keeps validation off the generator
+		// path, but the error unwraps to the same sentinel BenchmarkByName
+		// (the runtime path in buildCircuit) would wrap, so the /v2 layer
+		// maps it to a status code with errors.Is instead of matching
+		// prose — while the /v1 message text stays exactly what it always
+		// was (a plain %w would append the sentinel's text).
+		return nil, &unknownCircuitError{msg: fmt.Sprintf("service: unknown circuit %q (valid: %s)",
+			req.Circuit, strings.Join(gen.Names(), ", "))}
 	}
 
 	sp.job = exp.Job{
@@ -177,6 +183,46 @@ func validate(req Request) (*flowSpec, error) {
 	}
 	sp.hash = h
 	return sp, nil
+}
+
+// unknownCircuitError keeps the legacy /v1 message text byte-stable
+// while classifying as als.ErrUnknownBenchmark for errors.Is.
+type unknownCircuitError struct{ msg string }
+
+func (e *unknownCircuitError) Error() string { return e.msg }
+func (e *unknownCircuitError) Unwrap() error { return als.ErrUnknownBenchmark }
+
+// sessionOptions maps a validated spec onto the option list its run
+// uses. Zero-valued overrides stay absent, so the session resolves them
+// exactly like the legacy FlowConfig did — keeping the spec's content
+// hash and its result bit-identical across the API generations.
+func (sp *flowSpec) sessionOptions(evalWorkers int) []als.Option {
+	opts := []als.Option{
+		als.WithMetric(sp.metric),
+		als.WithErrorBudget(sp.job.Budget),
+		als.WithMethod(sp.method),
+		als.WithScale(sp.scale),
+		als.WithSeed(sp.job.Seed),
+	}
+	if sp.job.DepthWeight != 0 {
+		opts = append(opts, als.WithDepthWeight(sp.job.DepthWeight))
+	}
+	if sp.job.AreaConRatio != 0 {
+		opts = append(opts, als.WithAreaConRatio(sp.job.AreaConRatio))
+	}
+	if sp.job.Population != 0 {
+		opts = append(opts, als.WithPopulation(sp.job.Population))
+	}
+	if sp.job.Iterations != 0 {
+		opts = append(opts, als.WithIterations(sp.job.Iterations))
+	}
+	if sp.job.Vectors != 0 {
+		opts = append(opts, als.WithVectors(sp.job.Vectors))
+	}
+	if evalWorkers != 0 {
+		opts = append(opts, als.WithEvalWorkers(evalWorkers))
+	}
+	return opts
 }
 
 func methodNames() string {

@@ -130,7 +130,17 @@ type jobState struct {
 	cached   bool // answered from the persistent store, never computed here
 	progress Progress
 	result   *exp.JobResult
+	// front is the run's trade-off solution set (v2 surface only; v1
+	// responses never carry it).
+	front []SolutionView
+	// errMsg is the human-readable failure text; failCode is the
+	// machine-readable /v2 error code derived from the failure's sentinel
+	// (errors.Is, never prose matching).
 	errMsg   string
+	failCode string
+	// subs holds the live /v2 event subscribers; entries are closed (and
+	// the map nilled) when the job reaches a terminal state.
+	subs map[chan JobEvent]struct{}
 	// cancelRun cancels the in-flight flow; non-nil only while running.
 	cancelRun context.CancelFunc
 	created   time.Time
@@ -250,6 +260,12 @@ func (s *Server) Submit(req Request) (JobView, error) {
 			j.status = StatusDone
 			j.cached = true
 			j.result = &r
+			// The front is persisted separately (sweep stores predate it);
+			// a miss just means the cached v2 result has no front.
+			var front []SolutionView
+			if ok, err := s.store.Decode(frontKey(sp.hash), &front); err == nil && ok {
+				j.front = front
+			}
 			j.started, j.finished = now, now
 			s.stats.Submitted++
 			s.stats.CacheHits++
@@ -359,6 +375,7 @@ func (s *Server) Cancel(id string) (JobView, bool) {
 		j.errMsg = "cancelled before start"
 		j.finished = time.Now()
 		s.stats.Cancelled++
+		s.closeSubsLocked(j)
 		s.logf("service: job %s cancelled while queued", j.id)
 	case StatusRunning:
 		// The worker observes the context at the next iteration boundary
@@ -437,13 +454,20 @@ func (s *Server) runJob(j *jobState) {
 	defer cancel()
 	s.logf("service: job %s running: %s", j.id, sp.job)
 
-	res, err := s.execute(ctx, j, sp)
+	res, front, err := s.execute(ctx, j, sp)
 
 	// Persist before publishing "done": once a client sees done, a
-	// restarted daemon must also be able to serve the result.
+	// restarted daemon must also be able to serve the result. The front
+	// rides along under a derived key so legacy stores (and the sweep
+	// tooling, which only reads job hashes) are unaffected.
 	if err == nil && s.store != nil {
 		if perr := s.store.Put(sp.hash, res); perr != nil {
 			s.logf("service: job %s result not persisted: %v", j.id, perr)
+		}
+		if len(front) > 0 {
+			if perr := s.store.Put(frontKey(sp.hash), front); perr != nil {
+				s.logf("service: job %s front not persisted: %v", j.id, perr)
+			}
 		}
 	}
 
@@ -455,9 +479,10 @@ func (s *Server) runJob(j *jobState) {
 	case err == nil:
 		j.status = StatusDone
 		j.result = &res
+		j.front = front
 		s.stats.Executed++
-		s.logf("service: job %s done: Ratio_cpd=%.4f err=%.5g in %v",
-			j.id, res.RatioCPD, res.Err, j.finished.Sub(j.started).Round(time.Millisecond))
+		s.logf("service: job %s done: Ratio_cpd=%.4f err=%.5g front=%d in %v",
+			j.id, res.RatioCPD, res.Err, len(front), j.finished.Sub(j.started).Round(time.Millisecond))
 	case errors.Is(err, context.Canceled):
 		j.status = StatusCancelled
 		j.errMsg = err.Error()
@@ -466,45 +491,66 @@ func (s *Server) runJob(j *jobState) {
 	default:
 		j.status = StatusFailed
 		j.errMsg = err.Error()
+		j.failCode = failCodeFor(err)
 		s.stats.Failed++
 		s.logf("service: job %s failed: %v", j.id, err)
 	}
+	s.closeSubsLocked(j)
 }
 
-// execute runs the flow for one job, streaming progress into the job
-// table. It holds no locks while computing.
-func (s *Server) execute(ctx context.Context, j *jobState, sp *flowSpec) (exp.JobResult, error) {
+// execute runs the flow for one job as a streaming session, mirroring
+// progress into the job table and broadcasting live events to the /v2
+// subscribers. It holds no locks while computing; the session's effective
+// configuration resolves identically to the legacy FlowConfig path, so
+// results (and the shared content-hash cache) are unchanged.
+func (s *Server) execute(ctx context.Context, j *jobState, sp *flowSpec) (exp.JobResult, []SolutionView, error) {
 	circuit, err := sp.buildCircuit()
 	if err != nil {
-		return exp.JobResult{}, err
+		return exp.JobResult{}, nil, err
 	}
-	cfg := als.FlowConfig{
-		Metric:       sp.metric,
-		ErrorBudget:  sp.job.Budget,
-		Method:       sp.method,
-		Scale:        sp.scale,
-		AreaConRatio: sp.job.AreaConRatio,
-		DepthWeight:  sp.job.DepthWeight,
-		Population:   sp.job.Population,
-		Iterations:   sp.job.Iterations,
-		Vectors:      sp.job.Vectors,
-		EvalWorkers:  s.evalWorkers,
-		Seed:         sp.job.Seed,
-		Progress: func(p als.FlowProgress) {
-			s.mu.Lock()
-			j.progress = Progress{
-				Iter:         p.Iter,
-				Total:        p.Total,
-				BestRatioCPD: p.BestRatioCPD,
-				BestErr:      p.BestErr,
-				Evaluations:  p.Evaluations,
-			}
-			s.mu.Unlock()
-		},
-	}
-	res, err := als.FlowContext(ctx, circuit, s.lib, cfg)
+	sess, err := als.NewSession(circuit, s.lib, sp.sessionOptions(s.evalWorkers)...)
 	if err != nil {
-		return exp.JobResult{}, err
+		return exp.JobResult{}, nil, err
+	}
+	var res *als.FlowResult
+	var front als.Front
+	for ev, err := range sess.Run(ctx) {
+		if err != nil {
+			return exp.JobResult{}, nil, err
+		}
+		switch ev.Kind {
+		case als.EventProgress:
+			p := Progress{
+				Iter:         ev.Progress.Iter,
+				Total:        ev.Progress.Total,
+				BestRatioCPD: ev.Progress.BestRatioCPD,
+				BestErr:      ev.Progress.BestErr,
+				Evaluations:  ev.Progress.Evaluations,
+			}
+			s.mu.Lock()
+			j.progress = p
+			s.broadcastLocked(j, JobEvent{Type: EventTypeProgress, Progress: &p})
+			s.mu.Unlock()
+		case als.EventImproved:
+			s.mu.Lock()
+			s.broadcastLocked(j, JobEvent{Type: EventTypeSolution, Solution: &SolutionView{
+				RatioCPD: ev.Solution.RatioCPD,
+				Err:      ev.Solution.Err,
+				Area:     ev.Solution.Area,
+			}})
+			s.mu.Unlock()
+		case als.EventDone:
+			res, front = ev.Result, ev.Front
+		}
+	}
+	if res == nil {
+		// Unreachable: a stream that is never broken ends in EventDone or
+		// an error; keep the invariant explicit for future refactors.
+		return exp.JobResult{}, nil, fmt.Errorf("service: job %s produced no result", j.id)
+	}
+	views := make([]SolutionView, len(front))
+	for i, sol := range front {
+		views[i] = SolutionView{RatioCPD: sol.RatioCPD, Err: sol.Err, Area: sol.Area}
 	}
 	return exp.JobResult{
 		RatioCPD:    res.RatioCPD,
@@ -515,7 +561,7 @@ func (s *Server) execute(ctx context.Context, j *jobState, sp *flowSpec) (exp.Jo
 		AreaCon:     res.AreaCon,
 		AreaFinal:   res.AreaFinal,
 		RuntimeNS:   int64(res.Runtime),
-	}, nil
+	}, views, nil
 }
 
 // JobView is the API's point-in-time snapshot of one job.
