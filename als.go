@@ -261,6 +261,49 @@ type FlowResult struct {
 	Approx, Final *netlist.Circuit
 	// History is DCGWO's convergence trace (nil for baselines).
 	History []core.IterStats
+	// Cache reports the evaluation cache's effectiveness over the run.
+	Cache EvalCacheStats
+}
+
+// EvalCacheStats reports how effective the generation-scoped evaluation
+// cache was over one run: every optimizer evaluation of a cache-eligible
+// candidate counts as a lookup, and hits are candidates answered entirely
+// from an earlier identical evaluation of the same generation. The
+// counters are observability only — results are bit-identical whether the
+// cache hits or not.
+type EvalCacheStats struct {
+	// Lookups counts cache-eligible candidate evaluations; Hits the ones
+	// answered from the whole-candidate memo.
+	Lookups, Hits int64
+	// UnitHits and UnitMisses count per-change cone-delta lookups on the
+	// disjoint-composition path; Composed counts candidates whose metrics
+	// were recombined from such deltas.
+	UnitHits, UnitMisses, Composed int64
+	// Fallbacks counts evaluations that bypassed the cache (candidates
+	// outside the accurate circuit's gate ID space).
+	Fallbacks int64
+	// Generations counts cache resets at optimizer generation boundaries.
+	Generations int64
+}
+
+// HitRatio returns Hits/Lookups, or 0 before any lookup.
+func (s EvalCacheStats) HitRatio() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+func evalCacheStatsFrom(c core.CacheStats) EvalCacheStats {
+	return EvalCacheStats{
+		Lookups:     c.Lookups,
+		Hits:        c.Hits,
+		UnitHits:    c.UnitHits,
+		UnitMisses:  c.UnitMisses,
+		Composed:    c.Composed,
+		Fallbacks:   c.Fallbacks,
+		Generations: c.Generations,
+	}
 }
 
 // NewLibrary returns the synthetic 28nm-class cell library.

@@ -119,18 +119,19 @@ func BenchmarkFig8AreaSweep(b *testing.B) {
 }
 
 // BenchmarkFlowSingle measures one end-to-end DCGWO flow (the unit of
-// every table cell).
+// every table cell) at the shared workload shape pinned in
+// bench_workload_test.go.
 func BenchmarkFlowSingle(b *testing.B) {
 	lib := als.NewLibrary()
-	c := als.Benchmark("Adder16")
+	c := als.Benchmark(benchWorkloadCircuit)
 	for i := 0; i < b.N; i++ {
 		if _, err := als.Flow(c, lib, als.FlowConfig{
 			Metric:      als.MetricNMED,
-			ErrorBudget: 0.0244,
-			Population:  8,
-			Iterations:  6,
-			Vectors:     2048,
-			Seed:        1,
+			ErrorBudget: benchWorkloadNMED,
+			Population:  benchWorkloadPop,
+			Iterations:  benchWorkloadIters,
+			Vectors:     benchWorkloadVectors,
+			Seed:        benchWorkloadSeed,
 		}); err != nil {
 			b.Fatal(err)
 		}

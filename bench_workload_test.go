@@ -1,0 +1,123 @@
+// Shared benchmark workload: every committed engine bench (perf_bench_test.go)
+// and the end-to-end flow bench (bench_test.go) derive their shape from the
+// constants and helpers here, so `cmd/benchgate`'s committed baselines and
+// the benches provably measure the same workload — the constants cannot
+// drift apart silently because there is exactly one copy.
+package als_test
+
+import (
+	"math/rand"
+	"testing"
+
+	als "repro"
+	"repro/internal/netlist"
+)
+
+// The committed bench family's workload shape. testdata/bench_baseline.json
+// records numbers measured at exactly this shape; change these only
+// together with a baseline regeneration (`cmd/benchgate -update`).
+const (
+	// benchWorkloadCircuit is the TABLE I design every bench mutates.
+	benchWorkloadCircuit = "Adder16"
+	// benchWorkloadVectors is the Monte-Carlo sample size.
+	benchWorkloadVectors = 2048
+	// benchWorkloadLACs is how many LACs each candidate accumulates.
+	benchWorkloadLACs = 2
+	// benchWorkloadBatch is the EvaluateBatch population slice size.
+	benchWorkloadBatch = 16
+	// benchWorkloadSeed fixes every stochastic choice.
+	benchWorkloadSeed = 1
+	// benchWorkloadNMED is BenchmarkFlowSingle's error budget (the paper's
+	// TABLE III constraint).
+	benchWorkloadNMED = 0.0244
+	// benchWorkloadPop and benchWorkloadIters are BenchmarkFlowSingle's
+	// quick optimizer budget.
+	benchWorkloadPop   = 8
+	benchWorkloadIters = 6
+)
+
+// benchBase returns the constant-materialized workload circuit every
+// candidate derives from.
+func benchBase(b *testing.B) *netlist.Circuit {
+	b.Helper()
+	base := als.Benchmark(benchWorkloadCircuit).Clone()
+	base.Const0()
+	base.Const1()
+	if err := base.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return base
+}
+
+// benchLAC applies one loop-safe rewire: a random live physical gate's
+// consumers switch to a random TFI gate or constant.
+func benchLAC(c *netlist.Circuit, rng *rand.Rand) {
+	live := c.Live()
+	var phys []int
+	for id, g := range c.Gates {
+		if live[id] && !g.Func.IsPseudo() {
+			phys = append(phys, id)
+		}
+	}
+	target := phys[rng.Intn(len(phys))]
+	tfi := c.TFI(target)
+	var cands []int
+	for id := range c.Gates {
+		if tfi[id] && id != target && !c.Gates[id].Func.IsPseudo() {
+			cands = append(cands, id)
+		}
+	}
+	if len(cands) == 0 {
+		c.ReplaceFanin(target, c.Const0())
+		return
+	}
+	c.ReplaceFanin(target, cands[rng.Intn(len(cands))])
+}
+
+// benchCandidates builds n independent candidates, each base mutated by
+// `lacs` random rewires, from a fixed seed.
+func benchCandidates(b *testing.B, base *netlist.Circuit, n, lacs int) []*netlist.Circuit {
+	b.Helper()
+	rng := rand.New(rand.NewSource(benchWorkloadSeed))
+	out := make([]*netlist.Circuit, n)
+	for i := range out {
+		c := base.Clone()
+		for k := 0; k < lacs; k++ {
+			benchLAC(c, rng)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// poPortLAC rewires PO port k to read PI (k mod nPI) directly: the only
+// gate that differs from base is the PO port itself, whose fanout cone is
+// empty, so two such changes on distinct POs have provably disjoint cones.
+func poPortLAC(c *netlist.Circuit, k int) {
+	po := c.POs[k]
+	c.SetFanin(po, 0, c.PIs[k%len(c.PIs)])
+}
+
+// benchSharedCandidates builds a population slice with the redundancy a
+// real generation exhibits: `n` candidates cycling through n/4 distinct
+// change sets (whole-candidate reuse) where each distinct candidate
+// carries two PO-port rewires on a disjoint PO pair (per-change delta
+// composition). Every duplicate is a separate Clone — distinct circuits
+// with equal content, exactly what elitism and converged populations
+// produce.
+func benchSharedCandidates(b *testing.B, base *netlist.Circuit, n int) []*netlist.Circuit {
+	b.Helper()
+	distinct := n / 4
+	if distinct < 1 {
+		distinct = 1
+	}
+	out := make([]*netlist.Circuit, n)
+	for i := range out {
+		c := base.Clone()
+		v := i % distinct
+		poPortLAC(c, 2*v)
+		poPortLAC(c, 2*v+1)
+		out[i] = c
+	}
+	return out
+}

@@ -2,8 +2,9 @@
 // summary and gates CI on a committed baseline: it reads benchmark output
 // on stdin, takes the best (minimum) ns/op per benchmark across -count
 // repetitions — the least-noise estimator on shared runners — writes the
-// summary JSON (the BENCH_ci.json workflow artifact), and exits 1 when the
-// gated benchmark regressed beyond the allowed fraction.
+// summary JSON (the BENCH_ci.json workflow artifact), and exits 1 when ANY
+// baseline benchmark regressed beyond its allowed fraction. Every bench in
+// the baseline is gated; failures are collected, not short-circuited.
 //
 // Usage:
 //
@@ -11,10 +12,13 @@
 //	    go run ./cmd/benchgate -baseline testdata/bench_baseline.json -out BENCH_ci.json
 //
 // After an intentional performance change (or on a new reference machine),
-// regenerate the baseline with:
+// regenerate the baseline with the recipe in the baseline file itself —
+// per-bench regression allowances are preserved across -update.
 //
-//	go test -run='^$' -bench='^(BenchmarkFlowSingle|BenchmarkSimRunIncremental|BenchmarkEvaluateBatch)$' -count=5 . |
-//	    go run ./cmd/benchgate -update testdata/bench_baseline.json
+// The committed bench history is maintained with the same tool:
+// `-record FILE -label L` appends one JSONL entry holding this run's
+// per-bench minima, and `-history FILE -history-out MD` renders the whole
+// trajectory as a markdown table (BENCH_history.md).
 //
 // Exit codes: 0 pass, 1 regression or missing data, 2 usage error.
 package main
@@ -31,6 +35,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Summary is the machine-readable digest of one bench run (the CI
@@ -41,15 +46,35 @@ type Summary struct {
 	Runs    map[string]int     `json:"runs"`
 }
 
+// BenchSpec is one benchmark's committed reference point: its baseline
+// ns/op and the relative regression its gate allows.
+type BenchSpec struct {
+	NsPerOp    float64 `json:"ns_per_op"`
+	MaxRegress float64 `json:"max_regress"`
+}
+
 // Baseline is the committed reference (testdata/bench_baseline.json).
+// Every benchmark listed here is gated on every CI run.
 type Baseline struct {
 	// Recipe documents how to regenerate the file.
-	Recipe  string             `json:"_recipe"`
+	Recipe  string               `json:"_recipe"`
+	Benches map[string]BenchSpec `json:"benches"`
+}
+
+// HistoryEntry is one line of the JSONL bench history: a labeled snapshot
+// of the per-bench minima at one point in the repo's trajectory.
+type HistoryEntry struct {
+	Label   string             `json:"label"`
+	Date    string             `json:"date"`
 	NsPerOp map[string]float64 `json:"ns_per_op"`
 }
 
 // baselineRecipe is written into updated baselines.
-const baselineRecipe = "go test -run='^$' -bench='^(BenchmarkFlowSingle|BenchmarkSimRunIncremental|BenchmarkEvaluateBatch)$' -count=5 . | go run ./cmd/benchgate -update testdata/bench_baseline.json"
+const baselineRecipe = "go test -run='^$' -bench='^(BenchmarkFlowSingle|BenchmarkSimRunIncremental|BenchmarkEvaluateBatch|BenchmarkEvaluateBatchShared)$' -count=5 . | go run ./cmd/benchgate -update testdata/bench_baseline.json"
+
+// defaultMaxRegress is the gate allowance for benches whose baseline entry
+// does not carry one yet.
+const defaultMaxRegress = 0.25
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
@@ -82,25 +107,39 @@ func parseBench(r io.Reader) (Summary, error) {
 	return s, sc.Err()
 }
 
-// gate checks one benchmark of the summary against the baseline with a
-// relative regression allowance, returning a human-readable verdict.
-func gate(s Summary, b Baseline, name string, maxRegress float64) (string, error) {
+// gateOne checks one benchmark of the summary against its baseline spec,
+// returning a human-readable verdict.
+func gateOne(s Summary, name string, spec BenchSpec) (string, error) {
 	got, ok := s.NsPerOp[name]
 	if !ok {
 		return "", fmt.Errorf("benchgate: %s missing from the bench output (names: %s)", name, strings.Join(names(s.NsPerOp), ", "))
 	}
-	base, ok := b.NsPerOp[name]
-	if !ok {
-		return "", fmt.Errorf("benchgate: %s missing from the baseline (names: %s)", name, strings.Join(names(b.NsPerOp), ", "))
+	maxRegress := spec.MaxRegress
+	if maxRegress <= 0 {
+		maxRegress = defaultMaxRegress
 	}
-	limit := base * (1 + maxRegress)
-	delta := (got - base) / base * 100
+	limit := spec.NsPerOp * (1 + maxRegress)
+	delta := (got - spec.NsPerOp) / spec.NsPerOp * 100
 	verdict := fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)",
-		name, got, base, delta, maxRegress*100)
+		name, got, spec.NsPerOp, delta, maxRegress*100)
 	if got > limit {
 		return "", fmt.Errorf("benchgate: REGRESSION %s", verdict)
 	}
 	return verdict, nil
+}
+
+// gateAll gates every baseline benchmark, collecting all verdicts and all
+// failures (a regression in one bench must not hide another's).
+func gateAll(s Summary, b Baseline) (verdicts []string, failures []error) {
+	for _, name := range benchNames(b.Benches) {
+		v, err := gateOne(s, name, b.Benches[name])
+		if err != nil {
+			failures = append(failures, err)
+			continue
+		}
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, failures
 }
 
 func names(m map[string]float64) []string {
@@ -115,6 +154,137 @@ func names(m map[string]float64) []string {
 	return out
 }
 
+func benchNames(m map[string]BenchSpec) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// readBaseline loads a committed baseline file.
+func readBaseline(path string) (Baseline, error) {
+	var b Baseline
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, fmt.Errorf("benchgate: %w", err)
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return b, fmt.Errorf("benchgate: baseline %s: %w", path, err)
+	}
+	if len(b.Benches) == 0 {
+		return b, fmt.Errorf("benchgate: baseline %s lists no benches", path)
+	}
+	return b, nil
+}
+
+// updateBaseline writes the summary as a new baseline, preserving each
+// existing bench's regression allowance (a tightened gate must survive a
+// number refresh).
+func updateBaseline(path string, s Summary) (Baseline, error) {
+	prev := map[string]BenchSpec{}
+	if old, err := readBaseline(path); err == nil {
+		prev = old.Benches
+	}
+	b := Baseline{Recipe: baselineRecipe, Benches: map[string]BenchSpec{}}
+	for name, ns := range s.NsPerOp {
+		spec := BenchSpec{NsPerOp: ns, MaxRegress: defaultMaxRegress}
+		if p, ok := prev[name]; ok && p.MaxRegress > 0 {
+			spec.MaxRegress = p.MaxRegress
+		}
+		b.Benches[name] = spec
+	}
+	return b, writeJSON(path, b)
+}
+
+// appendHistory appends one labeled JSONL entry with the run's minima.
+func appendHistory(path, label string, s Summary) error {
+	entry := HistoryEntry{Label: label, Date: time.Now().UTC().Format("2006-01-02"), NsPerOp: s.NsPerOp}
+	raw, err := json.Marshal(entry)
+	if err != nil {
+		return fmt.Errorf("benchgate: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("benchgate: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		return fmt.Errorf("benchgate: %w", err)
+	}
+	return f.Close()
+}
+
+// readHistory parses a JSONL history file in entry order.
+func readHistory(path string) ([]HistoryEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	var out []HistoryEntry
+	sc := bufio.NewScanner(strings.NewReader(string(raw)))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("benchgate: history %s: %w", path, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// renderHistory turns the history into a markdown table, one row per
+// entry, one column per benchmark ever recorded (missing cells dashed).
+func renderHistory(entries []HistoryEntry) string {
+	cols := map[string]bool{}
+	for _, e := range entries {
+		for name := range e.NsPerOp {
+			cols[name] = true
+		}
+	}
+	var benches []string
+	for n := range cols {
+		benches = append(benches, n)
+	}
+	sort.Strings(benches)
+
+	var sb strings.Builder
+	sb.WriteString("# Bench history\n\n")
+	sb.WriteString("Per-PR trajectory of the committed bench family: minimum ns/op across\n")
+	sb.WriteString("`-count` repetitions on the reference machine, one row per recorded run.\n")
+	sb.WriteString("Regenerate with:\n\n")
+	sb.WriteString("    go run ./cmd/benchgate -history testdata/bench_history.jsonl -history-out BENCH_history.md\n\n")
+	sb.WriteString("Append a new row after a perf-relevant change with:\n\n")
+	sb.WriteString("    go test -run='^$' -bench='...' -count=5 . | go run ./cmd/benchgate -record testdata/bench_history.jsonl -label <pr>\n\n")
+	sb.WriteString("| label | date |")
+	for _, b := range benches {
+		fmt.Fprintf(&sb, " %s |", strings.TrimPrefix(b, "Benchmark"))
+	}
+	sb.WriteString("\n|---|---|")
+	for range benches {
+		sb.WriteString("---|")
+	}
+	sb.WriteString("\n")
+	for _, e := range entries {
+		fmt.Fprintf(&sb, "| %s | %s |", e.Label, e.Date)
+		for _, b := range benches {
+			if ns, ok := e.NsPerOp[b]; ok {
+				fmt.Fprintf(&sb, " %.0f |", ns)
+			} else {
+				sb.WriteString(" — |")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
 }
@@ -123,11 +293,13 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		baselinePath = fs.String("baseline", "", "committed baseline JSON to gate against")
+		baselinePath = fs.String("baseline", "", "committed baseline JSON; every bench listed there is gated")
 		outPath      = fs.String("out", "", "write the parsed summary JSON here (the CI artifact)")
-		gateName     = fs.String("gate", "BenchmarkFlowSingle", "benchmark the regression gate applies to")
-		maxRegress   = fs.Float64("max-regress", 0.25, "allowed relative ns/op regression before failing")
 		updatePath   = fs.String("update", "", "write stdin's results as a new baseline to this path and exit")
+		recordPath   = fs.String("record", "", "append stdin's results as one JSONL history entry to this file")
+		labelFlag    = fs.String("label", "", "history entry label (e.g. the PR), required with -record")
+		historyPath  = fs.String("history", "", "JSONL history file to render as markdown")
+		historyOut   = fs.String("history-out", "", "write the rendered markdown here, required with -history")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -135,28 +307,41 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 		}
 		return 2
 	}
-	if *updatePath == "" && *baselinePath == "" && *outPath == "" {
-		fmt.Fprintln(stderr, "benchgate: nothing to do: need -baseline, -out or -update")
+	needStdin := *updatePath != "" || *baselinePath != "" || *outPath != "" || *recordPath != ""
+	if !needStdin && *historyPath == "" {
+		fmt.Fprintln(stderr, "benchgate: nothing to do: need -baseline, -out, -update, -record or -history")
+		return 2
+	}
+	if *recordPath != "" && *labelFlag == "" {
+		fmt.Fprintln(stderr, "benchgate: -record requires -label")
+		return 2
+	}
+	if (*historyPath == "") != (*historyOut == "") {
+		fmt.Fprintln(stderr, "benchgate: -history and -history-out must be used together")
 		return 2
 	}
 
-	summary, err := parseBench(stdin)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	if len(summary.NsPerOp) == 0 {
-		fmt.Fprintln(stderr, "benchgate: no benchmark lines found on stdin")
-		return 1
-	}
-
-	if *updatePath != "" {
-		b := Baseline{Recipe: baselineRecipe, NsPerOp: summary.NsPerOp}
-		if err := writeJSON(*updatePath, b); err != nil {
+	var summary Summary
+	if needStdin {
+		var err error
+		summary, err = parseBench(stdin)
+		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		fmt.Fprintf(stderr, "benchgate: wrote baseline for %d benchmark(s) to %s\n", len(b.NsPerOp), *updatePath)
+		if len(summary.NsPerOp) == 0 {
+			fmt.Fprintln(stderr, "benchgate: no benchmark lines found on stdin")
+			return 1
+		}
+	}
+
+	if *updatePath != "" {
+		b, err := updateBaseline(*updatePath, summary)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchgate: wrote baseline for %d benchmark(s) to %s\n", len(b.Benches), *updatePath)
 		return 0
 	}
 
@@ -166,24 +351,47 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if *recordPath != "" {
+		if err := appendHistory(*recordPath, *labelFlag, summary); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchgate: recorded %q in %s\n", *labelFlag, *recordPath)
+	}
+	failed := false
 	if *baselinePath != "" {
-		raw, err := os.ReadFile(*baselinePath)
+		baseline, err := readBaseline(*baselinePath)
 		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		verdicts, failures := gateAll(summary, baseline)
+		for _, v := range verdicts {
+			fmt.Fprintf(stderr, "benchgate: PASS %s\n", v)
+		}
+		for _, err := range failures {
+			fmt.Fprintln(stderr, err)
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(stderr, "benchgate: %d of %d gated benchmark(s) failed; after an intentional change, regenerate with: %s\n",
+				len(failures), len(baseline.Benches), baselineRecipe)
+			failed = true
+		}
+	}
+	if *historyPath != "" {
+		entries, err := readHistory(*historyPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(*historyOut, []byte(renderHistory(entries)), 0o644); err != nil {
 			fmt.Fprintln(stderr, fmt.Errorf("benchgate: %w", err))
 			return 1
 		}
-		var baseline Baseline
-		if err := json.Unmarshal(raw, &baseline); err != nil {
-			fmt.Fprintln(stderr, fmt.Errorf("benchgate: baseline %s: %w", *baselinePath, err))
-			return 1
-		}
-		verdict, err := gate(summary, baseline, *gateName, *maxRegress)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			fmt.Fprintf(stderr, "benchgate: after an intentional change, regenerate with: %s\n", baselineRecipe)
-			return 1
-		}
-		fmt.Fprintf(stderr, "benchgate: PASS %s\n", verdict)
+		fmt.Fprintf(stderr, "benchgate: rendered %d history entr(ies) to %s\n", len(entries), *historyOut)
+	}
+	if failed {
+		return 1
 	}
 	return 0
 }

@@ -42,28 +42,48 @@ func TestParseBenchTakesMinAcrossRepetitions(t *testing.T) {
 	}
 }
 
-func TestGateVerdicts(t *testing.T) {
+func TestGateOneVerdicts(t *testing.T) {
 	s := Summary{NsPerOp: map[string]float64{"BenchmarkFlowSingle": 1200}}
-	b := Baseline{NsPerOp: map[string]float64{"BenchmarkFlowSingle": 1000}}
 
 	// +20% under a 25% allowance passes.
-	if _, err := gate(s, b, "BenchmarkFlowSingle", 0.25); err != nil {
+	if _, err := gateOne(s, "BenchmarkFlowSingle", BenchSpec{NsPerOp: 1000, MaxRegress: 0.25}); err != nil {
 		t.Fatalf("+20%% must pass a 25%% gate: %v", err)
 	}
 	// +20% over a 10% allowance fails and names the numbers.
-	_, err := gate(s, b, "BenchmarkFlowSingle", 0.10)
+	_, err := gateOne(s, "BenchmarkFlowSingle", BenchSpec{NsPerOp: 1000, MaxRegress: 0.10})
 	if err == nil || !strings.Contains(err.Error(), "REGRESSION") {
 		t.Fatalf("+20%% must fail a 10%% gate: %v", err)
 	}
 	if !strings.Contains(err.Error(), "1200") || !strings.Contains(err.Error(), "1000") {
 		t.Fatalf("verdict must carry got and baseline ns/op: %v", err)
 	}
-	// Missing from output / baseline are errors, not silent passes.
-	if _, err := gate(Summary{NsPerOp: map[string]float64{}}, b, "BenchmarkFlowSingle", 0.25); err == nil {
+	// A zero allowance in the spec falls back to the default (25%).
+	if _, err := gateOne(s, "BenchmarkFlowSingle", BenchSpec{NsPerOp: 1000}); err != nil {
+		t.Fatalf("+20%% must pass the default gate: %v", err)
+	}
+	// Missing from the output is an error, not a silent pass.
+	if _, err := gateOne(Summary{NsPerOp: map[string]float64{}}, "BenchmarkFlowSingle", BenchSpec{NsPerOp: 1000}); err == nil {
 		t.Fatal("missing benchmark in output must error")
 	}
-	if _, err := gate(s, Baseline{}, "BenchmarkFlowSingle", 0.25); err == nil {
-		t.Fatal("missing benchmark in baseline must error")
+}
+
+func TestGateAllCollectsEveryFailure(t *testing.T) {
+	s := Summary{NsPerOp: map[string]float64{
+		"BenchmarkA": 2000, // 2x regression
+		"BenchmarkB": 1000, // exact match
+		// BenchmarkC missing from the output entirely
+	}}
+	b := Baseline{Benches: map[string]BenchSpec{
+		"BenchmarkA": {NsPerOp: 1000, MaxRegress: 0.25},
+		"BenchmarkB": {NsPerOp: 1000, MaxRegress: 0.25},
+		"BenchmarkC": {NsPerOp: 1000, MaxRegress: 0.25},
+	}}
+	verdicts, failures := gateAll(s, b)
+	if len(verdicts) != 1 || !strings.Contains(verdicts[0], "BenchmarkB") {
+		t.Fatalf("verdicts = %v, want only BenchmarkB", verdicts)
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want the regression AND the missing bench", failures)
 	}
 }
 
@@ -72,7 +92,8 @@ func TestRunEndToEndGateAndArtifact(t *testing.T) {
 	baseline := filepath.Join(dir, "baseline.json")
 	artifact := filepath.Join(dir, "BENCH_ci.json")
 
-	// -update writes a baseline with the recipe header.
+	// -update writes a baseline with the recipe header and default
+	// per-bench allowances.
 	var errb strings.Builder
 	code := run([]string{"-update", baseline}, strings.NewReader(sampleOutput), &errb)
 	if code != 0 {
@@ -86,15 +107,46 @@ func TestRunEndToEndGateAndArtifact(t *testing.T) {
 	if err := json.Unmarshal(raw, &b); err != nil {
 		t.Fatal(err)
 	}
-	if b.Recipe == "" || b.NsPerOp["BenchmarkFlowSingle"] != 5101833 {
+	if b.Recipe == "" || b.Benches["BenchmarkFlowSingle"].NsPerOp != 5101833 {
 		t.Fatalf("baseline malformed: %+v", b)
 	}
+	if b.Benches["BenchmarkFlowSingle"].MaxRegress != defaultMaxRegress {
+		t.Fatalf("fresh baseline must carry the default allowance: %+v", b)
+	}
 
-	// Same output against its own baseline passes and emits the artifact.
+	// A second -update preserves a hand-tightened allowance.
+	b.Benches["BenchmarkFlowSingle"] = BenchSpec{NsPerOp: 1, MaxRegress: 0.10}
+	tightened, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, tightened, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{"-update", baseline}, strings.NewReader(sampleOutput), &errb); code != 0 {
+		t.Fatalf("re-update: code=%d stderr=%q", code, errb.String())
+	}
+	raw, err = os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Benches["BenchmarkFlowSingle"]; got.MaxRegress != 0.10 || got.NsPerOp != 5101833 {
+		t.Fatalf("re-update must refresh ns/op but keep the tightened allowance: %+v", got)
+	}
+	if got := b.Benches["BenchmarkSimRunIncremental"].MaxRegress; got != defaultMaxRegress {
+		t.Fatalf("untouched bench must keep the default allowance: %v", got)
+	}
+
+	// Same output against its own baseline passes every gate and emits the
+	// artifact.
 	errb.Reset()
 	code = run([]string{"-baseline", baseline, "-out", artifact}, strings.NewReader(sampleOutput), &errb)
-	if code != 0 || !strings.Contains(errb.String(), "PASS") {
-		t.Fatalf("self-check: code=%d stderr=%q", code, errb.String())
+	if code != 0 || strings.Count(errb.String(), "PASS") != 2 {
+		t.Fatalf("self-check must PASS both benches: code=%d stderr=%q", code, errb.String())
 	}
 	var s Summary
 	raw, err = os.ReadFile(artifact)
@@ -108,15 +160,18 @@ func TestRunEndToEndGateAndArtifact(t *testing.T) {
 		t.Fatalf("artifact malformed: %+v", s)
 	}
 
-	// A 2x slowdown fails the gate with exit 1 but still writes the
-	// artifact for the workflow upload.
+	// A 2x slowdown of ONE bench fails the gate with exit 1 (while the
+	// other still passes) but still writes the artifact for the upload.
 	slow := strings.ReplaceAll(sampleOutput, "5136224 ns/op", "11136224 ns/op")
 	slow = strings.ReplaceAll(slow, "5101833 ns/op", "11101833 ns/op")
 	slow = strings.ReplaceAll(slow, "5240012 ns/op", "11240012 ns/op")
 	errb.Reset()
 	code = run([]string{"-baseline", baseline, "-out", artifact}, strings.NewReader(slow), &errb)
-	if code != 1 || !strings.Contains(errb.String(), "REGRESSION") {
+	if code != 1 || !strings.Contains(errb.String(), "REGRESSION BenchmarkFlowSingle") {
 		t.Fatalf("2x slowdown: code=%d stderr=%q", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "PASS BenchmarkSimRunIncremental") {
+		t.Fatalf("unaffected bench must still report PASS: %q", errb.String())
 	}
 	if _, err := os.Stat(artifact); err != nil {
 		t.Fatalf("artifact must exist even on failure: %v", err)
@@ -126,8 +181,61 @@ func TestRunEndToEndGateAndArtifact(t *testing.T) {
 	if code := run(nil, strings.NewReader(""), &errb); code != 2 {
 		t.Fatalf("no flags: code=%d, want 2", code)
 	}
+	if code := run([]string{"-record", filepath.Join(dir, "h.jsonl")}, strings.NewReader(sampleOutput), &errb); code != 2 {
+		t.Fatalf("-record without -label: code=%d, want 2", code)
+	}
+	if code := run([]string{"-history", filepath.Join(dir, "h.jsonl")}, strings.NewReader(""), &errb); code != 2 {
+		t.Fatalf("-history without -history-out: code=%d, want 2", code)
+	}
 	// Empty input exits 1.
 	if code := run([]string{"-out", artifact}, strings.NewReader("no benches here"), &errb); code != 1 {
 		t.Fatalf("empty input: code=%d, want 1", code)
+	}
+}
+
+func TestRunHistoryRecordAndRender(t *testing.T) {
+	dir := t.TempDir()
+	history := filepath.Join(dir, "history.jsonl")
+	md := filepath.Join(dir, "BENCH_history.md")
+
+	// Two recorded runs accumulate as two JSONL lines.
+	var errb strings.Builder
+	if code := run([]string{"-record", history, "-label", "pr5"}, strings.NewReader(sampleOutput), &errb); code != 0 {
+		t.Fatalf("record pr5: code=%d stderr=%q", code, errb.String())
+	}
+	faster := strings.ReplaceAll(sampleOutput, "5101833 ns/op", "4101833 ns/op")
+	if code := run([]string{"-record", history, "-label", "pr6"}, strings.NewReader(faster), &errb); code != 0 {
+		t.Fatalf("record pr6: code=%d stderr=%q", code, errb.String())
+	}
+	entries, err := readHistory(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Label != "pr5" || entries[1].Label != "pr6" {
+		t.Fatalf("history = %+v, want pr5 then pr6", entries)
+	}
+	if entries[0].Date == "" {
+		t.Fatal("history entries must carry a date")
+	}
+	if entries[1].NsPerOp["BenchmarkFlowSingle"] != 4101833 {
+		t.Fatalf("pr6 entry must hold the faster minimum: %+v", entries[1])
+	}
+
+	// -history renders one markdown row per entry, columns sorted.
+	if code := run([]string{"-history", history, "-history-out", md}, strings.NewReader(""), &errb); code != 0 {
+		t.Fatalf("render: code=%d stderr=%q", code, errb.String())
+	}
+	raw, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(raw)
+	for _, want := range []string{"| pr5 |", "| pr6 |", "FlowSingle", "SimRunIncremental", "4101833"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("rendered history missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Index(got, "| pr5 |") > strings.Index(got, "| pr6 |") {
+		t.Fatalf("rows must keep entry order:\n%s", got)
 	}
 }

@@ -121,6 +121,8 @@ type Result struct {
 	Best        *core.Individual
 	Front       []*core.Individual
 	Evaluations int
+	// Cache reports the evaluation cache's effectiveness over the run.
+	Cache core.CacheStats
 }
 
 // Run executes the selected baseline on the accurate circuit.
@@ -214,6 +216,7 @@ func objectiveDelay(ind *core.Individual) float64 { return ind.Delay }
 // enumerate candidate LACs, evaluate each on a clone, and commit the best
 // feasible improvement. Rounds without a feasible improvement end the run.
 func (r *runner) greedy(score objective) (*Result, error) {
+	r.eval.BeginGeneration()
 	cur, err := r.eval.Evaluate(r.base.Clone())
 	if err != nil {
 		return nil, err
@@ -225,6 +228,7 @@ func (r *runner) greedy(score objective) (*Result, error) {
 		if err := r.checkpoint(round, best); err != nil {
 			return nil, err
 		}
+		r.eval.BeginGeneration()
 		res, err := r.eval.Simulate(cur.Circuit)
 		if err != nil {
 			return nil, err
@@ -283,7 +287,7 @@ func (r *runner) greedy(score objective) (*Result, error) {
 			break
 		}
 	}
-	return &Result{Best: best, Front: r.front(best, []*core.Individual{cur}), Evaluations: r.eval.Count()}, nil
+	return &Result{Best: best, Front: r.front(best, []*core.Individual{cur}), Evaluations: r.eval.Count(), Cache: r.eval.CacheStats()}, nil
 }
 
 // pickTargets selects candidate target gates for one greedy round: HEDALS
@@ -341,6 +345,7 @@ func (r *runner) seedPopulation(exact *core.Individual, popSize int) ([]*core.In
 // serially (preserving the rng stream) and evaluated in parallel batches.
 func (r *runner) genetic() (*Result, error) {
 	popSize := r.cfg.Population
+	r.eval.BeginGeneration()
 	exact, err := r.eval.Evaluate(r.base.Clone())
 	if err != nil {
 		return nil, err
@@ -356,6 +361,7 @@ func (r *runner) genetic() (*Result, error) {
 		if err := r.checkpoint(gen, best); err != nil {
 			return nil, err
 		}
+		r.eval.BeginGeneration()
 		// Delay-driven fitness: feasible first, then faster first.
 		sort.Slice(pop, func(i, j int) bool {
 			fi, fj := pop[i].Err <= r.cfg.ErrorBudget, pop[j].Err <= r.cfg.ErrorBudget
@@ -398,7 +404,7 @@ func (r *runner) genetic() (*Result, error) {
 			r.improved(best)
 		}
 	}
-	return &Result{Best: best, Front: r.front(best, pop), Evaluations: r.eval.Count()}, nil
+	return &Result{Best: best, Front: r.front(best, pop), Evaluations: r.eval.Count(), Cache: r.eval.CacheStats()}, nil
 }
 
 // mutateClone clones the individual and applies one similarity-guided LAC
@@ -420,6 +426,7 @@ func (r *runner) mutateClone(ind *core.Individual) (*netlist.Circuit, error) {
 // population division and no Pareto selection.
 func (r *runner) singleChaseGWO() (*Result, error) {
 	popSize := r.cfg.Population
+	r.eval.BeginGeneration()
 	exact, err := r.eval.Evaluate(r.base.Clone())
 	if err != nil {
 		return nil, err
@@ -436,6 +443,7 @@ func (r *runner) singleChaseGWO() (*Result, error) {
 		if err := r.checkpoint(iter-1, best); err != nil {
 			return nil, err
 		}
+		r.eval.BeginGeneration()
 		a := 2 - 2*float64(iter)/float64(r.cfg.Rounds)
 		sort.Slice(pop, func(i, j int) bool { return pop[i].Fit > pop[j].Fit })
 		alpha := pop[0]
@@ -493,7 +501,7 @@ func (r *runner) singleChaseGWO() (*Result, error) {
 			r.improved(best)
 		}
 	}
-	return &Result{Best: best, Front: r.front(best, pop), Evaluations: r.eval.Count()}, nil
+	return &Result{Best: best, Front: r.front(best, pop), Evaluations: r.eval.Count(), Cache: r.eval.CacheStats()}, nil
 }
 
 func bestFeasible(pop []*core.Individual, budget float64) *core.Individual {

@@ -220,6 +220,8 @@ type Result struct {
 	History []IterStats
 	// Evaluations counts circuit evaluations performed.
 	Evaluations int
+	// Cache reports the evaluation cache's effectiveness over the run.
+	Cache CacheStats
 }
 
 // Evaluator bundles the fixed evaluation context of one optimization run:
@@ -247,6 +249,20 @@ type Evaluator struct {
 	count    int
 
 	serial *sim.Simulator // simulator for serial Evaluate/Simulate calls
+
+	// Generation-scoped evaluation reuse (see evalcache.go). pos and
+	// fanouts mirror the base circuit's memoized topology; cacheEnabled is
+	// read on every evaluation and must only be toggled between runs.
+	pos          []int
+	fanouts      [][]int
+	cache        *evalCache
+	cacheEnabled bool
+
+	// reach memoizes per-gate static transitive-fanout bitsets for the
+	// Evaluator's lifetime (they depend only on the base structure).
+	reachMu      sync.Mutex
+	reach        map[int][]uint64
+	reachScratch []int
 
 	// maxWorkers caps EvaluateBatch's pool (0 = GOMAXPROCS). Outer
 	// schedulers that already parallelize across flows set it so nested
@@ -284,15 +300,24 @@ func NewEvaluator(accurate *netlist.Circuit, lib *cell.Library, metric Metric,
 	if err != nil {
 		return nil, err
 	}
+	pos, err := accurate.TopoPos()
+	if err != nil {
+		return nil, err
+	}
 	return &Evaluator{
-		lib:      lib,
-		est:      est,
-		base:     accurate,
-		metric:   metric,
-		wd:       depthWeight,
-		refDelay: refDelay,
-		refArea:  refArea,
-		serial:   serial,
+		lib:          lib,
+		est:          est,
+		base:         accurate,
+		metric:       metric,
+		wd:           depthWeight,
+		refDelay:     refDelay,
+		refArea:      refArea,
+		serial:       serial,
+		pos:          pos,
+		fanouts:      accurate.Fanouts(),
+		cache:        newEvalCache(),
+		cacheEnabled: true,
+		reach:        make(map[int][]uint64),
 	}, nil
 }
 
@@ -319,6 +344,22 @@ func (e *Evaluator) Count() int { return e.count }
 // never results.
 func (e *Evaluator) SetMaxWorkers(n int) { e.maxWorkers = n }
 
+// BeginGeneration marks a generation boundary of the driving optimizer:
+// the evaluation cache drops all entries (candidates of past generations
+// are no longer likely to recur) while its counters keep accumulating.
+// Optimizers call it before seeding the initial population and once per
+// generation; calling it never changes results, only reuse opportunity.
+func (e *Evaluator) BeginGeneration() { e.cache.reset() }
+
+// CacheStats snapshots the evaluation cache's cumulative counters.
+func (e *Evaluator) CacheStats() CacheStats { return e.cache.stats() }
+
+// SetCacheEnabled turns cross-candidate evaluation reuse off (or back on).
+// Results are bit-identical either way — the switch exists so exactness
+// tests can compare the two paths and benchmarks can measure the gap. It
+// must not be toggled while evaluations are in flight.
+func (e *Evaluator) SetCacheEnabled(on bool) { e.cacheEnabled = on }
+
 // Simulate runs the incremental engine on a candidate sharing the base
 // circuit's gate ID space, returning the full per-gate waveforms (exactly
 // what a full sim.Run would produce). The result is backed by the
@@ -340,10 +381,69 @@ func (e *Evaluator) Evaluate(c *netlist.Circuit) (*Individual, error) {
 }
 
 // evaluateWith performs one pure candidate evaluation on the given
-// simulator: incremental simulation, touched-PO error estimation, STA and
-// fitness. It neither draws randomness nor mutates Evaluator state, which
-// is what makes batch evaluation order-independent.
+// simulator, reusing cached work from equal or overlapping candidates of
+// the same generation when possible (see evalcache.go). Cache hits replay
+// stored results of identical pure evaluations and misses store what they
+// computed, so results are bit-identical at any hit pattern — which is
+// what keeps batch evaluation order-independent even with a shared cache.
 func (e *Evaluator) evaluateWith(s *sim.Simulator, c *netlist.Circuit) (*Individual, error) {
+	if !e.cacheEnabled {
+		e.cache.fallbacks.Add(1)
+		return e.evaluateFresh(s, c)
+	}
+	simChanged, key, ok := e.candidateDiff(c, make([]byte, 0, 64))
+	if !ok {
+		e.cache.fallbacks.Add(1)
+		return e.evaluateFresh(s, c)
+	}
+	e.cache.lookups.Add(1)
+	if t := e.cache.getL1(key); t != nil {
+		e.cache.hits.Add(1)
+		return t.instantiate(c), nil
+	}
+	var m errest.Metrics
+	composed := false
+	if len(simChanged) >= 2 && e.est.ComposeOK() {
+		// Provably independent change components: compose the candidate's
+		// error metrics from per-component cone deltas, skipping both the
+		// combined simulation and the touched-PO metric scan.
+		if units := e.partitionChanged(simChanged); len(units) >= 2 {
+			deltas := make([]*errest.PODelta, len(units))
+			for i, unit := range units {
+				d, err := e.unitDelta(s, c, unit)
+				if err != nil {
+					return nil, err
+				}
+				deltas[i] = d
+			}
+			m = errest.ComposeMetrics(e.est, deltas)
+			e.cache.composed.Add(1)
+			composed = true
+		}
+	}
+	if !composed {
+		// Single (or overlapping) change component: the plain incremental
+		// path, reusing the diff the key scan already computed.
+		res, err := s.IncrementalRun(c, simChanged)
+		if err != nil {
+			return nil, err
+		}
+		m, err = e.est.MetricsDelta(c, res, s.SignalDiffers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ind, err := e.finish(c, m)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.putL1(key, templateOf(ind))
+	return ind, nil
+}
+
+// evaluateFresh is the cache-ineligible evaluation: exactly the pre-reuse
+// pipeline (diff, incremental simulation, touched-PO error estimation).
+func (e *Evaluator) evaluateFresh(s *sim.Simulator, c *netlist.Circuit) (*Individual, error) {
 	res, err := s.Simulate(c)
 	if err != nil {
 		return nil, err
@@ -352,6 +452,38 @@ func (e *Evaluator) evaluateWith(s *sim.Simulator, c *netlist.Circuit) (*Individ
 	if err != nil {
 		return nil, err
 	}
+	return e.finish(c, m)
+}
+
+// unitDelta returns one change component's PO-level error delta, from the
+// generation cache when an identical component was already evaluated (in
+// any candidate), otherwise by an overlay cone simulation of just that
+// component against the base circuit.
+func (e *Evaluator) unitDelta(s *sim.Simulator, c *netlist.Circuit, unit []int) (*errest.PODelta, error) {
+	key := make([]byte, 0, 32)
+	for _, id := range unit {
+		key = sim.AppendGateSig(key, id, &c.Gates[id])
+	}
+	if d := e.cache.getUnit(key); d != nil {
+		e.cache.unitHits.Add(1)
+		return d, nil
+	}
+	e.cache.unitMisses.Add(1)
+	res, err := s.OverlayRun(c, unit)
+	if err != nil {
+		return nil, err
+	}
+	d, err := e.est.ExtractPODelta(c, res, s.SignalDiffers)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.putUnit(key, d)
+	return d, nil
+}
+
+// finish turns a candidate's error metrics into a full Individual: STA,
+// area and the Eq. 8 fitness.
+func (e *Evaluator) finish(c *netlist.Circuit, m errest.Metrics) (*Individual, error) {
 	rep, err := sta.Analyze(c, e.lib)
 	if err != nil {
 		return nil, err

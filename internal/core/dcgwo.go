@@ -132,6 +132,7 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 	// random LACs (searching-style similarity picks on random targets).
 	// The mutated clones are independent, so they are evaluated as one
 	// parallel batch after the (serial, rng-consuming) mutation pass.
+	o.eval.BeginGeneration()
 	first, err := o.eval.Evaluate(o.base.Clone())
 	if err != nil {
 		return nil, err
@@ -187,6 +188,7 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: optimization cancelled at iteration %d/%d: %w", iter, cfg.MaxIter, err)
 		}
+		o.eval.BeginGeneration()
 		errAllowed := math.Min(cfg.ErrorBudget, err0+bQuad*float64(iter*iter))
 		a := 2 - 2*float64(iter)/float64(cfg.MaxIter)
 
@@ -347,6 +349,7 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 	result.Best = best
 	result.Front = FeasibleFront(best, pop, cfg.ErrorBudget, o.eval.RefDelay(), o.eval.RefArea())
 	result.Evaluations = o.eval.Count()
+	result.Cache = o.eval.CacheStats()
 	return result, nil
 }
 

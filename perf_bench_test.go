@@ -2,14 +2,19 @@
 // table benches so one `go test -bench=.` shows both the paper metrics
 // and the engine's hot-path numbers:
 //
-//	BenchmarkSimRunFull         — from-scratch sim.Run of one candidate
-//	BenchmarkSimRunIncremental  — same candidate through Simulator.Simulate
-//	BenchmarkEvaluateBatch      — a population's worth of candidates through
-//	                              Evaluator.EvaluateBatch (sim + STA + error
-//	                              metrics per candidate)
+//	BenchmarkSimRunFull          — from-scratch sim.Run of one candidate
+//	BenchmarkSimRunIncremental   — same candidate through Simulator.Simulate
+//	BenchmarkEvaluateBatch       — a population's worth of candidates through
+//	                               Evaluator.EvaluateBatch (sim + STA + error
+//	                               metrics per candidate)
+//	BenchmarkEvaluateBatchShared — same, on a population with the redundancy
+//	                               a real generation exhibits (duplicate
+//	                               candidates + disjoint-cone changes), with
+//	                               the evaluation cache reset per iteration
 //
-// All three use the BenchmarkFlowSingle workload shape: Adder16, 2048
-// vectors, LAC-mutated candidates.
+// All use the bench_workload_test.go workload shape (Adder16, 2048
+// vectors, LAC-mutated candidates), pinned there so the committed
+// benchgate baselines provably measure the same shape.
 package als_test
 
 import (
@@ -18,66 +23,13 @@ import (
 
 	als "repro"
 	"repro/internal/core"
-	"repro/internal/netlist"
 	"repro/internal/sim"
 )
 
-// benchBase returns the constant-materialized Adder16 every candidate
-// derives from.
-func benchBase(b *testing.B) *netlist.Circuit {
-	b.Helper()
-	base := als.Benchmark("Adder16").Clone()
-	base.Const0()
-	base.Const1()
-	if err := base.Validate(); err != nil {
-		b.Fatal(err)
-	}
-	return base
-}
-
-// benchLAC applies one loop-safe rewire: a random live physical gate's
-// consumers switch to a random TFI gate or constant.
-func benchLAC(c *netlist.Circuit, rng *rand.Rand) {
-	live := c.Live()
-	var phys []int
-	for id, g := range c.Gates {
-		if live[id] && !g.Func.IsPseudo() {
-			phys = append(phys, id)
-		}
-	}
-	target := phys[rng.Intn(len(phys))]
-	tfi := c.TFI(target)
-	var cands []int
-	for id := range c.Gates {
-		if tfi[id] && id != target && !c.Gates[id].Func.IsPseudo() {
-			cands = append(cands, id)
-		}
-	}
-	if len(cands) == 0 {
-		c.ReplaceFanin(target, c.Const0())
-		return
-	}
-	c.ReplaceFanin(target, cands[rng.Intn(len(cands))])
-}
-
-func benchCandidates(b *testing.B, base *netlist.Circuit, n, lacs int) []*netlist.Circuit {
-	b.Helper()
-	rng := rand.New(rand.NewSource(1))
-	out := make([]*netlist.Circuit, n)
-	for i := range out {
-		c := base.Clone()
-		for k := 0; k < lacs; k++ {
-			benchLAC(c, rng)
-		}
-		out[i] = c
-	}
-	return out
-}
-
 func BenchmarkSimRunFull(b *testing.B) {
 	base := benchBase(b)
-	v := sim.Random(rand.New(rand.NewSource(1)), len(base.PIs), 2048)
-	cand := benchCandidates(b, base, 1, 2)[0]
+	v := sim.Random(rand.New(rand.NewSource(benchWorkloadSeed)), len(base.PIs), benchWorkloadVectors)
+	cand := benchCandidates(b, base, 1, benchWorkloadLACs)[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(cand, v); err != nil {
@@ -88,8 +40,8 @@ func BenchmarkSimRunFull(b *testing.B) {
 
 func BenchmarkSimRunIncremental(b *testing.B) {
 	base := benchBase(b)
-	v := sim.Random(rand.New(rand.NewSource(1)), len(base.PIs), 2048)
-	cand := benchCandidates(b, base, 1, 2)[0]
+	v := sim.Random(rand.New(rand.NewSource(benchWorkloadSeed)), len(base.PIs), benchWorkloadVectors)
+	cand := benchCandidates(b, base, 1, benchWorkloadLACs)[0]
 	s, err := sim.NewSimulator(base, v, nil)
 	if err != nil {
 		b.Fatal(err)
@@ -104,16 +56,43 @@ func BenchmarkSimRunIncremental(b *testing.B) {
 
 func BenchmarkEvaluateBatch(b *testing.B) {
 	base := benchBase(b)
-	v := sim.Random(rand.New(rand.NewSource(1)), len(base.PIs), 2048)
+	v := sim.Random(rand.New(rand.NewSource(benchWorkloadSeed)), len(base.PIs), benchWorkloadVectors)
 	eval, err := core.NewEvaluator(base, als.NewLibrary(), core.MetricNMED, 0.8, v)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cands := benchCandidates(b, base, 16, 2)
+	cands := benchCandidates(b, base, benchWorkloadBatch, benchWorkloadLACs)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eval.EvaluateBatch(cands); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEvaluateBatchShared measures one generation's worth of
+// redundant candidates with the cache cold at the start of every
+// iteration (BeginGeneration), so the number reflects steady-state
+// per-generation reuse — duplicate candidates hitting the whole-candidate
+// memo and disjoint-cone candidates composing cached per-change deltas —
+// rather than cross-iteration accumulation.
+func BenchmarkEvaluateBatchShared(b *testing.B) {
+	base := benchBase(b)
+	v := sim.Random(rand.New(rand.NewSource(benchWorkloadSeed)), len(base.PIs), benchWorkloadVectors)
+	eval, err := core.NewEvaluator(base, als.NewLibrary(), core.MetricNMED, 0.8, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := benchSharedCandidates(b, base, benchWorkloadBatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.BeginGeneration()
+		if _, err := eval.EvaluateBatch(cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := eval.CacheStats(); st.Hits == 0 || st.Composed == 0 {
+		b.Fatalf("shared batch exercised no reuse: %+v", st)
 	}
 }

@@ -58,6 +58,10 @@ type Event struct {
 	// Result and Front are set for EventDone.
 	Result *FlowResult
 	Front  Front
+	// Stats is set for EventDone: the run's evaluation-cache counters
+	// (a copy of Result.Cache, surfaced separately so stream consumers
+	// need not reach into the FlowResult).
+	Stats *EvalCacheStats
 }
 
 // Session is one configured, single-shot flow execution — the v2 entry
@@ -163,7 +167,8 @@ func (s *Session) Run(ctx context.Context) iter.Seq2[Event, error] {
 			yield(Event{}, err)
 			return
 		}
-		yield(Event{Kind: EventDone, Result: res, Front: front}, nil)
+		stats := res.Cache
+		yield(Event{Kind: EventDone, Result: res, Front: front, Stats: &stats}, nil)
 	}
 }
 
@@ -274,6 +279,7 @@ func runFlow(ctx context.Context, accurate *netlist.Circuit, lib *cell.Library, 
 	var best *core.Individual
 	var coreFront []*core.Individual
 	var history []core.IterStats
+	var cache core.CacheStats
 	evaluations := 0
 	if cfg.Method == MethodDCGWO {
 		ccfg := core.DefaultConfig(cfg.Metric, cfg.ErrorBudget)
@@ -294,6 +300,7 @@ func runFlow(ctx context.Context, accurate *netlist.Circuit, lib *cell.Library, 
 			return nil, nil, err
 		}
 		best, coreFront, history, evaluations = res.Best, res.Front, res.History, res.Evaluations
+		cache = res.Cache
 	} else {
 		bcfg := baselines.DefaultConfig(cfg.Metric, cfg.ErrorBudget)
 		bcfg.Rounds = cfg.Iterations
@@ -315,6 +322,7 @@ func runFlow(ctx context.Context, accurate *netlist.Circuit, lib *cell.Library, 
 			return nil, nil, err
 		}
 		best, coreFront, evaluations = res.Best, res.Front, res.Evaluations
+		cache = res.Cache
 	}
 	if best == nil {
 		return nil, nil, fmt.Errorf("%w (budget %v)", ErrInfeasible, cfg.ErrorBudget)
@@ -353,6 +361,7 @@ func runFlow(ctx context.Context, accurate *netlist.Circuit, lib *cell.Library, 
 		Approx:      best.Circuit,
 		Final:       post.Circuit,
 		History:     history,
+		Cache:       evalCacheStatsFrom(cache),
 	}, front, nil
 }
 
