@@ -39,6 +39,18 @@
 // interactive submissions share one hash-keyed store, so either fills the
 // cache for the other.
 //
+// Observability (docs/OPERATIONS.md has the full reference):
+//
+//	GET /metrics          Prometheus text exposition — queue depth, job
+//	                      states and latency, evaluation-cache rates,
+//	                      store traffic, SSE subscribers, HTTP by route
+//	GET /debug/pprof/     live CPU/heap/goroutine profiles (-pprof only)
+//
+// Logs are structured (log/slog): -log-format picks text or json,
+// -log-level the verbosity. Every HTTP response carries an X-Request-Id
+// that the debug-level access log repeats, and every job log line carries
+// its job_id.
+//
 // On SIGINT/SIGTERM the daemon stops accepting work, lets in-flight jobs
 // finish (up to -drain-timeout, after which they are cancelled at their
 // next iteration boundary), flushes the store, and exits 0.
@@ -49,8 +61,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,23 +82,26 @@ func main() {
 		evalWorkers  = flag.Int("eval-workers", 0, "per-flow evaluation pool (0 = GOMAXPROCS/workers)")
 		maxJobs      = flag.Int("max-jobs", 0, "in-memory job table bound; oldest finished jobs are evicted beyond it (0 = default 1024)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight jobs finish on shutdown")
+		logFormat    = flag.String("log-format", "text", "log output format: text or json")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error (debug adds the per-request access log)")
+		withPprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiles expose internals; keep off on untrusted networks)")
 	)
 	flag.Parse()
-	log.SetPrefix("alsd: ")
-	log.SetFlags(log.LstdFlags)
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alsd:", err)
+		os.Exit(2)
+	}
 
 	var st *store.Store
 	if *storePath != "" {
-		var err error
 		st, err = store.Open(*storePath)
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("store open failed", "path", *storePath, "error", err)
+			os.Exit(1)
 		}
-		if n := st.Corrupt(); n > 0 {
-			log.Printf("store %s: skipped %d corrupt line(s), kept %d result(s)", *storePath, n, st.Len())
-		} else {
-			log.Printf("store %s: %d cached result(s)", *storePath, st.Len())
-		}
+		logger.Info("store opened", "path", *storePath, "results", st.Len(), "corrupt_lines", st.Corrupt())
 	}
 
 	svc := service.New(service.Options{
@@ -94,40 +110,72 @@ func main() {
 		QueueDepth:  *queueDepth,
 		EvalWorkers: *evalWorkers,
 		MaxJobs:     *maxJobs,
-		Logf:        log.Printf,
+		Logger:      logger,
 	})
-	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	root := http.NewServeMux()
+	root.Handle("/", svc.Handler())
+	if *withPprof {
+		// DefaultServeMux registration from the pprof import is unused;
+		// mount the handlers explicitly on our own mux.
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: root}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("serving on %s (%d worker(s), queue %d)", *addr, *workers, *queueDepth)
+	logger.Info("serving", "addr", *addr, "workers", *workers, "queue", *queueDepth)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err) // the listener died before any signal
+		logger.Error("listener died", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("signal received, draining (timeout %v)", *drainTimeout)
+	logger.Info("signal received, draining", "timeout", (*drainTimeout).String())
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := svc.Drain(shutdownCtx); err != nil {
-		log.Printf("%v", err)
+		logger.Warn("drain", "error", err)
 	}
 	if st != nil {
 		if err := st.Close(); err != nil {
-			log.Printf("store close: %v", err)
+			logger.Warn("store close", "error", err)
 		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("http server: %v", err)
+		logger.Warn("http server", "error", err)
 	}
 	fmt.Fprintln(os.Stderr, "alsd: drained cleanly")
+}
+
+// newLogger builds the process logger from the -log-format and -log-level
+// flags. Both handlers write to stderr, keeping stdout free for tooling.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }

@@ -44,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -55,6 +56,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/exp"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -86,6 +88,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		format   = fs.String("format", "text", "output format: text|json|csv")
 		check    = fs.String("check", "", "diff freshly computed metrics against this golden file and exit")
 		update   = fs.String("update-golden", "", "recompute the golden suite, write it to this path and exit")
+		metrics  = fs.String("metrics-addr", "", "serve Prometheus /metrics on this address for the duration of the run (e.g. 127.0.0.1:9090); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -115,7 +118,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	runner, err := newJobRunner(*workers, *jobs, stderr)
+	// -metrics-addr makes a long sweep observable from outside: a tiny
+	// HTTP server exposes the dispatch lane counters plus the -out store
+	// traffic for the run's duration. Registered before the runner is
+	// built so both local and distributed runs share the registry.
+	var (
+		reg *telemetry.Registry
+		dm  *dispatch.Metrics
+	)
+	if *metrics != "" {
+		reg = telemetry.NewRegistry()
+		dm = dispatch.NewMetrics(reg)
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		ms := &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := ms.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(stderr, "metrics server: %v\n", err)
+			}
+		}()
+		defer ms.Close()
+		fmt.Fprintf(stderr, "metrics on http://%s/metrics\n", *metrics)
+	}
+
+	runner, err := newJobRunner(*workers, *jobs, dm, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -174,6 +200,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		defer st.Close()
+		if reg != nil {
+			st.Instrument(
+				reg.Counter("als_store_puts_total", "Records appended to the persistent result store."),
+				reg.Counter("als_store_gets_total", "Lookups against the persistent result store."),
+				reg.Counter("als_store_hits_total", "Persistent-store lookups that found a record."))
+		}
 		if n := st.Corrupt(); n > 0 {
 			fmt.Fprintf(stderr, "result store: skipped %d corrupt line(s), kept %d finished cell(s)\n", n, st.Len())
 		}
@@ -234,7 +266,7 @@ type jobRunner func(ctx context.Context, jobs []exp.Job, st *store.Store) (exp.R
 // cells run on a local pool of `localJobs` goroutines; with -workers they
 // are partitioned across the fleet, and localJobs > 0 adds that many
 // local lanes (the coordinator machine's share).
-func newJobRunner(workersCSV string, localJobs int, stderr io.Writer) (jobRunner, error) {
+func newJobRunner(workersCSV string, localJobs int, dm *dispatch.Metrics, stderr io.Writer) (jobRunner, error) {
 	if workersCSV == "" {
 		return func(ctx context.Context, jobs []exp.Job, st *store.Store) (exp.ResultSet, exp.RunStats, error) {
 			return exp.RunJobsContext(ctx, jobs, localJobs, st)
@@ -259,6 +291,7 @@ func newJobRunner(workersCSV string, localJobs int, stderr io.Writer) (jobRunner
 			Workers:   urls,
 			LocalJobs: localJobs,
 			Store:     st,
+			Metrics:   dm,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(stderr, format+"\n", args...)
 			},

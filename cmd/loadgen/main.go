@@ -1,0 +1,398 @@
+// Command loadgen load-proves an alsd fleet: it drives many concurrent
+// /v2 client sessions with a mixed workload — cache-hitting and
+// cache-missing submissions, SSE streaming and polling consumers — and
+// exits non-zero unless the run meets its SLOs:
+//
+//   - p99 submit latency under -slo-p99 (submissions must stay fast even
+//     while every worker slot is busy — accepting is queueing, not
+//     computing);
+//   - zero dropped SSE terminals: every event stream ends with exactly
+//     one done/failed/cancelled event, never a bare EOF;
+//   - hard-error rate (transport failures, 5xx other than queue-full
+//     backpressure, jobs finishing failed) at or below -slo-error-rate.
+//
+// Queue-full 503s are backpressure, not errors: the session backs off and
+// resubmits, and the retry count is reported separately. That is the
+// contract clients are told to follow, so the harness follows it too.
+//
+// Usage (two local workers, the CI smoke shape):
+//
+//	loadgen -targets http://127.0.0.1:18080,http://127.0.0.1:18081 \
+//	        -sessions 120 -per-session 2
+//
+// The summary line is machine-grepped by scripts/load_smoke.sh; the SLO
+// verdict is the exit code.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type config struct {
+	targets      []string
+	sessions     int
+	perSession   int
+	cachedFrac   float64
+	streamFrac   float64
+	budget       float64
+	circuit      string
+	metric       string
+	seed         int64
+	timeout      time.Duration
+	sloP99       time.Duration
+	sloErrorRate float64
+}
+
+// tally aggregates everything the sessions observe; all fields are
+// atomics so the hot path never serializes on a lock except the latency
+// slice.
+type tally struct {
+	submits       atomic.Int64 // accepted submissions
+	cachedHits    atomic.Int64 // submissions answered done immediately
+	retries       atomic.Int64 // queue-full backpressure resubmits
+	hardErrors    atomic.Int64 // transport failures, unexpected statuses, failed jobs
+	streams       atomic.Int64 // SSE sessions opened
+	terminals     atomic.Int64 // SSE streams ended by a terminal event
+	dropped       atomic.Int64 // SSE streams ended without one
+	polled        atomic.Int64 // polling sessions completed
+	events        atomic.Int64 // SSE events consumed
+	mu            sync.Mutex
+	submitLatency []time.Duration
+	errorsSample  []string
+}
+
+func (t *tally) recordLatency(d time.Duration) {
+	t.mu.Lock()
+	t.submitLatency = append(t.submitLatency, d)
+	t.mu.Unlock()
+}
+
+func (t *tally) hardError(format string, args ...any) {
+	t.hardErrors.Add(1)
+	t.mu.Lock()
+	if len(t.errorsSample) < 10 {
+		t.errorsSample = append(t.errorsSample, fmt.Sprintf(format, args...))
+	}
+	t.mu.Unlock()
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		targets    = fs.String("targets", "", "comma-separated alsd base URLs (required)")
+		sessions   = fs.Int("sessions", 100, "concurrent client sessions")
+		perSession = fs.Int("per-session", 2, "submissions per session")
+		cachedFrac = fs.Float64("cached-frac", 0.5, "fraction of submissions reusing a shared seed (cache/dedup hits)")
+		streamFrac = fs.Float64("stream-frac", 0.5, "fraction of submissions consumed over SSE (the rest poll)")
+		circuit    = fs.String("circuit", "Adder16", "benchmark circuit to submit")
+		metric     = fs.String("metric", "nmed", "error metric")
+		budget     = fs.Float64("budget", 0.0244, "error budget")
+		seed       = fs.Int64("seed", 1, "base RNG seed (workload mix and job seeds)")
+		timeout    = fs.Duration("timeout", 5*time.Minute, "whole-run deadline")
+		sloP99     = fs.Duration("slo-p99", 2*time.Second, "SLO: maximum p99 submit latency")
+		sloErrRate = fs.Float64("slo-error-rate", 0.01, "SLO: maximum hard-error fraction of submissions")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	cfg := config{
+		sessions:     *sessions,
+		perSession:   *perSession,
+		cachedFrac:   *cachedFrac,
+		streamFrac:   *streamFrac,
+		budget:       *budget,
+		circuit:      *circuit,
+		metric:       *metric,
+		seed:         *seed,
+		timeout:      *timeout,
+		sloP99:       *sloP99,
+		sloErrorRate: *sloErrRate,
+	}
+	for _, u := range strings.Split(*targets, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			cfg.targets = append(cfg.targets, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(cfg.targets) == 0 {
+		fmt.Fprintln(stderr, "loadgen: -targets is required")
+		return 2
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+	defer cancel()
+	client := &http.Client{} // no client timeout: SSE streams outlive any fixed value; ctx bounds the run
+
+	var t tally
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(i)))
+			target := cfg.targets[i%len(cfg.targets)]
+			for n := 0; n < cfg.perSession; n++ {
+				session(ctx, client, cfg, target, i, n, rng, &t)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return report(cfg, &t, elapsed, stdout, stderr)
+}
+
+// session submits one job and consumes it to its terminal state, over SSE
+// or by polling.
+func session(ctx context.Context, client *http.Client, cfg config, target string, sess, n int, rng *rand.Rand, t *tally) {
+	// The cached cohort shares one job seed, so across the whole run those
+	// submissions collapse onto a handful of actual flows (dedup while
+	// running, store hits after). The uncached cohort gets a unique seed.
+	jobSeed := cfg.seed
+	if rng.Float64() >= cfg.cachedFrac {
+		jobSeed = cfg.seed + 1000 + int64(sess*cfg.perSession+n)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"circuit": cfg.circuit,
+		"metric":  cfg.metric,
+		"budget":  cfg.budget,
+		"seed":    jobSeed,
+	})
+
+	var (
+		id     string
+		status string
+	)
+	for attempt := 0; ; attempt++ {
+		begin := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v2/jobs", bytes.NewReader(body))
+		if err != nil {
+			t.hardError("submit request: %v", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				t.hardError("submit: run deadline exceeded")
+				return
+			}
+			t.hardError("submit: %v", err)
+			return
+		}
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Queue-full backpressure: the documented client contract is
+			// "back off and resubmit", so do exactly that.
+			t.retries.Add(1)
+			select {
+			case <-ctx.Done():
+				t.hardError("submit: run deadline exceeded while backing off")
+				return
+			case <-time.After(time.Duration(50+rng.Intn(200)) * time.Millisecond):
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			t.hardError("submit: HTTP %d: %.120s", resp.StatusCode, payload)
+			return
+		}
+		t.recordLatency(time.Since(begin))
+		t.submits.Add(1)
+		var v struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(payload, &v); err != nil || v.ID == "" {
+			t.hardError("submit: undecodable response: %.120s", payload)
+			return
+		}
+		id, status = v.ID, v.Status
+		break
+	}
+
+	if status == "done" {
+		t.cachedHits.Add(1)
+		// Already terminal; still exercise the chosen consumption path —
+		// a terminal job's SSE stream must yield its terminal event
+		// immediately rather than hanging or EOFing empty.
+	}
+	if rng.Float64() < cfg.streamFrac {
+		streamJob(ctx, client, target, id, t)
+	} else {
+		pollJob(ctx, client, target, id, t)
+	}
+}
+
+// streamJob consumes a job's SSE stream until its terminal event. A
+// stream that ends any other way is a dropped terminal — the exact defect
+// the zero-drop SLO exists to catch.
+func streamJob(ctx context.Context, client *http.Client, target, id string, t *tally) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v2/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.hardError("events request: %v", err)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.hardError("events: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.hardError("events: HTTP %d", resp.StatusCode)
+		return
+	}
+	t.streams.Add(1)
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "event: ") {
+			continue
+		}
+		t.events.Add(1)
+		switch ev := strings.TrimPrefix(line, "event: "); ev {
+		case "done", "cancelled":
+			t.terminals.Add(1)
+			return
+		case "failed":
+			t.terminals.Add(1)
+			t.hardError("job %s finished failed", id)
+			return
+		}
+	}
+	t.dropped.Add(1)
+	t.hardError("job %s: SSE stream ended without a terminal event", id)
+}
+
+// pollJob polls the job view until it reaches a terminal status.
+func pollJob(ctx context.Context, client *http.Client, target, id string, t *tally) {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v2/jobs/"+id, nil)
+		if err != nil {
+			t.hardError("poll request: %v", err)
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.hardError("poll %s: %v", id, err)
+			return
+		}
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.hardError("poll %s: HTTP %d", id, resp.StatusCode)
+			return
+		}
+		var v struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(payload, &v); err != nil {
+			t.hardError("poll %s: undecodable response", id)
+			return
+		}
+		switch v.Status {
+		case "done", "cancelled":
+			t.polled.Add(1)
+			return
+		case "failed":
+			t.polled.Add(1)
+			t.hardError("job %s finished failed", id)
+			return
+		}
+		select {
+		case <-ctx.Done():
+			t.hardError("poll %s: run deadline exceeded", id)
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// report prints the run summary and checks the SLOs, returning the
+// process exit code.
+func report(cfg config, t *tally, elapsed time.Duration, stdout, stderr io.Writer) int {
+	t.mu.Lock()
+	lat := append([]time.Duration(nil), t.submitLatency...)
+	sample := t.errorsSample
+	t.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+
+	submits := t.submits.Load()
+	expected := int64(cfg.sessions * cfg.perSession)
+	errRate := 0.0
+	if expected > 0 {
+		errRate = float64(t.hardErrors.Load()) / float64(expected)
+	}
+
+	fmt.Fprintf(stdout, "loadgen: %d sessions x %d submissions against %d target(s) in %v\n",
+		cfg.sessions, cfg.perSession, len(cfg.targets), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "loadgen: submits=%d cached=%d retries=%d streams=%d terminals=%d dropped=%d polled=%d events=%d errors=%d\n",
+		submits, t.cachedHits.Load(), t.retries.Load(), t.streams.Load(),
+		t.terminals.Load(), t.dropped.Load(), t.polled.Load(), t.events.Load(), t.hardErrors.Load())
+	fmt.Fprintf(stdout, "loadgen: submit latency p50=%v p95=%v p99=%v max=%v\n",
+		pct(.50).Round(time.Microsecond), pct(.95).Round(time.Microsecond),
+		pct(.99).Round(time.Microsecond), pct(1).Round(time.Microsecond))
+	for _, e := range sample {
+		fmt.Fprintf(stderr, "loadgen: error: %s\n", e)
+	}
+
+	ok := true
+	if p99 := pct(.99); p99 > cfg.sloP99 {
+		fmt.Fprintf(stderr, "loadgen: SLO VIOLATION: submit p99 %v > %v\n", p99, cfg.sloP99)
+		ok = false
+	}
+	if d := t.dropped.Load(); d > 0 {
+		fmt.Fprintf(stderr, "loadgen: SLO VIOLATION: %d SSE stream(s) dropped their terminal event\n", d)
+		ok = false
+	}
+	if errRate > cfg.sloErrorRate {
+		fmt.Fprintf(stderr, "loadgen: SLO VIOLATION: hard-error rate %.4f > %.4f\n", errRate, cfg.sloErrorRate)
+		ok = false
+	}
+	if submits < expected {
+		fmt.Fprintf(stderr, "loadgen: SLO VIOLATION: only %d of %d submissions were accepted\n", submits, expected)
+		ok = false
+	}
+	if ok {
+		fmt.Fprintln(stdout, "loadgen: all SLOs met")
+		return 0
+	}
+	return 1
+}

@@ -16,6 +16,12 @@
 // its retry budget is declared dead and its unfinished cells fail over to
 // the surviving lanes. The run fails only when a cell itself fails
 // (deterministic — it would fail anywhere) or when no live lane remains.
+//
+// Runs are observable two ways: Options.Logf receives lane lifecycle and
+// failover events as text, and Options.Metrics (created once per
+// telemetry.Registry with NewMetrics, shared across runs) exports
+// per-lane throughput, retries, failovers and the remaining-cell gauge —
+// what `experiments -metrics-addr` serves during a sweep.
 package dispatch
 
 import (
@@ -71,6 +77,9 @@ type Options struct {
 	MaxBackoff time.Duration
 	// Logf, when non-nil, receives lane lifecycle and failover events.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, records per-lane throughput, retries and
+	// failovers (create once with NewMetrics and share across runs).
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -224,6 +233,8 @@ func Run(ctx context.Context, jobs []exp.Job, opts Options) (exp.ResultSet, Stat
 		stats:    &stats,
 	}
 	s.remaining.Store(int64(len(pending)))
+	opts.Metrics.runStarted(len(pending))
+	defer func() { opts.Metrics.runEnded(s.remaining.Load()) }()
 
 	// Partition by content hash: lane i owns every cell whose hash maps
 	// to it. Placement is deterministic for a given fleet shape, but has
@@ -350,6 +361,7 @@ func (s *shared) complete(lane string, t *task, r exp.JobResult) error {
 	s.stats.Executed++
 	s.stats.ByLane[lane]++
 	s.mu.Unlock()
+	s.opts.Metrics.cellCompleted(lane)
 	if s.remaining.Add(-1) == 0 {
 		close(s.done)
 	}
@@ -371,6 +383,7 @@ func (s *shared) fail(err error) {
 // already holds every finished cell, so a -resume completes it later).
 func (s *shared) laneDied(name string, cause error, leftovers []*task) {
 	s.opts.Logf("dispatch: lane %s dead (%v); failing over %d cell(s)", name, cause, len(leftovers))
+	s.opts.Metrics.laneDead(len(leftovers))
 	s.mu.Lock()
 	s.stats.DeadLanes = append(s.stats.DeadLanes, name)
 	s.stats.FailedOver += len(leftovers)
@@ -522,6 +535,7 @@ func (l *remoteLane) transient(op string, err error) error {
 	if l.failures > l.s.opts.RetryBudget {
 		return fmt.Errorf("%s failed %d consecutive time(s): %w", op, l.failures, err)
 	}
+	l.s.opts.Metrics.retried(l.name)
 	backoff := l.s.opts.Backoff << (l.failures - 1)
 	if backoff > l.s.opts.MaxBackoff {
 		backoff = l.s.opts.MaxBackoff

@@ -1,0 +1,70 @@
+package dispatch
+
+import "repro/internal/telemetry"
+
+// Metrics is the dispatcher's instrument set. Unlike the serving stack,
+// where one Server owns one registry for its whole lifetime, dispatch
+// runs are transient — a coordinator may execute several sweeps in one
+// process — so the instruments are created once with NewMetrics and
+// handed to every Run via Options.Metrics; counters then accumulate
+// across runs on the same registry without re-registration panics.
+//
+// A nil *Metrics is valid everywhere and records nothing, so library
+// callers that don't scrape pay only a nil check per event.
+type Metrics struct {
+	cellsCompleted *telemetry.CounterVec // lane
+	retries        *telemetry.CounterVec // lane
+	failovers      *telemetry.Counter
+	deadLanes      *telemetry.Counter
+	cellsRemaining *telemetry.Gauge
+}
+
+// NewMetrics registers the dispatch instruments on reg. Call once per
+// registry; the returned Metrics may be shared by any number of
+// sequential or concurrent Runs.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		cellsCompleted: reg.CounterVec("als_dispatch_cells_completed_total",
+			"Sweep cells finished, by lane (worker URL or \"local\").", "lane"),
+		retries: reg.CounterVec("als_dispatch_retries_total",
+			"Transport-level failures that were retried, by lane.", "lane"),
+		failovers: reg.Counter("als_dispatch_failovers_total",
+			"Cells reassigned away from a dead lane."),
+		deadLanes: reg.Counter("als_dispatch_dead_lanes_total",
+			"Lanes that exhausted their retry budget."),
+		cellsRemaining: reg.Gauge("als_dispatch_cells_remaining",
+			"Unfinished cells of the dispatch run(s) in flight."),
+	}
+}
+
+func (m *Metrics) runStarted(pending int) {
+	if m != nil {
+		m.cellsRemaining.Add(int64(pending))
+	}
+}
+
+func (m *Metrics) runEnded(leftover int64) {
+	if m != nil {
+		m.cellsRemaining.Add(-leftover)
+	}
+}
+
+func (m *Metrics) cellCompleted(lane string) {
+	if m != nil {
+		m.cellsCompleted.With(lane).Inc()
+		m.cellsRemaining.Dec()
+	}
+}
+
+func (m *Metrics) retried(lane string) {
+	if m != nil {
+		m.retries.With(lane).Inc()
+	}
+}
+
+func (m *Metrics) laneDead(failedOver int) {
+	if m != nil {
+		m.deadLanes.Inc()
+		m.failovers.Add(int64(failedOver))
+	}
+}

@@ -22,13 +22,21 @@ const maxBodyBytes = MaxVerilogBytes + 1<<20
 //	                           job is queued/running, 410 once it ended
 //	                           failed or cancelled — stop polling)
 //	POST /v1/flows/{id}/cancel cancel a queued or running job → JobView
-//	GET  /healthz              liveness + Stats counters
 //
 // plus the worker-facing job API (worker.go) used by the distributed
 // sweep coordinator:
 //
 //	POST /v1/jobs              batch-submit exp.Job specs → BatchResponse
 //	GET  /v1/jobs/{hash}       status/result by content hash → JobView
+//
+// and the operational surface:
+//
+//	GET  /healthz              liveness + Stats counters
+//	GET  /metrics              Prometheus text exposition (metrics.go)
+//
+// Every response is stamped with an X-Request-Id that also appears in the
+// structured access log, and every request is counted/timed by route
+// pattern (see instrument in metrics.go).
 //
 // /v1 errors are JSON objects {"error": "..."}: 400 malformed or invalid
 // requests, 404 unknown job, 409 result not ready yet, 410 result will
@@ -44,7 +52,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{hash}", s.handleJobByHash)
 	s.registerV2(mux)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	mux.Handle("GET /metrics", s.metrics.registry.Handler())
+	return s.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -7,7 +7,7 @@
 // through internal/store — so a restarted daemon answers repeats from
 // cache without recomputation.
 //
-// The package splits into three layers:
+// The package splits into focused files:
 //
 //   - request.go: untrusted-input validation and canonical job identity
 //     (flowSpec wraps an exp.Job, so a named-benchmark submission shares
@@ -15,23 +15,36 @@
 //   - service.go (this file): the job table, queue, worker pool,
 //     cancellation and graceful drain;
 //   - http.go: the HTTP/JSON API (submit/list/status/result/cancel);
+//   - v2.go: the /v2 surface — SSE event streaming, solution fronts,
+//     pagination, structured error codes;
 //   - worker.go: the worker-facing job API (batch submit by canonical
 //     exp.Job spec, result fetch by content hash) that lets any running
-//     daemon serve as a distributed-sweep worker for internal/dispatch.
+//     daemon serve as a distributed-sweep worker for internal/dispatch;
+//   - metrics.go: the telemetry instrument set (GET /metrics), request
+//     instrumentation middleware and the frozen metric-name contract.
+//
+// Observability: every Server owns a telemetry.Registry (or shares one
+// via Options.Metrics) exposed at GET /metrics, logs through log/slog
+// (Options.Logger) with job_id/request_id correlation, and stamps every
+// HTTP response with an X-Request-Id. docs/OPERATIONS.md is the
+// operator-facing reference.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	als "repro"
 	"repro/internal/cell"
 	"repro/internal/exp"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // Status is one job's lifecycle state.
@@ -107,7 +120,17 @@ type Options struct {
 	MaxJobs int
 	// Lib is the cell library (default the synthetic 28nm library).
 	Lib *cell.Library
-	// Logf, when non-nil, receives one line per job state transition.
+	// Metrics is the telemetry registry the server instruments and the
+	// Handler serves at GET /metrics. Nil allocates a private registry, so
+	// metrics always work; pass one to share the scrape endpoint with other
+	// subsystems (alsd passes its process registry).
+	Metrics *telemetry.Registry
+	// Logger receives structured log records (job transitions with job and
+	// hash IDs, HTTP access records with request IDs). Nil falls back to
+	// Logf; with both nil, logging is disabled.
+	Logger *slog.Logger
+	// Logf, when non-nil and Logger is nil, receives the same records
+	// rendered to single lines (legacy bridge; tests pass t.Logf).
 	Logf func(format string, args ...any)
 }
 
@@ -155,7 +178,9 @@ type Server struct {
 	lib         *cell.Library
 	evalWorkers int
 	maxJobs     int
-	logf        func(format string, args ...any)
+	log         *slog.Logger
+	metrics     *serverMetrics
+	reqSeq      atomic.Int64 // request-ID sequence for the access log
 
 	baseCtx    context.Context // parent of every job run; Close cancels it
 	baseCancel context.CancelFunc
@@ -197,9 +222,18 @@ func New(opts Options) *Server {
 	if lib == nil {
 		lib = als.NewLibrary()
 	}
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := opts.Logger
+	switch {
+	case logger != nil:
+	case opts.Logf != nil:
+		logger = slog.New(slog.NewTextHandler(logfWriter{opts.Logf},
+			&slog.HandlerOptions{Level: slog.LevelDebug}))
+	default:
+		logger = slog.New(slog.DiscardHandler)
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -207,18 +241,41 @@ func New(opts Options) *Server {
 		lib:         lib,
 		evalWorkers: evalWorkers,
 		maxJobs:     maxJobs,
-		logf:        logf,
+		log:         logger,
 		baseCtx:     ctx,
 		baseCancel:  cancel,
 		queue:       make(chan *jobState, depth),
 		jobs:        map[string]*jobState{},
 		byHash:      map[string]string{},
 	}
+	s.metrics = newServerMetrics(reg, s)
+	if s.store != nil {
+		s.store.Instrument(s.metrics.storePuts, s.metrics.storeGets, s.metrics.storeHits)
+	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// Metrics returns the registry the server instruments (served by the
+// Handler at GET /metrics).
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics.registry }
+
+// logfWriter adapts a printf-style sink into an io.Writer for the legacy
+// Options.Logf bridge: every rendered slog line becomes one Logf call.
+type logfWriter struct {
+	logf func(format string, args ...any)
+}
+
+func (w logfWriter) Write(b []byte) (int, error) {
+	n := len(b)
+	for n > 0 && b[n-1] == '\n' {
+		n--
+	}
+	w.logf("%s", b[:n])
+	return len(b), nil
 }
 
 // Submit validates a request and either attaches it to an identical live
@@ -244,6 +301,8 @@ func (s *Server) Submit(req Request) (JobView, error) {
 		if j.status != StatusFailed && j.status != StatusCancelled {
 			s.stats.Submitted++
 			s.stats.Deduped++
+			s.metrics.jobsSubmitted.Inc()
+			s.metrics.jobsDeduped.Inc()
 			v := s.viewLocked(j)
 			v.Cached = v.Cached || j.status == StatusDone
 			return v, nil
@@ -269,7 +328,10 @@ func (s *Server) Submit(req Request) (JobView, error) {
 			j.started, j.finished = now, now
 			s.stats.Submitted++
 			s.stats.CacheHits++
-			s.logf("service: job %s %s served from store (%.12s…)", j.id, j.spec.job, sp.hash)
+			s.metrics.jobsSubmitted.Inc()
+			s.metrics.jobsStoreHits.Inc()
+			s.log.Info("job served from store",
+				"job_id", j.id, "hash", sp.hash, "spec", j.spec.job.String())
 			return s.viewLocked(j), nil
 		}
 	}
@@ -284,7 +346,9 @@ func (s *Server) Submit(req Request) (JobView, error) {
 		return JobView{}, ErrQueueFull
 	}
 	s.stats.Submitted++
-	s.logf("service: job %s queued: %s", j.id, j.spec.job)
+	s.metrics.jobsSubmitted.Inc()
+	s.log.Info("job queued",
+		"job_id", j.id, "hash", sp.hash, "spec", j.spec.job.String(), "queue_depth", len(s.queue))
 	return s.viewLocked(j), nil
 }
 
@@ -375,13 +439,14 @@ func (s *Server) Cancel(id string) (JobView, bool) {
 		j.errMsg = "cancelled before start"
 		j.finished = time.Now()
 		s.stats.Cancelled++
+		s.metrics.jobsCompleted.With(string(StatusCancelled)).Inc()
 		s.closeSubsLocked(j)
-		s.logf("service: job %s cancelled while queued", j.id)
+		s.log.Info("job cancelled while queued", "job_id", j.id)
 	case StatusRunning:
 		// The worker observes the context at the next iteration boundary
 		// and marks the job cancelled; report the current state meanwhile.
 		j.cancelRun()
-		s.logf("service: job %s cancellation requested", j.id)
+		s.log.Info("job cancellation requested", "job_id", j.id)
 	}
 	return s.viewLocked(j), true
 }
@@ -452,7 +517,9 @@ func (s *Server) runJob(j *jobState) {
 	sp := j.spec
 	s.mu.Unlock()
 	defer cancel()
-	s.logf("service: job %s running: %s", j.id, sp.job)
+	s.metrics.jobsRunning.Inc()
+	defer s.metrics.jobsRunning.Dec()
+	s.log.Info("job running", "job_id", j.id, "spec", sp.job.String())
 
 	res, front, err := s.execute(ctx, j, sp)
 
@@ -462,11 +529,11 @@ func (s *Server) runJob(j *jobState) {
 	// tooling, which only reads job hashes) are unaffected.
 	if err == nil && s.store != nil {
 		if perr := s.store.Put(sp.hash, res); perr != nil {
-			s.logf("service: job %s result not persisted: %v", j.id, perr)
+			s.log.Warn("job result not persisted", "job_id", j.id, "error", perr)
 		}
 		if len(front) > 0 {
 			if perr := s.store.Put(frontKey(sp.hash), front); perr != nil {
-				s.logf("service: job %s front not persisted: %v", j.id, perr)
+				s.log.Warn("job front not persisted", "job_id", j.id, "error", perr)
 			}
 		}
 	}
@@ -481,19 +548,28 @@ func (s *Server) runJob(j *jobState) {
 		j.result = &res
 		j.front = front
 		s.stats.Executed++
-		s.logf("service: job %s done: Ratio_cpd=%.4f err=%.5g front=%d in %v",
-			j.id, res.RatioCPD, res.Err, len(front), j.finished.Sub(j.started).Round(time.Millisecond))
+		s.metrics.jobsExecuted.Inc()
+		s.metrics.jobsCompleted.With(string(StatusDone)).Inc()
+		s.metrics.jobDuration.Observe(j.finished.Sub(j.started).Seconds())
+		s.log.Info("job done",
+			"job_id", j.id,
+			"ratio_cpd", res.RatioCPD,
+			"err", res.Err,
+			"front", len(front),
+			"duration", j.finished.Sub(j.started).Round(time.Millisecond).String())
 	case errors.Is(err, context.Canceled):
 		j.status = StatusCancelled
 		j.errMsg = err.Error()
 		s.stats.Cancelled++
-		s.logf("service: job %s cancelled after %d iteration(s)", j.id, j.progress.Iter)
+		s.metrics.jobsCompleted.With(string(StatusCancelled)).Inc()
+		s.log.Info("job cancelled", "job_id", j.id, "iterations", j.progress.Iter)
 	default:
 		j.status = StatusFailed
 		j.errMsg = err.Error()
 		j.failCode = failCodeFor(err)
 		s.stats.Failed++
-		s.logf("service: job %s failed: %v", j.id, err)
+		s.metrics.jobsCompleted.With(string(StatusFailed)).Inc()
+		s.log.Warn("job failed", "job_id", j.id, "error", err)
 	}
 	s.closeSubsLocked(j)
 }
@@ -541,6 +617,7 @@ func (s *Server) execute(ctx context.Context, j *jobState, sp *flowSpec) (exp.Jo
 			s.mu.Unlock()
 		case als.EventDone:
 			res, front = ev.Result, ev.Front
+			s.metrics.observeFlow(res)
 		}
 	}
 	if res == nil {

@@ -157,6 +157,7 @@ func (s *Server) closeSubsLocked(j *jobState) {
 			}
 			close(ch)
 		}
+		s.metrics.sseSubscribers.Add(-int64(len(j.subs)))
 	}
 	j.subs = nil
 }
@@ -185,6 +186,7 @@ func (s *Server) subscribe(id string) (ch chan JobEvent, snapshot []JobEvent, ok
 		j.subs = map[chan JobEvent]struct{}{}
 	}
 	j.subs[ch] = struct{}{}
+	s.metrics.sseSubscribers.Inc()
 	return ch, snapshot, true
 }
 
@@ -194,7 +196,10 @@ func (s *Server) unsubscribe(id string, ch chan JobEvent) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok && j.subs != nil {
-		delete(j.subs, ch)
+		if _, live := j.subs[ch]; live {
+			delete(j.subs, ch)
+			s.metrics.sseSubscribers.Dec()
+		}
 	}
 }
 

@@ -11,6 +11,11 @@
 // Records are flushed per Put, so a crash loses at most the line being
 // written; Open tolerates (and counts) corrupt or truncated lines, keeping
 // every decodable record before and after them.
+//
+// A Store can be instrumented with telemetry counters (Instrument) so a
+// serving daemon's /metrics endpoint reports cache traffic — lookups,
+// hits and writes — without the store growing a metrics dependency on its
+// own hot path beyond three nil checks.
 package store
 
 import (
@@ -22,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Hash returns the canonical content hash (hex SHA-256) of any
@@ -72,6 +79,20 @@ type Store struct {
 	mem     map[string]json.RawMessage
 	order   []string // insertion order, for deterministic iteration
 	corrupt int
+
+	// Optional telemetry (Instrument); nil counters are simply not bumped.
+	cPuts, cGets, cHits *telemetry.Counter
+}
+
+// Instrument attaches telemetry counters: puts counts Put calls, gets
+// counts Get/Decode lookups, hits the lookups that found a record. Any
+// counter may be nil. Counters are bumped under the store mutex, so
+// Instrument may be called at any time, including between operations of a
+// live daemon (in practice it is called once, right after Open).
+func (s *Store) Instrument(puts, gets, hits *telemetry.Counter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cPuts, s.cGets, s.cHits = puts, gets, hits
 }
 
 // Open loads (or creates) the store at path. Undecodable lines — e.g. the
@@ -125,7 +146,13 @@ func Open(path string) (*Store, error) {
 func (s *Store) Get(hash string) (json.RawMessage, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.cGets != nil {
+		s.cGets.Inc()
+	}
 	p, ok := s.mem[hash]
+	if ok && s.cHits != nil {
+		s.cHits.Inc()
+	}
 	return p, ok
 }
 
@@ -156,6 +183,9 @@ func (s *Store) Put(hash string, payload any) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.cPuts != nil {
+		s.cPuts.Inc()
+	}
 	if _, err := s.w.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}

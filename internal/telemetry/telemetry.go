@@ -1,0 +1,489 @@
+// Package telemetry is a dependency-free metrics kernel for the serving
+// stack: counters, gauges and histograms registered in a Registry and
+// exposed in the Prometheus text exposition format (version 0.0.4), so
+// any standard scraper — or curl — can read them.
+//
+// The package trades generality for zero overhead on hot paths:
+//
+//   - Counters and gauges are single atomic words; Add/Inc/Set never
+//     allocate and never take a lock.
+//   - Histograms are fixed-bucket atomic arrays; Observe is a binary
+//     search plus two atomic adds.
+//   - Labels are supported through vectors (CounterVec) whose per-series
+//     children are resolved once and cached by the caller; resolving a
+//     child takes a mutex, using it does not.
+//
+// Metric names are frozen API: internal/service ships a contract test
+// pinning every name it registers, so a rename is a deliberate,
+// test-visible act — exactly like a wire-format change. Register metrics
+// at construction time; registration panics on invalid or duplicate
+// names because both are programmer errors, not runtime conditions.
+//
+// Parse implements the inverse direction (text exposition → series map)
+// for tests, the load harness and the metrics-scrape example; it is not
+// a general Prometheus parser, just enough for round-tripping what
+// WritePrometheus emits.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A metric is one named family that can render itself into the text
+// exposition format.
+type metric interface {
+	name() string
+	write(w io.Writer) error
+}
+
+// Registry holds an ordered set of metric families. The zero value is not
+// usable; create with NewRegistry. All methods are safe for concurrent
+// use, but metrics are normally registered once at startup.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]metric{}}
+}
+
+// register indexes a new family, panicking on duplicate or invalid names
+// (programmer errors: metric names are part of the frozen operational
+// contract and must be unique and well-formed at compile time).
+func (r *Registry) register(m metric) {
+	if !validName(m.name()) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", m.name()))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name()]; dup {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", m.name()))
+	}
+	r.byName[m.name()] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// MetricNames returns every registered family name in registration order.
+// The service's metric-name contract test pins this list.
+func (r *Registry) MetricNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.metrics))
+	for i, m := range r.metrics {
+		names[i] = m.name()
+	}
+	return names
+}
+
+// WritePrometheus renders every family in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		if err := m.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry as a text-exposition scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, b.String()) //nolint:errcheck // response already committed
+	})
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// writeHeader emits the # HELP / # TYPE preamble of one family.
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects: integers
+// without an exponent, everything else in the shortest round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ---- counter ---------------------------------------------------------------
+
+// Counter is a monotonically increasing value. The zero value is usable
+// but unregistered; obtain registered counters from Registry.Counter.
+type Counter struct {
+	nameStr, help string
+	v             atomic.Int64
+}
+
+// Counter registers and returns a new counter family with one unlabeled
+// series.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{nameStr: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) name() string { return c.nameStr }
+
+func (c *Counter) write(w io.Writer) error {
+	if err := writeHeader(w, c.nameStr, c.help, "counter"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", c.nameStr, c.v.Load())
+	return err
+}
+
+// ---- gauge -----------------------------------------------------------------
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	nameStr, help string
+	v             atomic.Int64
+}
+
+// Gauge registers and returns a new gauge family with one unlabeled
+// series.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{nameStr: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add shifts the value by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds 1; Dec subtracts 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) name() string { return g.nameStr }
+
+func (g *Gauge) write(w io.Writer) error {
+	if err := writeHeader(w, g.nameStr, g.help, "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", g.nameStr, g.v.Load())
+	return err
+}
+
+// GaugeFunc is a gauge sampled at scrape time from a callback — for
+// values something else already maintains (a queue length, a table size).
+// The callback must be safe for concurrent use.
+type GaugeFunc struct {
+	nameStr, help string
+	fn            func() float64
+}
+
+// GaugeFunc registers a callback-sampled gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	g := &GaugeFunc{nameStr: name, help: help, fn: fn}
+	r.register(g)
+	return g
+}
+
+func (g *GaugeFunc) name() string { return g.nameStr }
+
+func (g *GaugeFunc) write(w io.Writer) error {
+	if err := writeHeader(w, g.nameStr, g.help, "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", g.nameStr, formatValue(g.fn()))
+	return err
+}
+
+// ---- vectors ---------------------------------------------------------------
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct {
+	nameStr, help string
+	labels        []string
+
+	mu       sync.Mutex
+	children map[string]*vecChild
+	order    []string // insertion order of series keys; exposition sorts
+}
+
+type vecChild struct {
+	labelValues []string
+	v           atomic.Int64
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("telemetry: CounterVec needs at least one label")
+	}
+	v := &CounterVec{nameStr: name, help: help, labels: labels, children: map[string]*vecChild{}}
+	r.register(v)
+	return v
+}
+
+// With returns the series for the given label values (created on first
+// use). Callers on hot paths should resolve once and hold the child.
+func (v *CounterVec) With(values ...string) *VecCounter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: %s wants %d label value(s), got %d", v.nameStr, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[key]
+	if !ok {
+		c = &vecChild{labelValues: append([]string(nil), values...)}
+		v.children[key] = c
+		v.order = append(v.order, key)
+	}
+	return &VecCounter{c}
+}
+
+// VecCounter is one series of a CounterVec.
+type VecCounter struct{ c *vecChild }
+
+// Inc adds 1.
+func (c *VecCounter) Inc() { c.c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored.
+func (c *VecCounter) Add(n int64) {
+	if n > 0 {
+		c.c.v.Add(n)
+	}
+}
+
+// Value returns the series' current count.
+func (c *VecCounter) Value() int64 { return c.c.v.Load() }
+
+func (v *CounterVec) name() string { return v.nameStr }
+
+func (v *CounterVec) write(w io.Writer) error {
+	if err := writeHeader(w, v.nameStr, v.help, "counter"); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	keys := append([]string(nil), v.order...)
+	sort.Strings(keys)
+	type row struct {
+		labels string
+		val    int64
+	}
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		c := v.children[k]
+		var b strings.Builder
+		for i, lv := range c.labelValues {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", v.labels[i], escapeLabel(lv))
+		}
+		rows = append(rows, row{labels: b.String(), val: c.v.Load()})
+	}
+	v.mu.Unlock()
+	for _, rw := range rows {
+		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", v.nameStr, rw.labels, rw.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- histogram -------------------------------------------------------------
+
+// DefBuckets is a latency-shaped default bucket layout in seconds,
+// spanning sub-millisecond submits to minute-long flows.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120}
+
+// Histogram observes a distribution into fixed cumulative buckets. Sum is
+// kept in float64 bits under CAS; counts are plain atomic adds.
+type Histogram struct {
+	nameStr, help string
+	bounds        []float64 // upper bounds, ascending; +Inf implicit
+	counts        []atomic.Int64
+	count         atomic.Int64
+	sumBits       atomic.Uint64
+}
+
+// Histogram registers a histogram family with the given ascending bucket
+// upper bounds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: %s buckets not ascending at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		nameStr: name,
+		help:    help,
+		bounds:  append([]float64(nil), buckets...),
+		counts:  make([]atomic.Int64, len(buckets)),
+	}
+	r.register(h)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns how many samples were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) name() string { return h.nameStr }
+
+func (h *Histogram) write(w io.Writer) error {
+	if err := writeHeader(w, h.nameStr, h.help, "histogram"); err != nil {
+		return err
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nameStr, formatValue(b), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nameStr, h.count.Load()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.nameStr, formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", h.nameStr, h.count.Load())
+	return err
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+// Parse reads a text exposition and returns every sample keyed by its
+// series string — the metric name plus any label set, byte-for-byte as
+// emitted (e.g. `als_queue_depth` or `als_http_requests_total{code="200",
+// route="POST /v2/jobs"}`). It understands exactly what WritePrometheus
+// produces (and what real Prometheus servers emit for these types);
+// comment and blank lines are skipped, anything else malformed is an
+// error naming the line.
+func Parse(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space outside braces; the
+		// series is everything before it. Label values may contain spaces,
+		// so split from the right of the closing brace when one exists.
+		var series, valStr string
+		if end := strings.LastIndexByte(line, '}'); end >= 0 {
+			series = line[:end+1]
+			valStr = strings.TrimSpace(line[end+1:])
+		} else {
+			i := strings.IndexByte(line, ' ')
+			if i < 0 {
+				return nil, fmt.Errorf("telemetry: parse line %d: no value in %q", lineNo, line)
+			}
+			series, valStr = line[:i], strings.TrimSpace(line[i+1:])
+		}
+		// Exposition lines may carry an optional trailing timestamp.
+		if fields := strings.Fields(valStr); len(fields) > 1 {
+			valStr = fields[0]
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: parse line %d: value %q: %v", lineNo, valStr, err)
+		}
+		out[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: parse: %w", err)
+	}
+	return out, nil
+}

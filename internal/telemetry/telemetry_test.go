@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionRoundTrip renders one of every metric kind and parses the
+// output back, asserting every series survives byte-exact and
+// value-exact — the same round trip the /metrics endpoint test and the
+// load harness rely on.
+func TestExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "operations")
+	g := reg.Gauge("test_depth", "queue depth")
+	reg.GaugeFunc("test_live", "sampled", func() float64 { return 3.5 })
+	vec := reg.CounterVec("test_lane_total", "per-lane", "lane")
+	h := reg.Histogram("test_latency_seconds", "latency", []float64{0.1, 1, 10})
+
+	c.Add(41)
+	c.Inc()
+	g.Set(7)
+	g.Dec()
+	vec.With("local").Add(3)
+	vec.With("http://w1:8080").Inc()
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(99)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Parse of own output: %v\n%s", err, b.String())
+	}
+
+	want := map[string]float64{
+		"test_ops_total":                         42,
+		"test_depth":                             6,
+		"test_live":                              3.5,
+		`test_lane_total{lane="http://w1:8080"}`: 1,
+		`test_lane_total{lane="local"}`:          3,
+		`test_latency_seconds_bucket{le="0.1"}`:  1,
+		`test_latency_seconds_bucket{le="1"}`:    2,
+		`test_latency_seconds_bucket{le="10"}`:   2,
+		`test_latency_seconds_bucket{le="+Inf"}`: 3,
+		"test_latency_seconds_sum":               99.55,
+		"test_latency_seconds_count":             3,
+	}
+	for series, wantV := range want {
+		gotV, ok := got[series]
+		if !ok {
+			t.Errorf("series %q missing from exposition:\n%s", series, b.String())
+			continue
+		}
+		if gotV != wantV {
+			t.Errorf("series %q = %v, want %v", series, gotV, wantV)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("exposition has %d series, want %d:\n%s", len(got), len(want), b.String())
+	}
+}
+
+// TestExpositionFormat pins the literal text framing (# HELP/# TYPE
+// ordering, histogram suffixes) that scrapers depend on.
+func TestExpositionFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "things that\nhappened").Add(2)
+	reg.Gauge("b", "").Set(-4)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP a_total things that\\nhappened\n" +
+		"# TYPE a_total counter\n" +
+		"a_total 2\n" +
+		"# TYPE b gauge\n" +
+		"b -4\n"
+	if b.String() != want {
+		t.Errorf("exposition:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+// TestCounterMonotonicUnderRace hammers one counter, one vec series and
+// one histogram from many goroutines while a reader scrapes, asserting
+// (under -race) that observed counter values never decrease and the final
+// totals are exact.
+func TestCounterMonotonicUnderRace(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("race_total", "")
+	vec := reg.CounterVec("race_lane_total", "", "lane")
+	h := reg.Histogram("race_hist", "", []float64{1})
+
+	const writers, perWriter = 8, 1000
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var last float64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			m, err := Parse(strings.NewReader(b.String()))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if v := m["race_total"]; v < last {
+				t.Errorf("counter went backwards: %v after %v", v, last)
+				return
+			} else {
+				last = v
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lane := vec.With(fmt.Sprintf("lane%d", w%3))
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				lane.Inc()
+				h.Observe(float64(i % 3))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	var lanes int64
+	for i := 0; i < 3; i++ {
+		lanes += vec.With(fmt.Sprintf("lane%d", i)).Value()
+	}
+	if lanes != writers*perWriter {
+		t.Errorf("vec total = %d, want %d", lanes, writers*perWriter)
+	}
+}
+
+// TestHandler serves a scrape over HTTP with the standard content type.
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("h_total", "x").Inc()
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	m, err := Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["h_total"] != 1 {
+		t.Errorf("scraped h_total = %v, want 1", m["h_total"])
+	}
+}
+
+// TestRegistrationPanics pins that name collisions and malformed names
+// fail loudly at startup, not silently at scrape time.
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.Counter("dup_total", "")
+	mustPanic("duplicate", func() { reg.Counter("dup_total", "") })
+	mustPanic("invalid name", func() { reg.Gauge("9starts_with_digit", "") })
+	mustPanic("empty name", func() { reg.Gauge("", "") })
+	mustPanic("no labels", func() { reg.CounterVec("v_total", "") })
+	mustPanic("bad buckets", func() { reg.Histogram("h", "", []float64{2, 1}) })
+	mustPanic("label arity", func() { reg.CounterVec("v2_total", "", "a").With("x", "y") })
+}
+
+// TestCounterIgnoresNegative pins the monotonicity guard.
+func TestCounterIgnoresNegative(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("neg_total", "")
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+}
+
+// TestParseTolerance: timestamps and unknown comment lines are accepted;
+// garbage is named by line.
+func TestParseTolerance(t *testing.T) {
+	m, err := Parse(strings.NewReader("# EOF\nx_total 4 1712345678901\n\ny 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["x_total"] != 4 || m["y"] != 2 {
+		t.Errorf("parsed %v", m)
+	}
+	if _, err := Parse(strings.NewReader("junk-without-value\n")); err == nil {
+		t.Error("malformed line parsed without error")
+	}
+}

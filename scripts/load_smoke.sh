@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# load_smoke.sh — load-proof of the serving stack, run by the `load-smoke`
+# CI job and reproducible locally with:
+#
+#     scripts/load_smoke.sh
+#
+# It boots a small fleet of alsd workers and drives hundreds of
+# concurrent mixed /v2 sessions (cache-hitting and cache-missing, SSE and
+# polling consumers) through cmd/loadgen, which exits non-zero unless the
+# SLOs hold:
+#
+#   1. p99 submit latency stays under the bound (accepting is queueing,
+#      never computing);
+#   2. every SSE stream ends with exactly one terminal event — zero drops;
+#   3. the hard-error rate stays under the ceiling (queue-full 503s are
+#      backpressure and retried, not errors).
+#
+# Afterwards it scrapes /metrics on each worker and asserts the telemetry
+# actually moved: submissions, executions, queue traffic and evaluation
+# counters must all be non-zero, and the submitted total across the fleet
+# must equal what loadgen delivered.
+#
+# Requires: go, curl. Ports default to 8493/8494 (L1_PORT/L2_PORT).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+L1_PORT=${L1_PORT:-8493}
+L2_PORT=${L2_PORT:-8494}
+L1=http://127.0.0.1:$L1_PORT
+L2=http://127.0.0.1:$L2_PORT
+SESSIONS=${SESSIONS:-120}
+PER_SESSION=${PER_SESSION:-2}
+
+work=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+say() { echo "== $*"; }
+
+go build -o "$work/alsd" ./cmd/alsd
+go build -o "$work/loadgen" ./cmd/loadgen
+
+wait_ready() { # url
+  for _ in $(seq 1 100); do
+    curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "worker $1 never became ready" >&2
+  return 1
+}
+
+start_worker() { # port store-file; appends the pid to pids
+  "$work/alsd" -addr "127.0.0.1:$1" -store "$work/$2" -workers 2 \
+    -log-format json -log-level debug -pprof \
+    >"$work/$2.log" 2>&1 &
+  pids+=($!)
+}
+
+say "booting 2 alsd workers on :$L1_PORT and :$L2_PORT"
+start_worker "$L1_PORT" l1.jsonl
+start_worker "$L2_PORT" l2.jsonl
+wait_ready "$L1"
+wait_ready "$L2"
+
+say "driving $SESSIONS sessions x $PER_SESSION submissions (mixed cached/uncached, SSE/polling)"
+"$work/loadgen" -targets "$L1,$L2" \
+  -sessions "$SESSIONS" -per-session "$PER_SESSION" \
+  -timeout 4m | tee "$work/loadgen.out"
+grep -q "all SLOs met" "$work/loadgen.out"
+
+# metric <url> <name> — print one un-labeled series value (integers only
+# in practice; counters expose plain numbers).
+metric() {
+  curl -fsS "$1/metrics" | awk -v m="$2" '$1 == m { print $2; found=1 } END { exit !found }'
+}
+
+say "asserting the telemetry moved"
+total_submitted=0
+for url in "$L1" "$L2"; do
+  curl -fsS "$url/metrics" >"$work/metrics.txt"
+  for m in als_jobs_submitted_total als_jobs_executed_total \
+           als_store_gets_total als_evaluations_total \
+           als_evalcache_lookups_total; do
+    v=$(metric "$url" "$m") \
+      || { echo "$url: metric $m missing" >&2; cat "$work/metrics.txt" >&2; exit 1; }
+    awk -v v="$v" 'BEGIN { exit !(v > 0) }' \
+      || { echo "$url: metric $m never moved (= $v)" >&2; exit 1; }
+  done
+  sub=$(metric "$url" als_jobs_submitted_total)
+  total_submitted=$(awk -v a="$total_submitted" -v b="$sub" 'BEGIN { print a + b }')
+  # The run is over: nothing may still be queued, running or subscribed.
+  for m in als_queue_depth als_jobs_running als_sse_subscribers; do
+    v=$(metric "$url" "$m")
+    [ "${v%.*}" = "0" ] || { echo "$url: $m = $v after the run drained" >&2; exit 1; }
+  done
+done
+
+expected=$((SESSIONS * PER_SESSION))
+[ "${total_submitted%.*}" -eq "$expected" ] \
+  || { echo "fleet-wide als_jobs_submitted_total = $total_submitted, want $expected" >&2; exit 1; }
+say "fleet accepted all $expected submissions and the counters agree"
+
+say "pprof is live"
+curl -fsS "$L1/debug/pprof/" >/dev/null
+
+say "request ids + structured logs"
+curl -fsSi "$L1/healthz" | grep -qi '^x-request-id:' \
+  || { echo "no X-Request-Id on responses" >&2; exit 1; }
+grep -q '"msg":"http request"' "$work/l1.jsonl.log" \
+  || { echo "no structured access-log lines in the worker log" >&2; exit 1; }
+
+say "draining the fleet"
+kill -TERM "${pids[0]}" "${pids[1]}"
+wait "${pids[0]}" "${pids[1]}"
+
+say "load smoke passed"
