@@ -44,6 +44,9 @@
 //	GET /metrics          Prometheus text exposition — queue depth, job
 //	                      states and latency, evaluation-cache rates,
 //	                      store traffic, SSE subscribers, HTTP by route
+//	GET /debug/traces     recent request/job span trees; ?trace= one
+//	                      trace, ?min_ms= slow ones, ?format=jsonl for
+//	                      cmd/tracecat (-trace-buf 0 disables)
 //	GET /debug/pprof/     live CPU/heap/goroutine profiles (-pprof only)
 //
 // Logs are structured (log/slog): -log-format picks text or json,
@@ -71,6 +74,7 @@ import (
 
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -85,6 +89,7 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "log output format: text or json")
 		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error (debug adds the per-request access log)")
 		withPprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiles expose internals; keep off on untrusted networks)")
+		traceBuf     = flag.Int("trace-buf", trace.DefaultCapacity, "span ring-buffer capacity for GET /debug/traces (0 disables tracing)")
 	)
 	flag.Parse()
 
@@ -104,6 +109,12 @@ func main() {
 		logger.Info("store opened", "path", *storePath, "results", st.Len(), "corrupt_lines", st.Corrupt())
 	}
 
+	var tracer *trace.Tracer
+	if *traceBuf > 0 {
+		tracer = trace.New(trace.Options{Service: "alsd" + *addr, Capacity: *traceBuf})
+		logger.Info("tracing enabled", "path", "/debug/traces", "capacity", *traceBuf)
+	}
+
 	svc := service.New(service.Options{
 		Store:       st,
 		Workers:     *workers,
@@ -111,6 +122,7 @@ func main() {
 		EvalWorkers: *evalWorkers,
 		MaxJobs:     *maxJobs,
 		Logger:      logger,
+		Tracer:      tracer,
 	})
 
 	root := http.NewServeMux()

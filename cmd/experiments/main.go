@@ -57,6 +57,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -89,6 +90,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		check    = fs.String("check", "", "diff freshly computed metrics against this golden file and exit")
 		update   = fs.String("update-golden", "", "recompute the golden suite, write it to this path and exit")
 		metrics  = fs.String("metrics-addr", "", "serve Prometheus /metrics on this address for the duration of the run (e.g. 127.0.0.1:9090); empty disables")
+		traceOut = fs.String("trace-out", "", "enable tracing and write the coordinator's span export (JSONL, the cmd/tracecat input) to this file when the run ends")
+		traceBuf = fs.Int("trace-buf", trace.DefaultCapacity, "span ring-buffer capacity while tracing")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -118,6 +121,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// -trace-out records the whole invocation as one trace: a root span
+	// here, the dispatch sweep and its per-request spans under it (remote
+	// workers continue the same trace ID via traceparent), and the local
+	// lanes' job/generation spans. The export is written on every exit
+	// path so an interrupted run still leaves its timeline behind.
+	var (
+		tracer   *trace.Tracer
+		rootSpan *trace.Span
+	)
+	if *traceOut != "" {
+		tracer = trace.New(trace.Options{Service: "experiments", Capacity: *traceBuf})
+		rootSpan = tracer.StartRoot("experiments.run")
+		rootSpan.SetAttr("exp", *expName)
+		rootSpan.SetAttr("scale", *scale)
+		ctx = trace.ContextWith(ctx, rootSpan)
+		fmt.Fprintf(stderr, "trace %s\n", rootSpan.TraceID())
+		defer func() {
+			rootSpan.End()
+			if err := writeTrace(*traceOut, tracer); err != nil {
+				fmt.Fprintf(stderr, "trace export: %v\n", err)
+				return
+			}
+			fmt.Fprintf(stderr, "trace export: %s (render: tracecat %s)\n", *traceOut, *traceOut)
+		}()
+	}
+
 	// -metrics-addr makes a long sweep observable from outside: a tiny
 	// HTTP server exposes the dispatch lane counters plus the -out store
 	// traffic for the run's duration. Registered before the runner is
@@ -131,6 +160,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		dm = dispatch.NewMetrics(reg)
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", reg.Handler())
+		mux.Handle("GET /debug/traces", tracer.Handler())
 		ms := &http.Server{Addr: *metrics, Handler: mux}
 		go func() {
 			if err := ms.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -141,7 +171,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "metrics on http://%s/metrics\n", *metrics)
 	}
 
-	runner, err := newJobRunner(*workers, *jobs, dm, stderr)
+	runner, err := newJobRunner(*workers, *jobs, dm, tracer, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -266,7 +296,7 @@ type jobRunner func(ctx context.Context, jobs []exp.Job, st *store.Store) (exp.R
 // cells run on a local pool of `localJobs` goroutines; with -workers they
 // are partitioned across the fleet, and localJobs > 0 adds that many
 // local lanes (the coordinator machine's share).
-func newJobRunner(workersCSV string, localJobs int, dm *dispatch.Metrics, stderr io.Writer) (jobRunner, error) {
+func newJobRunner(workersCSV string, localJobs int, dm *dispatch.Metrics, tracer *trace.Tracer, stderr io.Writer) (jobRunner, error) {
 	if workersCSV == "" {
 		return func(ctx context.Context, jobs []exp.Job, st *store.Store) (exp.ResultSet, exp.RunStats, error) {
 			return exp.RunJobsContext(ctx, jobs, localJobs, st)
@@ -292,12 +322,26 @@ func newJobRunner(workersCSV string, localJobs int, dm *dispatch.Metrics, stderr
 			LocalJobs: localJobs,
 			Store:     st,
 			Metrics:   dm,
+			Tracer:    tracer,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(stderr, format+"\n", args...)
 			},
 		})
 		return rs, dstats.RunStats, err
 	}, nil
+}
+
+// writeTrace dumps the tracer's buffered spans as JSONL.
+func writeTrace(path string, tracer *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // expandExperiments resolves the -exp flag, listing the valid names in the

@@ -15,6 +15,14 @@
 // resubmits, and the retry count is reported separately. That is the
 // contract clients are told to follow, so the harness follows it too.
 //
+// With -check-traces the harness also proves the tracing pipeline under
+// load: every accepted submission's X-Request-Id (the trace ID when the
+// target runs with tracing on) is recorded, and after the run each
+// target's GET /debug/traces is scraped and every recorded trace must be
+// complete — a root request span carrying its submit outcome, and, for
+// every genuinely queued submission, a terminal job.run child with its
+// final status. Any incomplete trace fails the run.
+//
 // Usage (two local workers, the CI smoke shape):
 //
 //	loadgen -targets http://127.0.0.1:18080,http://127.0.0.1:18081 \
@@ -41,6 +49,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 func main() {
@@ -60,6 +70,14 @@ type config struct {
 	timeout      time.Duration
 	sloP99       time.Duration
 	sloErrorRate float64
+	checkTraces  bool
+}
+
+// submitRef remembers one accepted submission for the post-run trace
+// audit: which target took it and the request ID its response carried.
+type submitRef struct {
+	target string
+	id     string
 }
 
 // tally aggregates everything the sessions observe; all fields are
@@ -78,6 +96,13 @@ type tally struct {
 	mu            sync.Mutex
 	submitLatency []time.Duration
 	errorsSample  []string
+	submitRefs    []submitRef
+}
+
+func (t *tally) recordSubmit(target, id string) {
+	t.mu.Lock()
+	t.submitRefs = append(t.submitRefs, submitRef{target: target, id: id})
+	t.mu.Unlock()
 }
 
 func (t *tally) recordLatency(d time.Duration) {
@@ -111,6 +136,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout    = fs.Duration("timeout", 5*time.Minute, "whole-run deadline")
 		sloP99     = fs.Duration("slo-p99", 2*time.Second, "SLO: maximum p99 submit latency")
 		sloErrRate = fs.Float64("slo-error-rate", 0.01, "SLO: maximum hard-error fraction of submissions")
+		checkTr    = fs.Bool("check-traces", false, "after the run, scrape each target's /debug/traces and require every accepted submit's trace to be complete (targets must run with tracing on)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -130,6 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout:      *timeout,
 		sloP99:       *sloP99,
 		sloErrorRate: *sloErrRate,
+		checkTraces:  *checkTr,
 	}
 	for _, u := range strings.Split(*targets, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -165,7 +192,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	return report(cfg, &t, elapsed, stdout, stderr)
+	code := report(cfg, &t, elapsed, stdout, stderr)
+	if cfg.checkTraces {
+		if !verifyTraces(client, &t, stdout, stderr) && code == 0 {
+			code = 1
+		}
+	}
+	return code
 }
 
 // session submits one job and consumes it to its terminal state, over SSE
@@ -226,6 +259,9 @@ func session(ctx context.Context, client *http.Client, cfg config, target string
 		}
 		t.recordLatency(time.Since(begin))
 		t.submits.Add(1)
+		if cfg.checkTraces {
+			t.recordSubmit(target, resp.Header.Get("X-Request-Id"))
+		}
 		var v struct {
 			ID     string `json:"id"`
 			Status string `json:"status"`
@@ -395,4 +431,106 @@ func report(cfg config, t *tally, elapsed time.Duration, stdout, stderr io.Write
 		return 0
 	}
 	return 1
+}
+
+// verifyTraces scrapes every target's /debug/traces and checks span
+// completeness for each accepted submission: the request ID must be a
+// trace ID (tracing was on), the trace must still be buffered with its
+// root request span, and a submission whose outcome was "queued" — one
+// that actually executed on that worker — must show a terminal job.run
+// child carrying its final status. Dedup and store-served submissions
+// legitimately have no job.run of their own.
+func verifyTraces(client *http.Client, t *tally, stdout, stderr io.Writer) bool {
+	t.mu.Lock()
+	refs := append([]submitRef(nil), t.submitRefs...)
+	t.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Fetch each distinct submit trace by ID (the server filters ring-side,
+	// so a busy daemon holding thousands of poll/SSE traces only ships the
+	// spans being audited).
+	spans := map[string][]trace.SpanRecord{} // target+trace ID → spans
+	fetch := func(target, id string) ([]trace.SpanRecord, error) {
+		url := fmt.Sprintf("%s/debug/traces?format=jsonl&trace=%s", target, id)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := trace.ReadJSONL(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("HTTP %d, %v", resp.StatusCode, err)
+		}
+		return recs, nil
+	}
+	for _, r := range refs {
+		if len(r.id) != 32 {
+			continue
+		}
+		key := r.target + "/" + r.id
+		if _, done := spans[key]; done {
+			continue
+		}
+		recs, err := fetch(r.target, r.id)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: trace scrape %s: %v\n", r.target, err)
+			return false
+		}
+		spans[key] = recs
+	}
+
+	bad := 0
+	complain := func(format string, args ...any) {
+		if bad < 10 {
+			fmt.Fprintf(stderr, "loadgen: trace check: "+format+"\n", args...)
+		}
+		bad++
+	}
+	for _, r := range refs {
+		if len(r.id) != 32 {
+			complain("submit to %s returned request id %q, not a trace ID — is the target running with -trace-buf 0?", r.target, r.id)
+			continue
+		}
+		tr := spans[r.target+"/"+r.id]
+		if len(tr) == 0 {
+			complain("trace %s missing from %s (evicted? raise the worker's -trace-buf)", r.id, r.target)
+			continue
+		}
+		var root *trace.SpanRecord
+		for i := range tr {
+			if tr[i].Root() && strings.HasPrefix(tr[i].Name, "http ") {
+				root = &tr[i]
+				break
+			}
+		}
+		if root == nil {
+			complain("trace %s on %s has no root request span", r.id, r.target)
+			continue
+		}
+		if root.Attrs["outcome"] != "queued" {
+			continue
+		}
+		terminal := false
+		for _, rec := range tr {
+			if rec.Name == "job.run" && rec.Attrs["status"] != nil {
+				terminal = true
+				break
+			}
+		}
+		if !terminal {
+			complain("trace %s on %s: queued submit has no terminal job.run span", r.id, r.target)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "loadgen: trace check FAILED: %d of %d accepted submits incomplete\n", bad, len(refs))
+		return false
+	}
+	fmt.Fprintf(stdout, "loadgen: trace check: %d/%d accepted submits have complete traces\n", len(refs), len(refs))
+	return true
 }

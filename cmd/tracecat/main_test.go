@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// fixture builds a two-trace corpus: a distributed-looking trace (the
+// coordinator export side) and a short local-only trace.
+const (
+	fleetTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	quickTrace = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab"
+)
+
+func fixtureSpans(t0 time.Time) []trace.SpanRecord {
+	mk := func(id, parent, service, name string, off, dur time.Duration, attrs map[string]any) trace.SpanRecord {
+		return trace.SpanRecord{
+			TraceID: fleetTrace, SpanID: id, Parent: parent,
+			Service: service, Name: name,
+			Start: t0.Add(off), End: t0.Add(off + dur), DurationNS: int64(dur),
+			Attrs: attrs,
+		}
+	}
+	return []trace.SpanRecord{
+		mk("00000000000000a1", "", "experiments", "experiments.run", 0, 100*time.Millisecond, nil),
+		mk("00000000000000a2", "00000000000000a1", "experiments", "dispatch.sweep", time.Millisecond, 95*time.Millisecond, map[string]any{"jobs": 2}),
+		mk("00000000000000a3", "00000000000000a2", "experiments", "dispatch.submit", 2*time.Millisecond, 90*time.Millisecond, nil),
+		{
+			TraceID: quickTrace, SpanID: "00000000000000b1",
+			Service: "experiments", Name: "experiments.run",
+			Start: t0.Add(200 * time.Millisecond), End: t0.Add(202 * time.Millisecond),
+			DurationNS: int64(2 * time.Millisecond),
+		},
+	}
+}
+
+// workerSpans is the other half of the fleet trace, as a worker's
+// /debug/traces would export it: a remote-parent HTTP span continuing the
+// coordinator's submit span, with the job execution under it.
+func workerSpans(t0 time.Time) []trace.SpanRecord {
+	return []trace.SpanRecord{
+		{
+			TraceID: fleetTrace, SpanID: "00000000000000c1", Parent: "00000000000000a3",
+			RemoteParent: true, Service: "alsd:9101", Name: "http POST /v1/jobs",
+			Start: t0.Add(3 * time.Millisecond), End: t0.Add(88 * time.Millisecond),
+			DurationNS: int64(85 * time.Millisecond),
+		},
+		{
+			TraceID: fleetTrace, SpanID: "00000000000000c2", Parent: "00000000000000c1",
+			Service: "alsd:9101", Name: "job.run",
+			Start: t0.Add(4 * time.Millisecond), End: t0.Add(87 * time.Millisecond),
+			DurationNS: int64(83 * time.Millisecond),
+			Attrs:      map[string]any{"status": "ok"},
+		},
+	}
+}
+
+func writeJSONL(t *testing.T, path string, recs []trace.SpanRecord) {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRenderTimelineAndCriticalPath(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	writeJSONL(t, path, fixtureSpans(t0))
+
+	code, out, errb := runTool(t, path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{
+		"trace " + fleetTrace,
+		"3 spans",
+		"dispatch.sweep",
+		"critical path (3 hops",
+		"experiments.run",
+		"=", // at least one Gantt bar
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both traces render without -trace.
+	if !strings.Contains(out, "trace "+quickTrace) {
+		t.Errorf("second trace not rendered:\n%s", out)
+	}
+}
+
+func TestListAndMinDur(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	writeJSONL(t, path, fixtureSpans(t0))
+
+	code, out, _ := runTool(t, "-list", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, fleetTrace) || !strings.Contains(out, quickTrace) {
+		t.Fatalf("-list should show both traces:\n%s", out)
+	}
+
+	code, out, _ = runTool(t, "-list", "-min-dur", "50ms", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, fleetTrace) || strings.Contains(out, quickTrace) {
+		t.Fatalf("-min-dur should keep only the long trace:\n%s", out)
+	}
+}
+
+func TestTraceFilterAndNotFound(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	writeJSONL(t, path, fixtureSpans(t0))
+
+	code, out, _ := runTool(t, "-trace", fleetTrace, path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, quickTrace) {
+		t.Fatalf("-trace should filter other traces:\n%s", out)
+	}
+
+	code, _, errb := runTool(t, "-trace", strings.Repeat("d", 32), path)
+	if code != 1 || !strings.Contains(errb, "not found") {
+		t.Fatalf("unknown trace: exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestMergeFileAndURL(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	dir := t.TempDir()
+	coord := filepath.Join(dir, "coord.jsonl")
+	writeJSONL(t, coord, fixtureSpans(t0))
+
+	var gotQuery string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotQuery = r.URL.RawQuery
+		var buf bytes.Buffer
+		for _, rec := range workerSpans(t0) {
+			b, _ := json.Marshal(rec)
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		w.Write(buf.Bytes()) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	code, out, errb := runTool(t, "-trace", fleetTrace, coord, srv.URL+"/debug/traces")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(gotQuery, "format=jsonl") || !strings.Contains(gotQuery, "trace="+fleetTrace) {
+		t.Errorf("URL fetch should push format and trace filter server-side, got query %q", gotQuery)
+	}
+	// The worker's remote-parent span stitches under the coordinator's
+	// submit span: one tree, 5 spans, worker service listed.
+	for _, want := range []string{"5 spans", "alsd:9101", "job.run [status=ok]", "http POST /v1/jobs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged render missing %q:\n%s", want, out)
+		}
+	}
+	// Critical path should now descend into the worker.
+	if !strings.Contains(out, "critical path (5 hops") {
+		t.Errorf("critical path should cross the process boundary:\n%s", out)
+	}
+}
+
+func TestDedupOnDoubleInput(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	writeJSONL(t, path, fixtureSpans(t0))
+
+	code, out, _ := runTool(t, "-trace", fleetTrace, path, path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "3 spans") {
+		t.Fatalf("same file twice must dedup by span ID:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if code, _, _ := runTool(t); code != 2 {
+		t.Errorf("no args: want exit 2, got %d", code)
+	}
+	if code, _, errb := runTool(t, filepath.Join(t.TempDir(), "missing.jsonl")); code != 1 || errb == "" {
+		t.Errorf("missing file: want exit 1 + message, got %d %q", code, errb)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runTool(t, bad); code != 1 {
+		t.Errorf("corrupt input: want exit 1, got %d", code)
+	}
+}

@@ -184,6 +184,7 @@ func (r *runner) checkpoint(round int, best *core.Individual) error {
 			BestErr:     best.Err,
 			ErrAllowed:  r.cfg.ErrorBudget,
 			Evaluations: r.eval.Count(),
+			Cache:       r.eval.CacheStats(),
 		})
 	}
 	return nil

@@ -204,6 +204,10 @@ type IterStats struct {
 	BestErr     float64
 	ErrAllowed  float64
 	Evaluations int
+	// Cache snapshots the evaluation cache's cumulative counters as of
+	// this iteration, so per-iteration deltas (and trace spans) can show
+	// where an iteration's evaluation time went.
+	Cache CacheStats
 }
 
 // Result is the outcome of one DCGWO run.

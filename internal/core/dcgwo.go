@@ -339,6 +339,7 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 			BestErr:     best.Err,
 			ErrAllowed:  errAllowed,
 			Evaluations: o.eval.Count(),
+			Cache:       o.eval.CacheStats(),
 		}
 		result.History = append(result.History, stats)
 		if cfg.Progress != nil {

@@ -27,6 +27,8 @@ package dispatch
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,6 +47,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Options configures one distributed run.
@@ -80,6 +83,12 @@ type Options struct {
 	// Metrics, when non-nil, records per-lane throughput, retries and
 	// failovers (create once with NewMetrics and share across runs).
 	Metrics *Metrics
+	// Tracer records the sweep as one trace: a root span per run, a child
+	// span per worker submit/poll round trip (each carrying a traceparent
+	// header the worker's middleware continues, so the whole fleet shares
+	// one trace ID), and the local lanes' job spans. Nil disables tracing;
+	// the X-Request-Id run correlation below works either way.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +132,11 @@ type Stats struct {
 	FailedOver int
 	// DeadLanes lists lanes that exhausted their retry budget.
 	DeadLanes []string
+	// TraceID is the fleet-wide trace of this run ("" without a Tracer):
+	// every coordinator span and every worker-side request span of the
+	// sweep shares it, so one /debug/traces?trace= lookup per host
+	// reassembles the whole run.
+	TraceID string
 }
 
 // task is one pending cell and its cache key.
@@ -144,6 +158,12 @@ type shared struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	opts   Options
+	// span is the sweep's root span (nil without a Tracer); runID is the
+	// run's log-correlation token — the trace ID when tracing, a random
+	// "sweep-…" tag otherwise — forwarded as X-Request-Id on every worker
+	// request so worker logs grep by coordinator run either way.
+	span  *trace.Span
+	runID string
 	// failover receives the unfinished cells of dead lanes; its capacity
 	// is the full pending count, so pushes never block.
 	failover chan *task
@@ -180,6 +200,33 @@ func Run(ctx context.Context, jobs []exp.Job, opts Options) (exp.ResultSet, Stat
 		return rs, stats, nil
 	}
 
+	// One span roots the whole sweep — as a child when the caller already
+	// carries one on ctx (cmd/experiments roots a per-invocation span),
+	// fresh otherwise. Its trace ID doubles as the run's log-correlation
+	// token; without a tracer a random tag fills that role.
+	var sweep *trace.Span
+	if parent := trace.FromContext(ctx); parent != nil {
+		sweep = parent.StartChild("dispatch.sweep")
+	} else {
+		sweep = opts.Tracer.StartRoot("dispatch.sweep")
+	}
+	sweep.SetAttr("jobs", len(jobs))
+	sweep.SetAttr("pending", len(pending))
+	sweep.SetAttr("workers", len(opts.Workers))
+	sweep.SetAttr("local_jobs", opts.LocalJobs)
+	runID := sweep.TraceID()
+	stats.TraceID = runID
+	if runID == "" {
+		var b [8]byte
+		crand.Read(b[:]) //nolint:errcheck // never fails on supported platforms
+		runID = "sweep-" + hex.EncodeToString(b[:])
+	}
+	defer func() {
+		sweep.SetAttr("executed", stats.Executed)
+		sweep.SetAttr("failed_over", stats.FailedOver)
+		sweep.End()
+	}()
+
 	// The worker job API enforces the service's untrusted-input resource
 	// caps; a spec beyond them (e.g. a -pop override over MaxPopulation)
 	// would 400 the first batch that carries it. Check the whole set up
@@ -209,7 +256,7 @@ func Run(ctx context.Context, jobs []exp.Job, opts Options) (exp.ResultSet, Stat
 		probeWG.Add(1)
 		go func(w string) {
 			defer probeWG.Done()
-			if err := probeHealth(ctx, opts.Client, w); err != nil {
+			if err := probeHealth(ctx, opts.Client, w, runID); err != nil {
 				opts.Logf("dispatch: worker %s not ready: %v", w, err)
 				return
 			}
@@ -221,12 +268,16 @@ func Run(ctx context.Context, jobs []exp.Job, opts Options) (exp.ResultSet, Stat
 		return nil, stats, fmt.Errorf("dispatch: none of the %d worker(s) answered /healthz and no local share is configured", len(opts.Workers))
 	}
 
-	runCtx, cancel := context.WithCancel(ctx)
+	// Local lanes run under the sweep span, so their job.run (and
+	// per-generation) spans join the same trace as the remote workers'.
+	runCtx, cancel := context.WithCancel(trace.ContextWith(ctx, sweep))
 	defer cancel()
 	s := &shared{
 		ctx:      runCtx,
 		cancel:   cancel,
 		opts:     opts,
+		span:     sweep,
+		runID:    runID,
 		failover: make(chan *task, len(pending)),
 		done:     make(chan struct{}),
 		rs:       rs,
@@ -326,14 +377,16 @@ func laneSummary(byLane map[string]int) string {
 	return strings.Join(parts, " ")
 }
 
-// probeHealth issues one short-deadline readiness probe.
-func probeHealth(ctx context.Context, client *http.Client, base string) error {
+// probeHealth issues one short-deadline readiness probe, tagged with the
+// run ID so even the preflight is greppable in worker logs.
+func probeHealth(ctx context.Context, client *http.Client, base, runID string) error {
 	probeCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(probeCtx, http.MethodGet, strings.TrimRight(base, "/")+"/healthz", nil)
 	if err != nil {
 		return err
 	}
+	req.Header.Set("X-Request-Id", runID)
 	resp, err := client.Do(req)
 	if err != nil {
 		return err
@@ -348,11 +401,26 @@ func probeHealth(ctx context.Context, client *http.Client, base string) error {
 
 // ---- shared-state transitions ----------------------------------------------
 
+// stamp adds the correlation headers every worker request carries: the
+// run ID for log grepping (meaningful with tracing on or off) and, when
+// sp is a live span, the traceparent the worker's middleware continues.
+func (s *shared) stamp(req *http.Request, sp *trace.Span) {
+	req.Header.Set("X-Request-Id", s.runID)
+	if sc := sp.Context(); sc.Valid() {
+		req.Header.Set("traceparent", sc.Traceparent())
+	}
+}
+
 // complete records one finished cell: persist first (a cell the store
 // never saw must not count as done for -resume), then publish.
 func (s *shared) complete(lane string, t *task, r exp.JobResult) error {
 	if s.opts.Store != nil {
-		if err := s.opts.Store.Put(t.hash, r); err != nil {
+		putSpan := s.span.StartChild("store.put")
+		putSpan.SetAttr("lane", lane)
+		putSpan.SetAttr("hash", t.hash)
+		err := s.opts.Store.Put(t.hash, r)
+		putSpan.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -577,8 +645,14 @@ func (l *remoteLane) submit() error {
 		return errPermanent
 	}
 	req.Header.Set("Content-Type", "application/json")
+	sp := l.s.span.StartChild("dispatch.submit")
+	sp.SetAttr("lane", l.name)
+	sp.SetAttr("jobs", n)
+	l.s.stamp(req, sp)
 	resp, err := l.s.opts.Client.Do(req)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		if l.s.ctx.Err() != nil {
 			return nil
 		}
@@ -586,6 +660,8 @@ func (l *remoteLane) submit() error {
 	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	resp.Body.Close()
+	sp.SetAttr("http.status", resp.StatusCode)
+	sp.End()
 	if err != nil {
 		return l.transient("submit", err)
 	}
@@ -644,8 +720,14 @@ func (l *remoteLane) poll() error {
 			l.s.fail(err)
 			return errPermanent
 		}
+		sp := l.s.span.StartChild("dispatch.poll")
+		sp.SetAttr("lane", l.name)
+		sp.SetAttr("hash", hash)
+		l.s.stamp(req, sp)
 		resp, err := l.s.opts.Client.Do(req)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			if l.s.ctx.Err() != nil {
 				return nil
 			}
@@ -653,6 +735,8 @@ func (l *remoteLane) poll() error {
 		}
 		raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 		resp.Body.Close()
+		sp.SetAttr("http.status", resp.StatusCode)
+		sp.End()
 		if err != nil {
 			return l.transient("poll", err)
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Job is one cell of the evaluation's job graph: a single end-to-end Flow
@@ -97,8 +98,25 @@ func (j Job) Run(lib *cell.Library, evalWorkers int) (JobResult, error) {
 }
 
 // RunContext is Run with cooperative cancellation, forwarded to the flow's
-// per-iteration context check.
-func (j Job) RunContext(ctx context.Context, lib *cell.Library, evalWorkers int) (JobResult, error) {
+// per-iteration context check. When ctx carries a trace span, the whole
+// execution becomes a "job.run" child span (with the flow's per-generation
+// spans under it); tracing observes the run without perturbing it.
+func (j Job) RunContext(ctx context.Context, lib *cell.Library, evalWorkers int) (res JobResult, err error) {
+	if sp := trace.FromContext(ctx).StartChild("job.run"); sp != nil {
+		sp.SetAttr("circuit", j.Circuit)
+		sp.SetAttr("method", j.Method)
+		sp.SetAttr("metric", j.Metric)
+		sp.SetAttr("seed", j.Seed)
+		ctx = trace.ContextWith(ctx, sp)
+		defer func() {
+			status := "ok"
+			if err != nil {
+				status = "error"
+			}
+			sp.SetAttr("status", status)
+			sp.End()
+		}()
+	}
 	circuit, err := als.BenchmarkByName(j.Circuit)
 	if err != nil {
 		return JobResult{}, fmt.Errorf("exp: job %s: %w", j, err)
@@ -115,7 +133,7 @@ func (j Job) RunContext(ctx context.Context, lib *cell.Library, evalWorkers int)
 	if err != nil {
 		return JobResult{}, fmt.Errorf("exp: job %s: %w", j, err)
 	}
-	res, err := als.FlowContext(ctx, circuit, lib, als.FlowConfig{
+	fr, err := als.FlowContext(ctx, circuit, lib, als.FlowConfig{
 		Metric:       metric,
 		ErrorBudget:  j.Budget,
 		Method:       method,
@@ -132,14 +150,14 @@ func (j Job) RunContext(ctx context.Context, lib *cell.Library, evalWorkers int)
 		return JobResult{}, fmt.Errorf("exp: job %s: %w", j, err)
 	}
 	return JobResult{
-		RatioCPD:    res.RatioCPD,
-		Err:         res.Err,
-		Evaluations: res.Evaluations,
-		CPDOri:      res.CPDOri,
-		CPDFac:      res.CPDFac,
-		AreaCon:     res.AreaCon,
-		AreaFinal:   res.AreaFinal,
-		RuntimeNS:   int64(res.Runtime),
+		RatioCPD:    fr.RatioCPD,
+		Err:         fr.Err,
+		Evaluations: fr.Evaluations,
+		CPDOri:      fr.CPDOri,
+		CPDFac:      fr.CPDFac,
+		AreaCon:     fr.AreaCon,
+		AreaFinal:   fr.AreaFinal,
+		RuntimeNS:   int64(fr.Runtime),
 	}, nil
 }
 

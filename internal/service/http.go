@@ -33,6 +33,8 @@ const maxBodyBytes = MaxVerilogBytes + 1<<20
 //
 //	GET  /healthz              liveness + Stats counters
 //	GET  /metrics              Prometheus text exposition (metrics.go)
+//	GET  /debug/traces         recent spans, grouped by trace (404 when
+//	                           Options.Tracer is nil; internal/trace)
 //
 // Every response is stamped with an X-Request-Id that also appears in the
 // structured access log, and every request is counted/timed by route
@@ -53,6 +55,7 @@ func (s *Server) Handler() http.Handler {
 	s.registerV2(mux)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", s.metrics.registry.Handler())
+	mux.Handle("GET /debug/traces", s.tracer.Handler())
 	return s.instrument(mux)
 }
 
@@ -76,7 +79,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	v, err := s.Submit(req)
+	v, err := s.Submit(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -151,7 +154,7 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	var resp BatchResponse
 	for i, j := range req.Jobs {
-		v, err := s.Submit(RequestFromJob(j))
+		v, err := s.Submit(r.Context(), RequestFromJob(j))
 		switch {
 		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 			resp.Reason = ReasonQueueFull

@@ -37,11 +37,17 @@ import (
 
 	als "repro"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // jobDurationBuckets spans quick-scale flows (tens of ms) through
 // paper-scale runs (minutes).
 var jobDurationBuckets = []float64{.01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
+
+// queueWaitBuckets reach lower than jobDurationBuckets: on a healthy
+// server the queue wait is sub-millisecond, and the interesting signal is
+// exactly when it stops being so.
+var queueWaitBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60}
 
 // serverMetrics bundles every instrument one Server registers.
 type serverMetrics struct {
@@ -71,6 +77,8 @@ type serverMetrics struct {
 	storeHits *telemetry.Counter
 
 	sseSubscribers *telemetry.Gauge
+
+	queueWait *telemetry.Histogram
 }
 
 // newServerMetrics registers the server's instrument set on reg. The
@@ -127,6 +135,10 @@ func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
 
 	m.sseSubscribers = reg.Gauge("als_sse_subscribers",
 		"Live /v2 event-stream subscriptions.")
+
+	// Registered last: the metric-name contract file is append-only.
+	m.queueWait = reg.Histogram("als_queue_wait_seconds",
+		"Time an executed job waited between submission and run start.", queueWaitBuckets)
 	return m
 }
 
@@ -179,19 +191,46 @@ func (w *statusWriter) Flush() {
 // Unwrap exposes the underlying writer to http.ResponseController.
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-// instrument wraps the mux with request-ID assignment, the per-route
-// request counter/latency histogram, and a structured access log. The
-// route label is resolved through the mux's own pattern matcher, so its
-// cardinality is bounded by the registered routes ("other" collects
-// unmatched paths and wrong-method requests).
+// instrument wraps the mux with request-ID assignment, tracing, the
+// per-route request counter/latency histogram, and a structured access
+// log. The route label is resolved through the mux's own pattern matcher,
+// so its cardinality is bounded by the registered routes ("other"
+// collects unmatched paths and wrong-method requests).
+//
+// Request-ID policy: with tracing enabled, every request gets a span —
+// continuing the remote parent when a valid traceparent header arrives
+// (the distributed-sweep coordinator sends one), minting a root
+// otherwise — and the request ID IS the trace ID, so a log line and a
+// trace are the same lookup key. With tracing off, an incoming
+// X-Request-Id is honored (bounded and sanitized) so multi-hop requests
+// stay greppable end to end, and only a hopless request falls back to
+// the legacy per-process sequence.
 func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
-		w.Header().Set("X-Request-Id", id)
 		_, route := mux.Handler(r)
 		if route == "" {
 			route = "other"
 		}
+		var span *trace.Span
+		var id string
+		switch {
+		case s.tracer.Enabled():
+			if sc, err := trace.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+				span = s.tracer.StartRemote("http "+route, sc)
+			} else {
+				span = s.tracer.StartRoot("http " + route)
+			}
+			span.SetAttr("http.method", r.Method)
+			span.SetAttr("http.path", r.URL.Path)
+			id = span.TraceID()
+			r = r.WithContext(trace.ContextWith(r.Context(), span))
+		default:
+			id = sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		}
+		if id == "" {
+			id = fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		mux.ServeHTTP(sw, r)
@@ -200,6 +239,8 @@ func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 		if code == 0 {
 			code = http.StatusOK // handler never wrote; net/http sends 200
 		}
+		span.SetAttr("http.status", code)
+		span.End()
 		s.metrics.httpRequests.With(route, strconv.Itoa(code)).Inc()
 		s.metrics.httpDuration.Observe(elapsed.Seconds())
 		s.log.Debug("http request",
@@ -211,4 +252,25 @@ func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 			"duration_ms", float64(elapsed.Microseconds())/1e3,
 			"remote", r.RemoteAddr)
 	})
+}
+
+// sanitizeRequestID accepts a forwarded request ID only when it is short
+// and shell/log safe (hex, alphanumerics, '-', '_', '.'); anything else —
+// including the empty string — returns "" and the caller mints a fresh
+// ID. Log injection through a crafted header is the attack being blocked.
+func sanitizeRequestID(id string) string {
+	const maxLen = 64
+	if id == "" || len(id) > maxLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case '0' <= c && c <= '9', 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
 }

@@ -45,6 +45,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Status is one job's lifecycle state.
@@ -132,6 +133,11 @@ type Options struct {
 	// Logf, when non-nil and Logger is nil, receives the same records
 	// rendered to single lines (legacy bridge; tests pass t.Logf).
 	Logf func(format string, args ...any)
+	// Tracer records request and job spans (internal/trace) and serves
+	// them at GET /debug/traces. Nil disables tracing: every span call
+	// site degrades to a no-op, and request IDs fall back to the legacy
+	// per-process sequence.
+	Tracer *trace.Tracer
 }
 
 // Submission errors the HTTP layer maps to 503; anything else from Submit
@@ -164,6 +170,12 @@ type jobState struct {
 	// subs holds the live /v2 event subscribers; entries are closed (and
 	// the map nilled) when the job reaches a terminal state.
 	subs map[chan JobEvent]struct{}
+	// parent is the submitting request's span: job spans (queue.wait,
+	// job.run, store.put) parent onto its immutable identity, which stays
+	// valid after the HTTP request span ends. queueSpan covers
+	// submission→run-start and is ended by runJob or by a queued cancel.
+	parent    *trace.Span
+	queueSpan *trace.Span
 	// cancelRun cancels the in-flight flow; non-nil only while running.
 	cancelRun context.CancelFunc
 	created   time.Time
@@ -180,6 +192,7 @@ type Server struct {
 	maxJobs     int
 	log         *slog.Logger
 	metrics     *serverMetrics
+	tracer      *trace.Tracer
 	reqSeq      atomic.Int64 // request-ID sequence for the access log
 
 	baseCtx    context.Context // parent of every job run; Close cancels it
@@ -242,6 +255,7 @@ func New(opts Options) *Server {
 		evalWorkers: evalWorkers,
 		maxJobs:     maxJobs,
 		log:         logger,
+		tracer:      opts.Tracer,
 		baseCtx:     ctx,
 		baseCancel:  cancel,
 		queue:       make(chan *jobState, depth),
@@ -281,15 +295,22 @@ func (w logfWriter) Write(b []byte) (int, error) {
 // Submit validates a request and either attaches it to an identical live
 // or finished job (dedup), answers it from the persistent store (cache),
 // or enqueues a new job. The returned view's Cached field is true when no
-// computation will happen for this submission.
-func (s *Server) Submit(req Request) (JobView, error) {
+// computation will happen for this submission. When ctx carries a trace
+// span (the HTTP middleware roots one per request), the span is stamped
+// with the submission outcome and, for a genuinely queued job, becomes
+// the parent of the job's queue.wait/job.run/store.put spans.
+func (s *Server) Submit(ctx context.Context, req Request) (JobView, error) {
+	reqSpan := trace.FromContext(ctx)
 	sp, err := validate(req)
 	if err != nil {
+		reqSpan.SetAttr("outcome", "invalid")
 		return JobView{}, err
 	}
+	reqSpan.SetAttr("hash", sp.hash)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		reqSpan.SetAttr("outcome", "draining")
 		return JobView{}, ErrDraining
 	}
 
@@ -303,6 +324,8 @@ func (s *Server) Submit(req Request) (JobView, error) {
 			s.stats.Deduped++
 			s.metrics.jobsSubmitted.Inc()
 			s.metrics.jobsDeduped.Inc()
+			reqSpan.SetAttr("outcome", "dedup")
+			reqSpan.SetAttr("job_id", j.id)
 			v := s.viewLocked(j)
 			v.Cached = v.Cached || j.status == StatusDone
 			return v, nil
@@ -330,6 +353,8 @@ func (s *Server) Submit(req Request) (JobView, error) {
 			s.stats.CacheHits++
 			s.metrics.jobsSubmitted.Inc()
 			s.metrics.jobsStoreHits.Inc()
+			reqSpan.SetAttr("outcome", "store_hit")
+			reqSpan.SetAttr("job_id", j.id)
 			s.log.Info("job served from store",
 				"job_id", j.id, "hash", sp.hash, "spec", j.spec.job.String())
 			return s.viewLocked(j), nil
@@ -343,8 +368,13 @@ func (s *Server) Submit(req Request) (JobView, error) {
 		delete(s.jobs, j.id)
 		delete(s.byHash, sp.hash)
 		s.order = s.order[:len(s.order)-1]
+		reqSpan.SetAttr("outcome", "queue_full")
 		return JobView{}, ErrQueueFull
 	}
+	reqSpan.SetAttr("outcome", "queued")
+	reqSpan.SetAttr("job_id", j.id)
+	j.parent = reqSpan
+	j.queueSpan = reqSpan.StartChild("queue.wait")
 	s.stats.Submitted++
 	s.metrics.jobsSubmitted.Inc()
 	s.log.Info("job queued",
@@ -440,6 +470,9 @@ func (s *Server) Cancel(id string) (JobView, bool) {
 		j.finished = time.Now()
 		s.stats.Cancelled++
 		s.metrics.jobsCompleted.With(string(StatusCancelled)).Inc()
+		j.queueSpan.SetAttr("outcome", "cancelled")
+		j.queueSpan.End()
+		j.queueSpan = nil
 		s.closeSubsLocked(j)
 		s.log.Info("job cancelled while queued", "job_id", j.id)
 	case StatusRunning:
@@ -515,8 +548,17 @@ func (s *Server) runJob(j *jobState) {
 	j.cancelRun = cancel
 	j.started = time.Now()
 	sp := j.spec
+	queueSpan := j.queueSpan
+	j.queueSpan = nil
 	s.mu.Unlock()
 	defer cancel()
+	s.metrics.queueWait.Observe(j.started.Sub(j.created).Seconds())
+	queueSpan.SetAttr("outcome", "started")
+	queueSpan.End()
+	runSpan := j.parent.StartChild("job.run")
+	runSpan.SetAttr("job_id", j.id)
+	runSpan.SetAttr("hash", sp.hash)
+	ctx = trace.ContextWith(ctx, runSpan)
 	s.metrics.jobsRunning.Inc()
 	defer s.metrics.jobsRunning.Dec()
 	s.log.Info("job running", "job_id", j.id, "spec", sp.job.String())
@@ -528,6 +570,7 @@ func (s *Server) runJob(j *jobState) {
 	// rides along under a derived key so legacy stores (and the sweep
 	// tooling, which only reads job hashes) are unaffected.
 	if err == nil && s.store != nil {
+		putSpan := runSpan.StartChild("store.put")
 		if perr := s.store.Put(sp.hash, res); perr != nil {
 			s.log.Warn("job result not persisted", "job_id", j.id, "error", perr)
 		}
@@ -536,7 +579,21 @@ func (s *Server) runJob(j *jobState) {
 				s.log.Warn("job front not persisted", "job_id", j.id, "error", perr)
 			}
 		}
+		putSpan.End()
 	}
+
+	// End the run span before the terminal status becomes visible, so a
+	// client that polls the job to "done" and immediately scrapes
+	// /debug/traces never catches the span still open.
+	switch {
+	case err == nil:
+		runSpan.SetAttr("status", string(StatusDone))
+	case errors.Is(err, context.Canceled):
+		runSpan.SetAttr("status", string(StatusCancelled))
+	default:
+		runSpan.SetAttr("status", string(StatusFailed))
+	}
+	runSpan.End()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -293,7 +293,7 @@ func (s *Server) handleV2Submit(w http.ResponseWriter, r *http.Request) {
 		writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 		return
 	}
-	v, err := s.Submit(req)
+	v, err := s.Submit(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeV2Error(w, http.StatusServiceUnavailable, CodeQueueFull, err.Error())

@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -122,12 +123,12 @@ func TestV2SSEStreamsFullRun(t *testing.T) {
 	// roundtrip can take tens of milliseconds).
 	blocker := quickReq(50)
 	blocker.Iterations = 300
-	if _, err := s.Submit(blocker); err != nil {
+	if _, err := s.Submit(context.Background(), blocker); err != nil {
 		t.Fatal(err)
 	}
 	watched := quickReq(51)
 	watched.Iterations = 5
-	v, err := s.Submit(watched)
+	v, err := s.Submit(context.Background(), watched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestV2Pagination(t *testing.T) {
 	const n = 5
 	for i := 0; i < n; i++ {
 		req := quickReq(int64(70 + i))
-		if _, err := s.Submit(req); err != nil {
+		if _, err := s.Submit(context.Background(), req); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -292,10 +293,10 @@ func TestV2ErrorCodes(t *testing.T) {
 	// CPU).
 	blocker := quickReq(80)
 	blocker.Iterations = 500
-	if _, err := s.Submit(blocker); err != nil {
+	if _, err := s.Submit(context.Background(), blocker); err != nil {
 		t.Fatal(err)
 	}
-	pending, err := s.Submit(quickReq(81))
+	pending, err := s.Submit(context.Background(), quickReq(81))
 	if err != nil {
 		t.Fatal(err)
 	}

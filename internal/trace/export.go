@@ -1,0 +1,252 @@
+// Span export: the immutable record format finished spans collect into,
+// the JSONL serialization cmd/tracecat consumes, and the GET /debug/traces
+// HTTP handler (recent traces, filterable by trace ID and minimum
+// duration). The record format is the cross-process contract: every
+// process in a fleet — alsd workers, the experiments coordinator — emits
+// the same shape, so records from any mix of files and /debug/traces
+// endpoints merge into one timeline.
+
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// SpanRecord is one finished span, as exported. Times are RFC 3339 with
+// nanoseconds; IDs are the lowercase-hex wire forms.
+type SpanRecord struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	// Parent is the parent span ID ("" for a root span).
+	Parent string `json:"parent_id,omitempty"`
+	// RemoteParent marks a span whose parent lives in another process
+	// (continued from a traceparent header) — the stitch points of a
+	// fleet-wide trace.
+	RemoteParent bool `json:"remote_parent,omitempty"`
+	// Service names the emitting process (Tracer Options.Service).
+	Service    string         `json:"service,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	End        time.Time      `json:"end"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Events     []EventRecord  `json:"events,omitempty"`
+}
+
+// Duration returns the span's length.
+func (r SpanRecord) Duration() time.Duration { return time.Duration(r.DurationNS) }
+
+// Root reports whether the span starts its process-local tree (no parent,
+// or a parent in another process).
+func (r SpanRecord) Root() bool { return r.Parent == "" || r.RemoteParent }
+
+// EventRecord is one timestamped point event within a span.
+type EventRecord struct {
+	Time time.Time `json:"t"`
+	Name string    `json:"name"`
+}
+
+// Stats reports the collector's lifetime counters.
+type Stats struct {
+	// Ended counts every span ever collected; Dropped counts the ones the
+	// ring has since overwritten. Buffered = Ended - Dropped.
+	Ended   int64
+	Dropped int64
+}
+
+// Stats returns the collector counters (zero for nil).
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{Ended: t.ended, Dropped: t.dropped}
+}
+
+// Snapshot copies the buffered spans in collection order (oldest first).
+// Nil-safe: a nil tracer snapshots nothing.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.filled {
+		return append([]SpanRecord(nil), t.ring[:t.next]...)
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// WriteJSONL writes every buffered span as one JSON object per line — the
+// export format cmd/tracecat reads and the distributed smoke stitches
+// across hosts.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range t.Snapshot() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a JSONL span export, skipping blank lines. It is the
+// inverse of WriteJSONL, shared by cmd/tracecat and the tests.
+func ReadJSONL(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TraceView is one trace in the grouped JSON response of /debug/traces.
+type TraceView struct {
+	TraceID string `json:"trace_id"`
+	// Start and DurationNS cover the whole trace (earliest span start to
+	// latest span end, as buffered).
+	Start      time.Time    `json:"start"`
+	DurationNS int64        `json:"duration_ns"`
+	Spans      []SpanRecord `json:"spans"`
+}
+
+// TracePage is the JSON body of GET /debug/traces.
+type TracePage struct {
+	// Traces are grouped spans, most recently started trace first.
+	Traces []TraceView `json:"traces"`
+	// Total counts the traces that matched the filters before the limit
+	// cut; Ended/Dropped are the collector's lifetime counters.
+	Total   int   `json:"total"`
+	Ended   int64 `json:"ended"`
+	Dropped int64 `json:"dropped"`
+}
+
+// Traces groups the buffered spans by trace ID, filtered and ordered as
+// the /debug/traces endpoint reports them: traces whose total duration is
+// at least minDur (0 keeps all), most recent first, at most limit traces
+// (0 = no limit). A non-empty traceID keeps only that trace.
+func (t *Tracer) Traces(traceID string, minDur time.Duration, limit int) TracePage {
+	byID := map[string]*TraceView{}
+	var order []string
+	for _, rec := range t.Snapshot() {
+		if traceID != "" && rec.TraceID != traceID {
+			continue
+		}
+		tv, ok := byID[rec.TraceID]
+		if !ok {
+			tv = &TraceView{TraceID: rec.TraceID, Start: rec.Start}
+			byID[rec.TraceID] = tv
+			order = append(order, rec.TraceID)
+		}
+		tv.Spans = append(tv.Spans, rec)
+		if rec.Start.Before(tv.Start) {
+			tv.Start = rec.Start
+		}
+		if end := rec.End.Sub(tv.Start); end.Nanoseconds() > tv.DurationNS {
+			tv.DurationNS = end.Nanoseconds()
+		}
+	}
+	page := TracePage{Traces: []TraceView{}}
+	st := t.Stats()
+	page.Ended, page.Dropped = st.Ended, st.Dropped
+	for _, id := range order {
+		tv := byID[id]
+		if time.Duration(tv.DurationNS) < minDur {
+			continue
+		}
+		page.Traces = append(page.Traces, *tv)
+	}
+	sort.SliceStable(page.Traces, func(i, j int) bool {
+		return page.Traces[i].Start.After(page.Traces[j].Start)
+	})
+	page.Total = len(page.Traces)
+	if limit > 0 && len(page.Traces) > limit {
+		page.Traces = page.Traces[:limit]
+	}
+	return page
+}
+
+// Handler serves the collector:
+//
+//	GET /debug/traces                     recent traces, grouped JSON
+//	GET /debug/traces?trace=<32 hex id>   one trace
+//	GET /debug/traces?min_ms=50           only traces at least that long
+//	GET /debug/traces?limit=20            at most N traces (default 100)
+//	GET /debug/traces?format=jsonl        flat span records, one per line
+//	                                      (the cmd/tracecat input format)
+//
+// Nil-safe: a nil tracer's handler answers 404 (tracing disabled).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing is disabled", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		var minDur time.Duration
+		if raw := q.Get("min_ms"); raw != "" {
+			ms, err := strconv.ParseFloat(raw, 64)
+			if err != nil || ms < 0 {
+				http.Error(w, fmt.Sprintf("bad min_ms %q", raw), http.StatusBadRequest)
+				return
+			}
+			minDur = time.Duration(ms * float64(time.Millisecond))
+		}
+		limit := 100
+		if raw := q.Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", raw), http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		page := t.Traces(q.Get("trace"), minDur, limit)
+		switch q.Get("format") {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(page) //nolint:errcheck // response already committed
+		case "jsonl":
+			w.Header().Set("Content-Type", "application/jsonl")
+			bw := bufio.NewWriter(w)
+			enc := json.NewEncoder(bw)
+			for _, tv := range page.Traces {
+				for _, rec := range tv.Spans {
+					enc.Encode(rec) //nolint:errcheck // response already committed
+				}
+			}
+			bw.Flush() //nolint:errcheck
+		default:
+			http.Error(w, fmt.Sprintf("bad format %q (want json or jsonl)", q.Get("format")), http.StatusBadRequest)
+		}
+	})
+}

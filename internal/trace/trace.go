@@ -1,0 +1,478 @@
+// Package trace is a dependency-free distributed-tracing kernel for the
+// serving stack, the sibling of internal/telemetry: where telemetry
+// answers "how much, in aggregate", trace answers "where inside this one
+// slow request did the time go".
+//
+// The design mirrors the W3C Trace Context model without importing
+// anything: a 16-byte trace ID names one causal request tree across the
+// whole fleet, an 8-byte span ID names one timed operation inside it, and
+// the `traceparent` HTTP header (00-<trace>-<span>-<flags>) carries the
+// identity across process boundaries — the coordinator stamps it on
+// worker requests, the worker's middleware continues the remote parent
+// instead of minting a new root, and a two-machine sweep renders as one
+// timeline.
+//
+// Hot-path cost is kept span-shaped, not request-shaped: starting a span
+// is two ChaCha8 draws and one allocation, attributes append to a
+// goroutine-owned slice (spans are owned by one goroutine until End, like
+// contexts), and End pushes one immutable SpanRecord into a bounded
+// in-process ring buffer under a single mutex. There is no background
+// goroutine, no export pipeline, no sampling state machine: the ring
+// holds the most recent spans, GET /debug/traces (Handler) and WriteJSONL
+// read them back, and cmd/tracecat renders the timeline.
+//
+// Every API is nil-safe: a nil *Tracer starts nil *Spans, and every
+// method of a nil *Span is a no-op — call sites never branch on whether
+// tracing is enabled.
+package trace
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	mrand "math/rand/v2"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one causal tree of spans, possibly spanning many
+// processes. The zero value is invalid (the W3C forbids all-zero IDs).
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace. The zero value is invalid.
+type SpanID [8]byte
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// SpanContext is the propagated identity of one span: what travels in a
+// traceparent header and what a child span needs of its parent.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Sampled is the recorded flag of the traceparent header. This
+	// implementation records every span it is handed (the ring buffer is
+	// the budget); the flag round-trips so downstream tracers see what the
+	// origin decided.
+	Sampled bool
+}
+
+// Valid reports whether the context names a real span (both IDs nonzero).
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the context in the W3C header format,
+// version 00: "00-<32 hex trace>-<16 hex span>-<2 hex flags>".
+func (sc SpanContext) Traceparent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// version byte except the reserved ff (per spec, higher versions are
+// parsed as version 00 ignoring trailing fields) and rejects malformed
+// lengths, non-hex digits, uppercase hex (the spec mandates lowercase)
+// and all-zero IDs.
+func ParseTraceparent(s string) (SpanContext, error) {
+	// Fixed layout: 2 (version) + 1 + 32 (trace) + 1 + 16 (span) + 1 + 2
+	// (flags) = 55 bytes minimum; longer values are allowed only for
+	// future versions and only with a '-' separator after the flags.
+	const minLen = 55
+	if len(s) < minLen {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q too short", s)
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q has misplaced separators", s)
+	}
+	version, err := hexByte(s[0:2])
+	if err != nil {
+		return SpanContext{}, fmt.Errorf("trace: traceparent version: %w", err)
+	}
+	if version == 0xff {
+		return SpanContext{}, fmt.Errorf("trace: traceparent version ff is forbidden")
+	}
+	if len(s) > minLen {
+		if version == 0 {
+			return SpanContext{}, fmt.Errorf("trace: version-00 traceparent %q has trailing data", s)
+		}
+		if s[minLen] != '-' {
+			return SpanContext{}, fmt.Errorf("trace: traceparent %q has malformed trailing data", s)
+		}
+	}
+	var sc SpanContext
+	if err := decodeLowerHex(sc.TraceID[:], s[3:35]); err != nil {
+		return SpanContext{}, fmt.Errorf("trace: traceparent trace-id: %w", err)
+	}
+	if err := decodeLowerHex(sc.SpanID[:], s[36:52]); err != nil {
+		return SpanContext{}, fmt.Errorf("trace: traceparent parent-id: %w", err)
+	}
+	flags, err := hexByte(s[53:55])
+	if err != nil {
+		return SpanContext{}, fmt.Errorf("trace: traceparent flags: %w", err)
+	}
+	if sc.TraceID.IsZero() {
+		return SpanContext{}, fmt.Errorf("trace: traceparent trace-id is all zeros")
+	}
+	if sc.SpanID.IsZero() {
+		return SpanContext{}, fmt.Errorf("trace: traceparent parent-id is all zeros")
+	}
+	sc.Sampled = flags&0x01 != 0
+	return sc, nil
+}
+
+// hexByte decodes exactly two lowercase hex digits.
+func hexByte(s string) (byte, error) {
+	var b [1]byte
+	if err := decodeLowerHex(b[:], s); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// decodeLowerHex fills dst from exactly len(dst)*2 lowercase hex digits.
+// The W3C grammar forbids uppercase, so this is stricter than
+// encoding/hex.
+func decodeLowerHex(dst []byte, s string) error {
+	if len(s) != len(dst)*2 {
+		return fmt.Errorf("hex field %q has length %d, want %d", s, len(s), len(dst)*2)
+	}
+	for i := range dst {
+		hi, ok1 := lowerHexVal(s[2*i])
+		lo, ok2 := lowerHexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return fmt.Errorf("hex field %q has a non-lowercase-hex digit", s)
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return nil
+}
+
+func lowerHexVal(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// Service names the process in every exported span ("alsd:8080",
+	// "experiments"), so a merged multi-host timeline shows who did what.
+	Service string
+	// Capacity bounds the span ring buffer (default 16384 records).
+	// When full, the oldest records are overwritten; Dropped counts them.
+	Capacity int
+}
+
+// DefaultCapacity is the ring-buffer bound when Options.Capacity is 0.
+const DefaultCapacity = 16384
+
+// Tracer mints spans and collects the finished ones in a bounded ring.
+// A nil *Tracer is a valid disabled tracer: it starts nil spans and
+// collects nothing.
+type Tracer struct {
+	service string
+
+	mu      sync.Mutex
+	rng     *mrand.ChaCha8 // ID source; never touches the flow RNGs
+	ring    []SpanRecord
+	next    int   // ring write index
+	filled  bool  // ring has wrapped at least once
+	ended   int64 // total spans ever collected
+	dropped int64 // spans overwritten by the ring
+}
+
+// New creates a Tracer. The ID generator is seeded from crypto/rand once;
+// span creation afterwards never blocks on the OS entropy pool.
+func New(opts Options) *Tracer {
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	var seed [32]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero seed
+		// would still yield unique-within-process IDs.
+		_ = err
+	}
+	return &Tracer{
+		service: opts.Service,
+		rng:     mrand.NewChaCha8(seed),
+		ring:    make([]SpanRecord, capacity),
+	}
+}
+
+// Enabled reports whether the tracer records spans (it is non-nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Service returns the tracer's process name ("" for nil).
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	return t.service
+}
+
+// ids draws a fresh trace and span ID pair (or just a span ID).
+func (t *Tracer) ids(withTrace bool) (tid TraceID, sid SpanID) {
+	t.mu.Lock()
+	for {
+		if withTrace {
+			fillRand(t.rng, tid[:])
+		}
+		fillRand(t.rng, sid[:])
+		// All-zero IDs are invalid on the wire; redraw (probability ~0).
+		if (!withTrace || !tid.IsZero()) && !sid.IsZero() {
+			break
+		}
+	}
+	t.mu.Unlock()
+	return tid, sid
+}
+
+func fillRand(rng *mrand.ChaCha8, b []byte) {
+	for i := 0; i < len(b); i += 8 {
+		v := rng.Uint64()
+		for j := i; j < len(b) && j < i+8; j++ {
+			b[j] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// StartRoot begins a new trace with one root span. Nil-safe.
+func (t *Tracer) StartRoot(name string) *Span {
+	return t.startRootAt(name, time.Now())
+}
+
+func (t *Tracer) startRootAt(name string, start time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	tid, sid := t.ids(true)
+	return &Span{
+		tracer: t,
+		sc:     SpanContext{TraceID: tid, SpanID: sid, Sampled: true},
+		name:   name,
+		start:  start,
+	}
+}
+
+// StartRemote begins a span continuing a remote parent (typically parsed
+// from an incoming traceparent header): same trace ID, new span ID, the
+// remote span as parent. An invalid parent falls back to a new root, so
+// callers can pass whatever they parsed. Nil-safe.
+func (t *Tracer) StartRemote(name string, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		return t.StartRoot(name)
+	}
+	_, sid := t.ids(false)
+	return &Span{
+		tracer:       t,
+		sc:           SpanContext{TraceID: parent.TraceID, SpanID: sid, Sampled: parent.Sampled},
+		parent:       parent.SpanID,
+		remoteParent: true,
+		name:         name,
+		start:        time.Now(),
+	}
+}
+
+// Span is one timed operation. A span is mutated only by the goroutine
+// that owns it (the same ownership discipline as a context) until End,
+// which publishes an immutable record to the tracer's ring; SetAttr,
+// AddEvent and End after End are no-ops. Every method is nil-safe.
+type Span struct {
+	tracer       *Tracer
+	sc           SpanContext
+	parent       SpanID
+	remoteParent bool
+	name         string
+	start        time.Time
+	attrs        []Attr
+	events       []EventRecord
+	mu           sync.Mutex
+	ended        bool
+}
+
+// Attr is one span attribute. Values are kept as the small JSON-friendly
+// set: string, bool, int64, float64.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Context returns the span's propagated identity (zero for nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceID returns the span's trace ID string ("" for nil) — what the
+// serving stack reuses as the request ID for log correlation.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.TraceID.String()
+}
+
+// SetAttr records one attribute. Allowed value types are string, bool,
+// int/int64, float64 and time.Duration (stored as float seconds);
+// anything else is stored via fmt.Sprint. No-op on nil or ended spans.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	switch v := value.(type) {
+	case int:
+		value = int64(v)
+	case time.Duration:
+		value = v.Seconds()
+	case string, bool, int64, float64:
+	default:
+		value = fmt.Sprint(value)
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// AddEvent records a timestamped point event on the span.
+func (s *Span) AddEvent(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.events = append(s.events, EventRecord{Time: time.Now(), Name: name})
+	}
+	s.mu.Unlock()
+}
+
+// StartChild begins a child span on the same tracer. Nil-safe: a nil
+// parent yields a nil child, so whole call trees disable together.
+func (s *Span) StartChild(name string) *Span {
+	return s.StartChildAt(name, time.Now())
+}
+
+// StartChildAt begins a child span with an explicit start time — the
+// retroactive form used for phases whose boundaries are only known in
+// hindsight (one optimizer generation spans "previous progress callback
+// to this one").
+func (s *Span) StartChildAt(name string, start time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	_, sid := s.tracer.ids(false)
+	return &Span{
+		tracer: s.tracer,
+		sc:     SpanContext{TraceID: s.sc.TraceID, SpanID: sid, Sampled: s.sc.Sampled},
+		parent: s.sc.SpanID,
+		name:   name,
+		start:  start,
+	}
+}
+
+// End finishes the span at time.Now and publishes it to the collector.
+// Only the first End wins.
+func (s *Span) End() { s.EndAt(time.Now()) }
+
+// EndAt finishes the span at an explicit time.
+func (s *Span) EndAt(end time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		TraceID:      s.sc.TraceID.String(),
+		SpanID:       s.sc.SpanID.String(),
+		Name:         s.name,
+		Service:      s.tracer.service,
+		Start:        s.start,
+		End:          end,
+		DurationNS:   end.Sub(s.start).Nanoseconds(),
+		Attrs:        attrMap(s.attrs),
+		Events:       s.events,
+		RemoteParent: s.remoteParent,
+	}
+	if !s.parent.IsZero() {
+		rec.Parent = s.parent.String()
+	}
+	s.mu.Unlock()
+	s.tracer.collect(rec)
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// collect pushes one finished span into the ring.
+func (t *Tracer) collect(rec SpanRecord) {
+	t.mu.Lock()
+	if t.filled {
+		t.dropped++
+	}
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+	t.ended++
+	t.mu.Unlock()
+}
+
+// spanKey is the context key for the active span.
+type spanKey struct{}
+
+// ContextWith returns ctx carrying span as the active span. A nil span
+// returns ctx unchanged, so disabled tracing adds no context layers.
+func ContextWith(ctx context.Context, span *Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, span)
+}
+
+// FromContext returns the active span, or nil when ctx carries none.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	span, _ := ctx.Value(spanKey{}).(*Span)
+	return span
+}

@@ -15,6 +15,11 @@
 #      coordinator fails its remaining cells over to the survivor, the
 #      output is still byte-identical, and the -out store is complete —
 #      a -resume re-run executes nothing.
+#   4. Distributed tracing: the traced 2-worker run produces ONE trace ID
+#      spanning coordinator and workers (and stays byte-identical to the
+#      untraced single-process reference), and the merged tracecat render
+#      shows the whole causal chain — dispatch submits, worker queue
+#      waits, per-generation evaluation, store puts, critical path.
 #
 # Requires: go, curl, jq. Ports default to 8491/8492 (W1_PORT/W2_PORT).
 set -euo pipefail
@@ -37,6 +42,7 @@ say() { echo "== $*"; }
 
 go build -o "$work/alsd" ./cmd/alsd
 go build -o "$work/experiments" ./cmd/experiments
+go build -o "$work/tracecat" ./cmd/tracecat
 
 wait_ready() { # url
   for _ in $(seq 1 100); do
@@ -67,12 +73,31 @@ start_worker "$W2_PORT" w2.jsonl
 wait_ready "$W1"
 wait_ready "$W2"
 
-say "distributed run across both workers"
+say "distributed run across both workers (traced)"
 "$work/experiments" "${suite[@]}" -workers "$W1,$W2" -out "$work/dist" \
+  -trace-out "$work/dist.trace.jsonl" \
   >"$work/dist.json" 2>"$work/dist.log"
 cmp "$work/single.json" "$work/dist.json" \
   || { echo "distributed JSON differs from single-process run" >&2; exit 1; }
-say "byte-identical json output confirmed"
+say "byte-identical json output confirmed (tracing did not perturb results)"
+
+say "one trace ID spans the whole fleet"
+tid=$(grep -oE '^trace [0-9a-f]{32}$' "$work/dist.log" | head -1 | awk '{print $2}')
+[ -n "$tid" ] || { echo "coordinator never printed its trace ID" >&2; cat "$work/dist.log" >&2; exit 1; }
+for url in "$W1" "$W2"; do
+  curl -fsS "$url/debug/traces?trace=$tid&format=jsonl" >"$work/worker.trace.jsonl"
+  grep -q "$tid" "$work/worker.trace.jsonl" \
+    || { echo "worker $url holds no spans of trace $tid" >&2; exit 1; }
+done
+say "rendering the merged fleet timeline through tracecat"
+"$work/tracecat" -trace "$tid" "$work/dist.trace.jsonl" \
+  "$W1/debug/traces" "$W2/debug/traces" >"$work/trace.txt"
+for span in dispatch.sweep dispatch.submit queue.wait job.run \
+            als.generation store.put "critical path"; do
+  grep -q "$span" "$work/trace.txt" \
+    || { echo "fleet timeline is missing $span:" >&2; cat "$work/trace.txt" >&2; exit 1; }
+done
+say "fleet timeline complete: submit -> queue-wait -> evaluate -> store"
 
 say "golden-metrics gate through the fleet"
 "$work/experiments" -check testdata/golden_quick.json -workers "$W1,$W2" \

@@ -20,6 +20,11 @@
 # counters must all be non-zero, and the submitted total across the fleet
 # must equal what loadgen delivered.
 #
+# Tracing is proven under the same load: loadgen -check-traces requires
+# every accepted submission's trace to be complete on its worker (root
+# request span + terminal job.run for queued ones), and the script spot
+# checks /debug/traces and the queue-wait histogram afterwards.
+#
 # Requires: go, curl. Ports default to 8493/8494 (L1_PORT/L2_PORT).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,7 +33,7 @@ L1_PORT=${L1_PORT:-8493}
 L2_PORT=${L2_PORT:-8494}
 L1=http://127.0.0.1:$L1_PORT
 L2=http://127.0.0.1:$L2_PORT
-SESSIONS=${SESSIONS:-120}
+SESSIONS=${SESSIONS:-200}
 PER_SESSION=${PER_SESSION:-2}
 
 work=$(mktemp -d)
@@ -55,7 +60,7 @@ wait_ready() { # url
 
 start_worker() { # port store-file; appends the pid to pids
   "$work/alsd" -addr "127.0.0.1:$1" -store "$work/$2" -workers 2 \
-    -log-format json -log-level debug -pprof \
+    -log-format json -log-level debug -pprof -trace-buf 32768 \
     >"$work/$2.log" 2>&1 &
   pids+=($!)
 }
@@ -69,8 +74,9 @@ wait_ready "$L2"
 say "driving $SESSIONS sessions x $PER_SESSION submissions (mixed cached/uncached, SSE/polling)"
 "$work/loadgen" -targets "$L1,$L2" \
   -sessions "$SESSIONS" -per-session "$PER_SESSION" \
-  -timeout 4m | tee "$work/loadgen.out"
+  -check-traces -timeout 4m | tee "$work/loadgen.out"
 grep -q "all SLOs met" "$work/loadgen.out"
+grep -q "trace check: .* complete traces" "$work/loadgen.out"
 
 # metric <url> <name> — print one un-labeled series value (integers only
 # in practice; counters expose plain numbers).
@@ -106,6 +112,17 @@ say "fleet accepted all $expected submissions and the counters agree"
 
 say "pprof is live"
 curl -fsS "$L1/debug/pprof/" >/dev/null
+
+say "trace endpoint serves span trees and the queue-wait histogram moved"
+curl -fsS "$L1/debug/traces?min_ms=0&limit=5" >"$work/traces.json"
+grep -q '"spans"' "$work/traces.json" \
+  || { echo "/debug/traces returned no span trees" >&2; exit 1; }
+curl -fsS "$L1/debug/traces?format=jsonl&limit=5" >"$work/traces.jsonl"
+grep -q '"trace_id"' "$work/traces.jsonl" \
+  || { echo "/debug/traces?format=jsonl returned no records" >&2; exit 1; }
+qw=$(metric "$L1" 'als_queue_wait_seconds_bucket{le="+Inf"}' || echo 0)
+awk -v v="$qw" 'BEGIN { exit !(v > 0) }' \
+  || { echo "als_queue_wait_seconds never observed a job (= $qw)" >&2; exit 1; }
 
 say "request ids + structured logs"
 curl -fsSi "$L1/healthz" | grep -qi '^x-request-id:' \

@@ -16,6 +16,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/sizing"
 	"repro/internal/sta"
+	"repro/internal/trace"
 )
 
 // EventKind tags one element of a session's Run stream.
@@ -262,6 +263,33 @@ func runFlow(ctx context.Context, accurate *netlist.Circuit, lib *cell.Library, 
 			})
 		}
 	}
+	// When a trace span rides in on ctx, every optimizer iteration becomes
+	// a retroactive child span ("previous checkpoint to this one") carrying
+	// that generation's evaluation and cache deltas. The wrapper draws no
+	// randomness and observes only the stats the hook already receives, so
+	// a traced run stays bit-identical to a bare one.
+	if parent := trace.FromContext(ctx); parent != nil {
+		inner := progress
+		genStart := time.Now()
+		var prev core.IterStats
+		progress = func(st core.IterStats) {
+			now := time.Now()
+			sp := parent.StartChildAt("als.generation", genStart)
+			sp.SetAttr("iter", st.Iter)
+			sp.SetAttr("best_fit", st.BestFit)
+			sp.SetAttr("best_err", st.BestErr)
+			sp.SetAttr("evaluations", st.Evaluations-prev.Evaluations)
+			sp.SetAttr("cache_lookups", st.Cache.Lookups-prev.Cache.Lookups)
+			sp.SetAttr("cache_hits", st.Cache.Hits-prev.Cache.Hits)
+			sp.SetAttr("cache_composed", st.Cache.Composed-prev.Cache.Composed)
+			sp.SetAttr("cache_fallbacks", st.Cache.Fallbacks-prev.Cache.Fallbacks)
+			sp.EndAt(now)
+			genStart, prev = now, st
+			if inner != nil {
+				inner(st)
+			}
+		}
+	}
 	var onImproved func(*core.Individual)
 	if hooks.improved != nil {
 		onImproved = func(ind *core.Individual) {
@@ -328,7 +356,9 @@ func runFlow(ctx context.Context, accurate *netlist.Circuit, lib *cell.Library, 
 		return nil, nil, fmt.Errorf("%w (budget %v)", ErrInfeasible, cfg.ErrorBudget)
 	}
 
+	postSpan := trace.FromContext(ctx).StartChild("als.post_optimize")
 	post, err := sizing.PostOptimize(best.Circuit, lib, sizing.Options{AreaCon: areaCon})
+	postSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
