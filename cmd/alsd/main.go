@@ -8,6 +8,21 @@
 //
 //	alsd -addr :8080 -store alsd-results.jsonl -workers 2
 //
+// The store is pluggable (-store-backend; docs/STORAGE.md): "jsonl" (the
+// default file format), "embedded" (a single-file binary log safe for
+// several daemons on one host), "remote" (another alsd's /store surface —
+// point a worker fleet's satellites at one hub with
+// -store-backend remote -store-remote http://hub:8080 and every result
+// any worker computes is a cache hit for all of them), or "auto" (detect
+// from the -store target). Every daemon also serves its own store at
+// GET/PUT /store/{hash} for others to share.
+//
+// Accepted submissions are write-ahead logged (-wal): a daemon killed
+// hard with jobs queued or running re-enqueues them on restart — already
+// persisted results are answered from the store bit-identically, only
+// genuinely lost work runs again. "-wal auto" derives <store>.wal next to
+// a local store file; an empty -wal disables durability.
+//
 // The preferred client surface is /v2: submit, stream the run's events
 // (per-iteration progress and every improved solution, over SSE), then
 // read the result with its delay/error/area trade-off front:
@@ -80,7 +95,10 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "HTTP listen address")
-		storePath    = flag.String("store", "alsd-results.jsonl", "persistent result store (JSONL; empty disables persistence)")
+		storePath    = flag.String("store", "alsd-results.jsonl", "persistent result store file (empty disables persistence)")
+		storeBackend = flag.String("store-backend", "auto", "store backend: auto, jsonl, embedded or remote")
+		storeRemote  = flag.String("store-remote", "", "base URL of another alsd whose /store to use as the result store (implies -store-backend remote)")
+		walPath      = flag.String("wal", "auto", "submission write-ahead log: a path, \"auto\" (derive <store>.wal), or empty to disable durability")
 		workers      = flag.Int("workers", 2, "concurrent flow jobs")
 		queueDepth   = flag.Int("queue", 64, "maximum queued jobs")
 		evalWorkers  = flag.Int("eval-workers", 0, "per-flow evaluation pool (0 = GOMAXPROCS/workers)")
@@ -99,14 +117,48 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Resolve the store target: -store-remote names a hub daemon and wins
+	// over -store; otherwise -store names a local file interpreted per
+	// -store-backend ("auto" detects: URL → remote, magic header →
+	// embedded, anything else → jsonl).
+	target, kind := *storePath, *storeBackend
+	if *storeRemote != "" {
+		if kind != "auto" && kind != "remote" {
+			logger.Error("conflicting flags", "error", "-store-remote requires -store-backend remote (or auto)")
+			os.Exit(2)
+		}
+		target, kind = *storeRemote, "remote"
+	}
 	var st *store.Store
-	if *storePath != "" {
-		st, err = store.Open(*storePath)
+	if target != "" {
+		st, err = store.OpenKind(kind, target)
 		if err != nil {
-			logger.Error("store open failed", "path", *storePath, "error", err)
+			logger.Error("store open failed", "target", target, "error", err)
 			os.Exit(1)
 		}
-		logger.Info("store opened", "path", *storePath, "results", st.Len(), "corrupt_lines", st.Corrupt())
+		logger.Info("store opened", "target", st.Path(), "backend", st.Kind(),
+			"results", st.Len(), "corrupt_records", st.Corrupt())
+	}
+
+	// The WAL lives next to a local store file; with a remote (or no)
+	// store, "auto" still enables durability under a fixed local name —
+	// queued work is this daemon's promise regardless of where results go.
+	wp := *walPath
+	if wp == "auto" {
+		wp = "alsd-queue.wal"
+		if st != nil && st.Kind() != "remote" {
+			wp = st.Path() + ".wal"
+		}
+	}
+	var wal *service.WAL
+	if wp != "" {
+		wal, err = service.OpenWAL(wp)
+		if err != nil {
+			logger.Error("wal open failed", "path", wp, "error", err)
+			os.Exit(1)
+		}
+		logger.Info("wal opened", "path", wp,
+			"pending", len(wal.Pending()), "corrupt_lines", wal.Corrupt())
 	}
 
 	var tracer *trace.Tracer
@@ -123,6 +175,7 @@ func main() {
 		MaxJobs:     *maxJobs,
 		Logger:      logger,
 		Tracer:      tracer,
+		WAL:         wal,
 	})
 
 	root := http.NewServeMux()
@@ -162,6 +215,11 @@ func main() {
 	}
 	if err := svc.Drain(shutdownCtx); err != nil {
 		logger.Warn("drain", "error", err)
+	}
+	if wal != nil {
+		if err := wal.Close(); err != nil {
+			logger.Warn("wal close", "error", err)
+		}
 	}
 	if st != nil {
 		if err := st.Close(); err != nil {

@@ -85,6 +85,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		jobs     = fs.Int("jobs", 0, "concurrent experiment cells (0 = GOMAXPROCS); with -workers, the local share (0 = remote only)")
 		workers  = fs.String("workers", "", "comma-separated alsd worker URLs; distribute cells across them by content hash")
 		outDir   = fs.String("out", "", "directory for the persistent result store and rendered reports")
+		backend  = fs.String("store-backend", "auto", "result-store backend for -out: auto, jsonl or embedded (see docs/STORAGE.md)")
 		resume   = fs.Bool("resume", false, "reuse finished cells from the -out result store")
 		format   = fs.String("format", "text", "output format: text|json|csv")
 		check    = fs.String("check", "", "diff freshly computed metrics against this golden file and exit")
@@ -224,7 +225,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				}
 			}
 		}
-		st, err = store.Open(path)
+		st, err = store.OpenKind(*backend, path)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1

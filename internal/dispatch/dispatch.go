@@ -533,11 +533,22 @@ type remoteLane struct {
 	// failures counts consecutive transport-level failures; any success
 	// resets it, exceeding the retry budget kills the lane.
 	failures int
+	// resubmits counts cells this lane requeued because the worker forgot
+	// or cancelled them. Only the first one logs a line (a worker restart
+	// typically forgets a whole batch at once, and per-cell lines buried
+	// the interesting logs); the rest ride the als_dispatch_resubmits_total
+	// counter and the lane's exit summary.
+	resubmits int
 }
 
 func (l *remoteLane) run(own []*task) {
 	l.unsubmitted = own
 	l.outstanding = map[string]*task{}
+	defer func() {
+		if l.resubmits > 1 {
+			l.s.opts.Logf("dispatch: lane %s resubmitted %d cells total", l.name, l.resubmits)
+		}
+	}()
 	for {
 		if l.idle() {
 			t, ok := l.s.next(&l.unsubmitted)
@@ -746,7 +757,7 @@ func (l *remoteLane) poll() error {
 			l.failures = 0
 			delete(l.outstanding, hash)
 			l.unsubmitted = append(l.unsubmitted, t)
-			l.s.opts.Logf("dispatch: lane %s forgot %.12s… (worker restarted?); resubmitting", l.name, hash)
+			l.noteResubmit(fmt.Sprintf("dispatch: lane %s forgot %.12s… (worker restarted?); resubmitting", l.name, hash))
 			continue
 		default:
 			return l.transient("poll", fmt.Errorf("HTTP %d: %s", resp.StatusCode, errorBody(raw)))
@@ -774,10 +785,22 @@ func (l *remoteLane) poll() error {
 			// cell itself is fine — run it elsewhere.
 			delete(l.outstanding, hash)
 			l.unsubmitted = append(l.unsubmitted, t)
-			l.s.opts.Logf("dispatch: lane %s cancelled %.12s…; resubmitting", l.name, hash)
+			l.noteResubmit(fmt.Sprintf("dispatch: lane %s cancelled %.12s…; resubmitting", l.name, hash))
 		}
 	}
 	return nil
+}
+
+// noteResubmit counts one requeued cell. The first one per lane logs the
+// given line (with a pointer to the counter); later ones stay quiet — a
+// restarted worker forgets its whole outstanding set at once, and one
+// line per cell used to drown the run log.
+func (l *remoteLane) noteResubmit(line string) {
+	l.s.opts.Metrics.resubmitted(l.name)
+	l.resubmits++
+	if l.resubmits == 1 {
+		l.s.opts.Logf("%s (further lane resubmissions counted in als_dispatch_resubmits_total)", line)
+	}
 }
 
 // errorBody extracts {"error": ...} from a response body for messages.

@@ -14,6 +14,7 @@ import "repro/internal/telemetry"
 type Metrics struct {
 	cellsCompleted *telemetry.CounterVec // lane
 	retries        *telemetry.CounterVec // lane
+	resubmits      *telemetry.CounterVec // lane
 	failovers      *telemetry.Counter
 	deadLanes      *telemetry.Counter
 	cellsRemaining *telemetry.Gauge
@@ -28,6 +29,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Sweep cells finished, by lane (worker URL or \"local\").", "lane"),
 		retries: reg.CounterVec("als_dispatch_retries_total",
 			"Transport-level failures that were retried, by lane.", "lane"),
+		resubmits: reg.CounterVec("als_dispatch_resubmits_total",
+			"Cells requeued after a worker forgot or cancelled them, by lane.", "lane"),
 		failovers: reg.Counter("als_dispatch_failovers_total",
 			"Cells reassigned away from a dead lane."),
 		deadLanes: reg.Counter("als_dispatch_dead_lanes_total",
@@ -59,6 +62,12 @@ func (m *Metrics) cellCompleted(lane string) {
 func (m *Metrics) retried(lane string) {
 	if m != nil {
 		m.retries.With(lane).Inc()
+	}
+}
+
+func (m *Metrics) resubmitted(lane string) {
+	if m != nil {
+		m.resubmits.With(lane).Inc()
 	}
 }
 

@@ -29,6 +29,13 @@ const maxBodyBytes = MaxVerilogBytes + 1<<20
 //	POST /v1/jobs              batch-submit exp.Job specs → BatchResponse
 //	GET  /v1/jobs/{hash}       status/result by content hash → JobView
 //
+// the shared-store surface (storehttp.go) that lets other workers use
+// this daemon's store as their remote backend:
+//
+//	GET  /store/{key}          raw stored payload by content hash → JSON
+//	PUT  /store/{key}          persist a payload → 204
+//	GET  /store/               full store dump as JSONL (a valid store file)
+//
 // and the operational surface:
 //
 //	GET  /healthz              liveness + Stats counters
@@ -53,6 +60,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleBatchSubmit)
 	mux.HandleFunc("GET /v1/jobs/{hash}", s.handleJobByHash)
 	s.registerV2(mux)
+	mux.HandleFunc("GET /store/{key...}", s.handleStoreGet)
+	mux.HandleFunc("PUT /store/{key...}", s.handleStorePut)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", s.metrics.registry.Handler())
 	mux.Handle("GET /debug/traces", s.tracer.Handler())

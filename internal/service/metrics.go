@@ -79,6 +79,9 @@ type serverMetrics struct {
 	sseSubscribers *telemetry.Gauge
 
 	queueWait *telemetry.Histogram
+
+	walAppends  *telemetry.CounterVec // op
+	walReplayed *telemetry.Counter
 }
 
 // newServerMetrics registers the server's instrument set on reg. The
@@ -136,9 +139,15 @@ func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
 	m.sseSubscribers = reg.Gauge("als_sse_subscribers",
 		"Live /v2 event-stream subscriptions.")
 
-	// Registered last: the metric-name contract file is append-only.
+	// Later metrics register below queueWait in the order they were added:
+	// the metric-name contract file is append-only.
 	m.queueWait = reg.Histogram("als_queue_wait_seconds",
 		"Time an executed job waited between submission and run start.", queueWaitBuckets)
+
+	m.walAppends = reg.CounterVec("als_wal_appends_total",
+		"Submission write-ahead-log records appended, by op (accept/done/failed/cancelled).", "op")
+	m.walReplayed = reg.Counter("als_wal_replayed_total",
+		"Accepted submissions re-submitted from the write-ahead log at startup.")
 	return m
 }
 

@@ -192,6 +192,21 @@ type unknownCircuitError struct{ msg string }
 func (e *unknownCircuitError) Error() string { return e.msg }
 func (e *unknownCircuitError) Unwrap() error { return als.ErrUnknownBenchmark }
 
+// request rebuilds a resubmittable Request from a validated spec — the
+// form the write-ahead log persists. For a named benchmark this is just
+// RequestFromJob; an uploaded netlist swaps its opaque "verilog:<sha>"
+// circuit key for the canonical re-rendered source, so a crash-replayed
+// submission re-validates to the identical content hash (and result) the
+// client was promised.
+func (sp *flowSpec) request() Request {
+	req := RequestFromJob(sp.job)
+	if sp.parsed != nil {
+		req.Circuit = ""
+		req.Verilog = verilog.Write(sp.parsed)
+	}
+	return req
+}
+
 // sessionOptions maps a validated spec onto the option list its run
 // uses. Zero-valued overrides stay absent, so the session resolves them
 // exactly like the legacy FlowConfig did — keeping the spec's content

@@ -138,6 +138,14 @@ type Options struct {
 	// site degrades to a no-op, and request IDs fall back to the legacy
 	// per-process sequence.
 	Tracer *trace.Tracer
+	// WAL makes accepted submissions durable (wal.go): every genuinely
+	// queued job appends an accept record before Submit returns, terminal
+	// transitions append completion records, and New replays the log's
+	// unresolved accepts — so a daemon SIGKILLed mid-queue re-enqueues the
+	// lost jobs on restart and answers already-persisted ones from the
+	// store, bit-identically. Nil disables write-ahead logging. The caller
+	// owns the WAL (OpenWAL) and closes it after Drain/Close returns.
+	WAL *WAL
 }
 
 // Submission errors the HTTP layer maps to 503; anything else from Submit
@@ -193,6 +201,7 @@ type Server struct {
 	log         *slog.Logger
 	metrics     *serverMetrics
 	tracer      *trace.Tracer
+	wal         *WAL
 	reqSeq      atomic.Int64 // request-ID sequence for the access log
 
 	baseCtx    context.Context // parent of every job run; Close cancels it
@@ -248,6 +257,13 @@ func New(opts Options) *Server {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	// Replayed WAL accepts ride on top of the configured queue depth, so a
+	// restart after a crash with a full queue can never fail its own
+	// replay with ErrQueueFull.
+	var pending []WALPending
+	if opts.WAL != nil {
+		pending = opts.WAL.Pending()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		store:       opts.Store,
@@ -256,9 +272,10 @@ func New(opts Options) *Server {
 		maxJobs:     maxJobs,
 		log:         logger,
 		tracer:      opts.Tracer,
+		wal:         opts.WAL,
 		baseCtx:     ctx,
 		baseCancel:  cancel,
-		queue:       make(chan *jobState, depth),
+		queue:       make(chan *jobState, depth+len(pending)),
 		jobs:        map[string]*jobState{},
 		byHash:      map[string]string{},
 	}
@@ -270,7 +287,73 @@ func New(opts Options) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.wal != nil {
+		s.replayWAL(pending)
+	}
 	return s
+}
+
+// replayWAL re-submits every unresolved accept from a previous process
+// through the normal Submit path: submissions whose results the crashed
+// daemon already persisted are answered from the store (no recomputation,
+// bit-identical by the content-hash contract), the rest re-queue and run
+// again. Afterwards the log is compacted down to the still-live set.
+func (s *Server) replayWAL(pending []WALPending) {
+	for _, p := range pending {
+		v, err := s.Submit(context.Background(), p.Req)
+		if err != nil {
+			// The record can no longer be submitted (e.g. validation rules
+			// changed across the restart). Resolve it so it stops replaying
+			// on every future startup, and leave the reason in the log.
+			s.log.Warn("wal replay rejected", "hash", p.Hash, "error", err)
+			s.walAppend(nil, string(StatusFailed), p.Hash)
+			continue
+		}
+		s.metrics.walReplayed.Inc()
+		s.log.Info("wal replay", "hash", p.Hash, "job_id", v.ID,
+			"from_store", v.Cached, "status", string(v.Status))
+	}
+	s.mu.Lock()
+	var live []WALPending
+	for _, id := range s.order {
+		if j := s.jobs[id]; !j.status.terminal() {
+			live = append(live, WALPending{Hash: j.spec.hash, Req: j.spec.request()})
+		}
+	}
+	s.mu.Unlock()
+	if err := s.wal.Compact(live); err != nil {
+		s.log.Warn("wal compaction failed", "error", err)
+	}
+}
+
+// walAppend records one WAL transition (nil-safe without a WAL): op is
+// walOpAccept — accompanied by the job's replayable request — or a
+// terminal Status string. Append failures are logged, not returned: the
+// job proceeds either way (availability over durability; the operator
+// sees the warning and the als_wal_appends_total/op counter).
+func (s *Server) walAppend(j *jobState, op, hash string) {
+	if s.wal == nil {
+		return
+	}
+	var span *trace.Span
+	var err error
+	if op == walOpAccept {
+		span = j.parent.StartChild("wal.append")
+		req := j.spec.request()
+		err = s.wal.Accept(hash, req)
+	} else {
+		if j != nil {
+			span = j.parent.StartChild("wal.append")
+		}
+		err = s.wal.Resolve(op, hash)
+	}
+	span.SetAttr("op", op)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		s.log.Warn("wal append failed", "op", op, "hash", hash, "error", err)
+	}
+	span.End()
+	s.metrics.walAppends.With(op).Inc()
 }
 
 // Metrics returns the registry the server instruments (served by the
@@ -375,6 +458,10 @@ func (s *Server) Submit(ctx context.Context, req Request) (JobView, error) {
 	reqSpan.SetAttr("job_id", j.id)
 	j.parent = reqSpan
 	j.queueSpan = reqSpan.StartChild("queue.wait")
+	// Write-ahead: the accept record is durable before the caller (and
+	// therefore the client's 202) learns the job was queued. Dedup and
+	// store-served submissions never reach here — they owe no future work.
+	s.walAppend(j, walOpAccept, sp.hash)
 	s.stats.Submitted++
 	s.metrics.jobsSubmitted.Inc()
 	s.log.Info("job queued",
@@ -468,6 +555,7 @@ func (s *Server) Cancel(id string) (JobView, bool) {
 		j.status = StatusCancelled
 		j.errMsg = "cancelled before start"
 		j.finished = time.Now()
+		s.walAppend(j, string(StatusCancelled), j.spec.hash)
 		s.stats.Cancelled++
 		s.metrics.jobsCompleted.With(string(StatusCancelled)).Inc()
 		j.queueSpan.SetAttr("outcome", "cancelled")
@@ -599,8 +687,13 @@ func (s *Server) runJob(j *jobState) {
 	defer s.mu.Unlock()
 	j.cancelRun = nil
 	j.finished = time.Now()
+	// The completion record lands before the terminal status is visible:
+	// once a client observes the end state, a restart will not replay the
+	// job. (The reverse order could replay an already-answered job — safe,
+	// via the store, but wasteful.)
 	switch {
 	case err == nil:
+		s.walAppend(j, string(StatusDone), sp.hash)
 		j.status = StatusDone
 		j.result = &res
 		j.front = front
@@ -615,12 +708,14 @@ func (s *Server) runJob(j *jobState) {
 			"front", len(front),
 			"duration", j.finished.Sub(j.started).Round(time.Millisecond).String())
 	case errors.Is(err, context.Canceled):
+		s.walAppend(j, string(StatusCancelled), sp.hash)
 		j.status = StatusCancelled
 		j.errMsg = err.Error()
 		s.stats.Cancelled++
 		s.metrics.jobsCompleted.With(string(StatusCancelled)).Inc()
 		s.log.Info("job cancelled", "job_id", j.id, "iterations", j.progress.Iter)
 	default:
+		s.walAppend(j, string(StatusFailed), sp.hash)
 		j.status = StatusFailed
 		j.errMsg = err.Error()
 		j.failCode = failCodeFor(err)

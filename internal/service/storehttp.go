@@ -1,0 +1,110 @@
+// The shared-store HTTP surface: every alsd exposes its persistent result
+// store at /store, speaking the protocol internal/store's remote backend
+// consumes —
+//
+//	GET /store/{key}   raw JSON payload (200) or 404
+//	PUT /store/{key}   store a payload → 204
+//	GET /store/        full dump, one JSONL record per line (exactly the
+//	                   default store-file format, so piping it to a file
+//	                   yields a valid local store)
+//
+// so a fleet can point satellite workers at one hub daemon
+// (-store-backend remote -store-remote http://hub) and share a single
+// dedup cache: any cell any worker ever computed is a store hit for every
+// other worker. Without a configured store the routes answer 404.
+//
+// Keys are content hashes plus derived segments ("<hash>/front"), so the
+// routes use a trailing-wildcard pattern and validate the key shape
+// themselves.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxStoreKeyLen bounds a /store key. Real keys are a 64-hex-rune hash
+// plus at most one short derived segment; 256 leaves headroom without
+// letting a client persist arbitrary blobs under kilobyte key names.
+const maxStoreKeyLen = 256
+
+// validStoreKey accepts hash-shaped keys: non-empty segments of safe
+// characters joined by single '/'. It is a write guard — the store file
+// format embeds keys verbatim, so this is where the daemon refuses to
+// persist something another tool could choke on.
+func validStoreKey(key string) bool {
+	if key == "" || len(key) > maxStoreKeyLen {
+		return false
+	}
+	prevSlash := true // leading '/' (empty first segment) is invalid
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c == '/':
+			if prevSlash {
+				return false
+			}
+			prevSlash = true
+		case '0' <= c && c <= '9', 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z',
+			c == '-', c == '_', c == '.', c == ':':
+			prevSlash = false
+		default:
+			return false
+		}
+	}
+	return !prevSlash // trailing '/' is invalid
+}
+
+// handleStoreGet serves one payload, or — for the empty key — the full
+// JSONL dump.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, errors.New("service: no store configured"))
+		return
+	}
+	key := r.PathValue("key")
+	if key == "" {
+		w.Header().Set("Content-Type", "application/jsonl")
+		if err := s.store.Export(w); err != nil {
+			// The response is already streaming; all we can do is log.
+			s.log.Warn("store export aborted", "error", err)
+		}
+		return
+	}
+	payload, ok := s.store.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no such hash"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload) //nolint:errcheck // the response is already committed
+}
+
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, errors.New("service: no store configured"))
+		return
+	}
+	key := r.PathValue("key")
+	if !validStoreKey(key) {
+		writeError(w, http.StatusBadRequest, errors.New("service: invalid store key"))
+		return
+	}
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: read payload: %w", err))
+		return
+	}
+	if !json.Valid(payload) {
+		writeError(w, http.StatusBadRequest, errors.New("service: store payload must be valid JSON"))
+		return
+	}
+	if err := s.store.PutRaw(key, payload); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

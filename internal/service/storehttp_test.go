@@ -1,0 +1,185 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestStoreHTTPSurface pins the /store wire protocol a remote-backend
+// worker consumes: PUT → 204, GET → the exact payload, 404 for absent
+// hashes, 400 for invalid keys or non-JSON payloads, and the full dump as
+// store-file-compatible JSONL.
+func TestStoreHTTPSurface(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := newTestServer(t, Options{Store: st})
+
+	put := func(key, body string) int {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/store/"+key, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := put("aaaa1111", `{"n":1}`); code != http.StatusNoContent {
+		t.Fatalf("PUT = %d, want 204", code)
+	}
+	if code := put("aaaa1111/front", `[{"x":2}]`); code != http.StatusNoContent {
+		t.Fatalf("PUT derived key = %d, want 204", code)
+	}
+	if code := put("aaaa1111", `{not json`); code != http.StatusBadRequest {
+		t.Fatalf("PUT invalid JSON = %d, want 400", code)
+	}
+	// (A key with doubled slashes never reaches the handler — ServeMux
+	// path-cleans it — so the charset rule is what the handler enforces.)
+	if code := put("bad*key", `{}`); code != http.StatusBadRequest {
+		t.Fatalf("PUT invalid key = %d, want 400", code)
+	}
+	if code := put(strings.Repeat("k", 300), `{}`); code != http.StatusBadRequest {
+		t.Fatalf("PUT oversized key = %d, want 400", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/store/aaaa1111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, []byte(`{"n":1}`)) {
+		t.Fatalf("GET = (%d, %s), want (200, {\"n\":1})", resp.StatusCode, body)
+	}
+	resp, err = http.Get(ts.URL + "/store/absent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET absent = %d, want 404", resp.StatusCode)
+	}
+
+	// The dump is JSONL in the store-file record shape.
+	resp, err = http.Get(ts.URL + "/store/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines := bytes.Split(bytes.TrimSpace(dump), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("dump has %d lines, want 2:\n%s", len(lines), dump)
+	}
+	var rec struct {
+		Hash    string          `json:"hash"`
+		Payload json.RawMessage `json:"payload"`
+	}
+	if err := json.Unmarshal(lines[0], &rec); err != nil || rec.Hash != "aaaa1111" {
+		t.Fatalf("dump line 0 = %s (err %v), want hash aaaa1111", lines[0], err)
+	}
+}
+
+// TestStoreHTTPWithoutStore: a storeless daemon answers 404 on the whole
+// surface instead of panicking.
+func TestStoreHTTPWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, path := range []string{"/store/", "/store/abcd"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s without store = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestRemoteStoreSharedCache is the fleet scenario end to end: a
+// satellite daemon whose store is the hub daemon's /store surface
+// persists its results into the hub, and answers a repeat submission from
+// the shared cache — as does the hub itself, which never computed the
+// job.
+func TestRemoteStoreSharedCache(t *testing.T) {
+	hubStore, err := store.Open(filepath.Join(t.TempDir(), "hub.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubStore.Close()
+	hub := New(Options{Store: hubStore, Logf: t.Logf})
+	defer hub.Close()
+	hubTS := httptest.NewServer(hub.Handler())
+	defer hubTS.Close()
+
+	satStore, err := store.OpenRemote(hubTS.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer satStore.Close()
+	sat := New(Options{Store: satStore, Logf: t.Logf})
+	defer sat.Close()
+
+	v, err := sat.Submit(context.Background(), quickReq(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitServerDone(t, sat, v.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("satellite job ended %q (error %q)", done.Status, done.Error)
+	}
+
+	// The result must live in the hub's store file, not on the satellite.
+	if got := hubStore.Len(); got == 0 {
+		t.Fatal("hub store is empty after a satellite job")
+	}
+
+	// The hub itself — which never ran the job — serves it from cache.
+	hv, err := hub.Submit(context.Background(), quickReq(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.Status != StatusDone || !hv.Cached {
+		t.Fatalf("hub submission = (%q, cached=%v), want cached done", hv.Status, hv.Cached)
+	}
+	if hv.Result.RatioCPD != done.Result.RatioCPD || hv.Result.Err != done.Result.Err {
+		t.Fatalf("hub result %+v differs from satellite's %+v", hv.Result, done.Result)
+	}
+	if n := hub.Stats().Executed; n != 0 {
+		t.Fatalf("hub executed %d jobs, want 0", n)
+	}
+
+	// And a second satellite sharing the hub gets the same cache hit.
+	sat2Store, err := store.OpenRemote(hubTS.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sat2Store.Close()
+	sat2 := New(Options{Store: sat2Store, Logf: t.Logf})
+	defer sat2.Close()
+	v2, err := sat2.Submit(context.Background(), quickReq(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Status != StatusDone || !v2.Cached {
+		t.Fatalf("second satellite = (%q, cached=%v), want cached done", v2.Status, v2.Cached)
+	}
+}

@@ -1,0 +1,427 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	als "repro"
+	"repro/internal/exp"
+	"repro/internal/store"
+	"repro/internal/verilog"
+)
+
+// The crash in these tests is simulated by construction, not by killing
+// the process: a SIGKILLed daemon leaves exactly (a) the WAL and store
+// files as they were at the kill and (b) nothing else — no drain, no
+// terminal records, no flushes beyond what each append already synced.
+// Writing those files directly and opening a fresh Server over them is
+// therefore the same state a real kill produces; the end-to-end
+// SIGKILL-of-a-live-alsd variant runs in scripts/distributed_smoke.sh.
+
+// walServer builds a Server over a store and WAL rooted in dir.
+func walServer(t *testing.T, dir string, opts Options) (*Server, *store.Store, *WAL) {
+	t.Helper()
+	st, err := store.Open(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal, err := OpenWAL(filepath.Join(dir, "queue.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Store = st
+	opts.WAL = wal
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	s := New(opts)
+	t.Cleanup(func() {
+		s.Close()
+		wal.Close()
+		st.Close()
+	})
+	return s, st, wal
+}
+
+// waitServerDone polls the job table directly until id is terminal.
+func waitServerDone(t *testing.T, s *Server, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := s.Job(id); ok && v.Status.terminal() {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return JobView{}
+}
+
+// TestWALReplayCompletesLostJobs is the core crash-recovery property:
+// submissions accepted (202) by a daemon that dies before running them
+// are re-enqueued on restart and finish with results byte-identical to an
+// uninterrupted run.
+func TestWALReplayCompletesLostJobs(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "queue.wal")
+
+	// The WAL a killed daemon leaves: three accepts, no terminal records.
+	reqs := []Request{quickReq(11), quickReq(12), quickReq(13)}
+	var lines []string
+	hashes := make([]string, len(reqs))
+	for i, r := range reqs {
+		sp, err := validate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[i] = sp.hash
+		raw, err := json.Marshal(walRecord{Op: walOpAccept, Hash: sp.hash, Req: &r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(raw))
+	}
+	if err := os.WriteFile(walPath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, st, _ := walServer(t, dir, Options{Workers: 2})
+	var scrape strings.Builder
+	if err := s.Metrics().WritePrometheus(&scrape); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scrape.String(), "als_wal_replayed_total 3") {
+		t.Fatalf("als_wal_replayed_total after replay:\n%s", scrape.String())
+	}
+	views := s.Jobs()
+	if len(views) != 3 {
+		t.Fatalf("job table has %d jobs after replay, want 3", len(views))
+	}
+	for _, v := range views {
+		got := waitServerDone(t, s, v.ID)
+		if got.Status != StatusDone {
+			t.Fatalf("replayed job %s ended %q (error %q)", v.ID, got.Status, got.Error)
+		}
+	}
+
+	// Byte-identical to an uninterrupted run: each replayed result's
+	// persisted bytes must equal what a fresh daemon (same seed, no crash)
+	// persists.
+	refDir := t.TempDir()
+	ref, refStore, _ := walServer(t, refDir, Options{Workers: 2})
+	for _, r := range reqs {
+		v, err := ref.Submit(context.Background(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitServerDone(t, ref, v.ID)
+	}
+	for i, h := range hashes {
+		var got, want exp.JobResult
+		if ok, err := st.Decode(h, &got); !ok || err != nil {
+			t.Fatalf("replayed result %d missing: (%v, %v)", i, ok, err)
+		}
+		if ok, err := refStore.Decode(h, &want); !ok || err != nil {
+			t.Fatalf("reference result %d missing: (%v, %v)", i, ok, err)
+		}
+		got.RuntimeNS, want.RuntimeNS = 0, 0 // wall clock, the one impure field
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("replayed result %d = %+v, reference = %+v", i, got, want)
+		}
+	}
+}
+
+// TestWALStoreHitReplayNoRecompute: a job whose result the killed daemon
+// already persisted (it crashed after store.Put, before the terminal
+// record) replays as a store hit — served bit-identically with no second
+// execution.
+func TestWALStoreHitReplayNoRecompute(t *testing.T) {
+	dir := t.TempDir()
+
+	// Run the job once to obtain its real persisted result.
+	s1, st1, _ := walServer(t, dir, Options{Workers: 1})
+	v, err := s1.Submit(context.Background(), quickReq(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitServerDone(t, s1, v.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("seed job ended %q", done.Status)
+	}
+	s1.Close()
+
+	// Reconstruct the crash window: result persisted, accept unresolved.
+	req := quickReq(21)
+	raw, err := json.Marshal(walRecord{Op: walOpAccept, Hash: v.Hash, Req: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "queue.wal"), append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	s2, _, _ := walServer(t, dir, Options{Workers: 1})
+	views := s2.Jobs()
+	if len(views) != 1 {
+		t.Fatalf("job table has %d jobs, want 1", len(views))
+	}
+	got := views[0]
+	if got.Status != StatusDone || !got.Cached {
+		t.Fatalf("replayed persisted job = (%q, cached=%v), want done from store", got.Status, got.Cached)
+	}
+	if got.Result == nil || got.Result.RatioCPD != done.Result.RatioCPD || got.Result.Err != done.Result.Err {
+		t.Fatalf("store-replayed result %+v differs from original %+v", got.Result, done.Result)
+	}
+	if n := s2.Stats().Executed; n != 0 {
+		t.Fatalf("replay executed %d jobs, want 0 (store hit)", n)
+	}
+}
+
+// TestWALTerminalNotReplayed: resolved accepts (and a corrupt torn tail)
+// are not replayed.
+func TestWALTerminalNotReplayed(t *testing.T) {
+	dir := t.TempDir()
+	reqDone, reqLost := quickReq(31), quickReq(32)
+	spDone, err := validate(reqDone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spLost, err := validate(reqLost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	enc.Encode(walRecord{Op: walOpAccept, Hash: spDone.hash, Req: &reqDone}) //nolint:errcheck
+	enc.Encode(walRecord{Op: walOpAccept, Hash: spLost.hash, Req: &reqLost}) //nolint:errcheck
+	enc.Encode(walRecord{Op: string(StatusDone), Hash: spDone.hash})         //nolint:errcheck
+	b.WriteString(`{"op":"accept","hash":"torn-tail-no-closing`)             // SIGKILL mid-append
+	if err := os.WriteFile(filepath.Join(dir, "queue.wal"), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wal, err := OpenWAL(filepath.Join(dir, "queue.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	pending := wal.Pending()
+	if len(pending) != 1 || pending[0].Hash != spLost.hash {
+		t.Fatalf("Pending() = %+v, want exactly the unresolved accept %s", pending, spLost.hash)
+	}
+	if wal.Corrupt() != 1 {
+		t.Fatalf("Corrupt() = %d, want 1 (the torn tail)", wal.Corrupt())
+	}
+	// The healed file must accept appends on a fresh line: reopen and
+	// check the new record parses.
+	if err := wal.Resolve(string(StatusCancelled), pending[0].Hash); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+	wal2, err := OpenWAL(filepath.Join(dir, "queue.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	if got := wal2.Pending(); len(got) != 0 {
+		t.Fatalf("Pending() after resolve = %+v, want none", got)
+	}
+}
+
+// TestWALCompaction: after a restart replays and the jobs finish, the
+// next open finds nothing pending and a log proportional to the live set
+// (here: empty), not to history.
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _, wal := walServer(t, dir, Options{Workers: 1})
+	for seed := int64(41); seed <= 43; seed++ {
+		v, err := s.Submit(context.Background(), quickReq(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitServerDone(t, s, v.ID)
+	}
+	s.Close()
+	wal.Close()
+
+	wal2, err := OpenWAL(wal.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wal2.Pending(); len(got) != 0 {
+		t.Fatalf("Pending() after clean run = %+v, want none", got)
+	}
+	wal2.Close()
+
+	// A second daemon generation over the same WAL compacts it: the file
+	// must not keep growing with resolved history.
+	st2, err := store.Open(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	wal3, err := OpenWAL(wal.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal3.Close()
+	s2 := New(Options{Store: st2, WAL: wal3, Logf: t.Logf})
+	s2.Close()
+	info, err := os.Stat(wal.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 0 {
+		raw, _ := os.ReadFile(wal.Path())
+		t.Fatalf("compacted WAL is %d bytes, want 0:\n%s", info.Size(), raw)
+	}
+}
+
+// TestWALVerilogReplay: an uploaded-netlist submission survives the crash
+// too — the WAL record carries the canonical re-rendered source, and the
+// replayed job lands on the identical content hash.
+func TestWALVerilogReplay(t *testing.T) {
+	c := als.Benchmark("Adder")
+	src := verilog.Write(c)
+	req := Request{Verilog: src, Metric: "er", Budget: 0.05, Seed: 3}
+	sp, err := validate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	canon := sp.request()
+	raw, err := json.Marshal(walRecord{Op: walOpAccept, Hash: sp.hash, Req: &canon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "queue.wal"), append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ := walServer(t, dir, Options{Workers: 1})
+	views := s.Jobs()
+	if len(views) != 1 {
+		t.Fatalf("job table has %d jobs, want 1", len(views))
+	}
+	if views[0].Hash != sp.hash {
+		t.Fatalf("replayed verilog job hash = %s, want %s", views[0].Hash, sp.hash)
+	}
+	got := waitServerDone(t, s, views[0].ID)
+	if got.Status != StatusDone {
+		t.Fatalf("replayed verilog job ended %q (error %q)", got.Status, got.Error)
+	}
+}
+
+// TestWALRecordShapeFrozen pins the on-disk record schema documented in
+// docs/STORAGE.md: op/hash/req field names and the op vocabulary are a
+// contract with every future daemon that replays today's files.
+func TestWALRecordShapeFrozen(t *testing.T) {
+	req := quickReq(5)
+	raw, err := json.Marshal(walRecord{Op: walOpAccept, Hash: "abc", Req: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"op", "hash", "req"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("accept record lacks %q field: %s", k, raw)
+		}
+	}
+	if len(m) != 3 {
+		t.Errorf("accept record has %d fields, want op/hash/req only: %s", len(m), raw)
+	}
+	terminal, err := json.Marshal(walRecord{Op: string(StatusDone), Hash: "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"op":"done","hash":"abc"}`; string(terminal) != want {
+		t.Errorf("terminal record = %s, want %s", terminal, want)
+	}
+	for _, op := range []string{walOpAccept, string(StatusDone), string(StatusFailed), string(StatusCancelled)} {
+		switch op {
+		case "accept", "done", "failed", "cancelled":
+		default:
+			t.Errorf("op vocabulary changed: %q", op)
+		}
+	}
+}
+
+// TestWALQueuedCancelResolved: cancelling a queued job resolves its
+// accept, so a later restart does not resurrect work the client
+// explicitly abandoned.
+func TestWALQueuedCancelResolved(t *testing.T) {
+	dir := t.TempDir()
+	// One worker pinned down by a slow job keeps the second submission
+	// queued long enough to cancel it deterministically.
+	s, _, wal := walServer(t, dir, Options{Workers: 1, QueueDepth: 4})
+	slow := quickReq(51)
+	slow.Vectors = 1 << 16
+	slow.Iterations = 40
+	v1, err := s.Submit(context.Background(), slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Submit(context.Background(), quickReq(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cancel(v2.ID); !ok {
+		t.Fatal("cancel of queued job failed")
+	}
+	s.Cancel(v1.ID)
+	waitServerDone(t, s, v1.ID)
+	s.Close()
+	wal.Close()
+
+	wal2, err := OpenWAL(wal.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	if got := wal2.Pending(); len(got) != 0 {
+		t.Fatalf("Pending() after cancels = %+v, want none", got)
+	}
+}
+
+// TestWALDedupSingleExecution: N accepts of the SAME spec in a crashed
+// WAL replay as one execution — the open scan collapses them to one
+// pending entry per hash, so recovery cannot multiply work for deduped
+// hashes.
+func TestWALDedupSingleExecution(t *testing.T) {
+	dir := t.TempDir()
+	req := quickReq(61)
+	sp, err := validate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	for i := 0; i < 4; i++ {
+		enc.Encode(walRecord{Op: walOpAccept, Hash: sp.hash, Req: &req}) //nolint:errcheck
+	}
+	if err := os.WriteFile(filepath.Join(dir, "queue.wal"), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ := walServer(t, dir, Options{Workers: 2})
+	views := s.Jobs()
+	if len(views) != 1 {
+		t.Fatalf("job table has %d jobs after deduped replay, want 1", len(views))
+	}
+	got := waitServerDone(t, s, views[0].ID)
+	if got.Status != StatusDone {
+		t.Fatalf("deduped replay ended %q", got.Status)
+	}
+	if n := s.Stats().Executed; n != 1 {
+		t.Fatalf("deduped replay executed %d times, want 1", n)
+	}
+}

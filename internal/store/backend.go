@@ -1,0 +1,197 @@
+// The Backend interface and the default JSONL implementation.
+//
+// A Backend is the raw content-addressed byte layer under a Store: an
+// opaque-payload map keyed by canonical content hash (plus derived keys
+// such as "<hash>/front"). Store layers JSON encoding, telemetry and the
+// legacy convenience API on top, so every backend stays small and every
+// consumer (the experiment scheduler, the serving daemon, the dispatch
+// coordinator) is oblivious to which one is underneath.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Backend is a content-addressed byte store. Implementations must be safe
+// for concurrent use by multiple goroutines; the embedded backend is
+// additionally safe for concurrent use by multiple processes.
+//
+// Contract, shared by every implementation and pinned by the conformance
+// suite in backend_test.go:
+//
+//   - Get returns (payload, true, nil) for a stored hash, (nil, false,
+//     nil) for an absent one, and a non-nil error only for infrastructure
+//     failures (I/O, transport) — absence is never an error.
+//   - Put overwrites: the last write for a hash wins, matching the
+//     append-log semantics the JSONL format always had.
+//   - Scan visits every distinct stored hash exactly once, in first-
+//     insertion order, with its latest payload; fn's error aborts the scan.
+//   - Close releases resources. Implementations backed by an in-memory
+//     index keep Get/Scan readable after Close; Put fails.
+type Backend interface {
+	Get(hash string) (payload []byte, ok bool, err error)
+	Put(hash string, payload []byte) error
+	Scan(fn func(hash string, payload []byte) error) error
+	Close() error
+}
+
+// sizer and corrupter are optional Backend refinements: local backends
+// know their record count and how many undecodable records they skipped
+// at open without a Scan; the Store methods fall back to scanning (Len)
+// or zero (Corrupt) otherwise.
+type (
+	sizer     interface{ Len() int }
+	corrupter interface{ Corrupt() int }
+)
+
+// record is one JSONL line — also the wire shape of the remote backend's
+// full-dump listing, and therefore a frozen contract (docs/STORAGE.md).
+type record struct {
+	Hash    string          `json:"hash"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// jsonlBackend is the default file format: one JSON object per line,
+// append-only, flushed per Put, fully indexed in memory at open. It is
+// bit-compatible with every store file written since the format was
+// introduced; Open auto-detects it (anything without the embedded
+// backend's magic header).
+//
+// Concurrency: safe within one process. Two processes appending to one
+// JSONL file interleave whole lines only by luck of the flush size — use
+// the embedded backend when daemons must share a file.
+type jsonlBackend struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	mem     map[string][]byte
+	order   []string // insertion order, for deterministic iteration
+	corrupt int
+}
+
+// openJSONL loads (or creates) the JSONL file at path. Undecodable lines
+// — e.g. the tail of a run killed mid-write — are skipped and counted in
+// Corrupt(); every well-formed record is kept. A record whose hash
+// repeats overwrites the earlier payload (last writer wins).
+func openJSONL(path string) (*jsonlBackend, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	b := &jsonlBackend{path: path, f: f, mem: map[string][]byte{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil || r.Hash == "" || len(r.Payload) == 0 {
+			b.corrupt++
+			continue
+		}
+		if _, seen := b.mem[r.Hash]; !seen {
+			b.order = append(b.order, r.Hash)
+		}
+		b.mem[r.Hash] = append([]byte(nil), r.Payload...)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: scan %s: %w", path, err)
+	}
+	// A run killed mid-write leaves an unterminated partial line at the
+	// tail. Terminate it before appending, or the first new record would
+	// be glued onto the garbage and lost at the next open.
+	if end, err := f.Seek(0, 2); err == nil && end > 0 {
+		buf := make([]byte, 1)
+		if _, err := f.ReadAt(buf, end-1); err == nil && buf[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: terminate partial tail: %w", err)
+			}
+		}
+	}
+	b.w = bufio.NewWriter(f)
+	return b, nil
+}
+
+func (b *jsonlBackend) Get(hash string) ([]byte, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.mem[hash]
+	return p, ok, nil
+}
+
+func (b *jsonlBackend) Put(hash string, payload []byte) error {
+	line, err := json.Marshal(record{Hash: hash, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("store: put: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return fmt.Errorf("store: put %.12s…: store is closed", hash)
+	}
+	if _, err := b.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := b.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	if _, seen := b.mem[hash]; !seen {
+		b.order = append(b.order, hash)
+	}
+	b.mem[hash] = append([]byte(nil), payload...)
+	return nil
+}
+
+func (b *jsonlBackend) Scan(fn func(hash string, payload []byte) error) error {
+	b.mu.Lock()
+	hashes := append([]string(nil), b.order...)
+	b.mu.Unlock()
+	for _, h := range hashes {
+		b.mu.Lock()
+		p := b.mem[h]
+		b.mu.Unlock()
+		if err := fn(h, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *jsonlBackend) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.mem)
+}
+
+func (b *jsonlBackend) Corrupt() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.corrupt
+}
+
+// Close flushes and closes the backing file. The in-memory index stays
+// readable; further Puts fail.
+func (b *jsonlBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return nil
+	}
+	flushErr := b.w.Flush()
+	closeErr := b.f.Close()
+	b.f = nil
+	if flushErr != nil {
+		return fmt.Errorf("store: close: %w", flushErr)
+	}
+	return closeErr
+}

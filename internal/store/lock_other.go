@@ -1,0 +1,12 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms get no advisory file locking: the embedded backend
+// is still safe within one process (its mutex serializes operations) but
+// two daemons must not share one file there.
+func flockFile(*os.File, bool) error { return nil }
+
+func funlockFile(*os.File) error { return nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockFile takes an advisory flock(2) on f — exclusive for writers,
+// shared for readers — blocking until granted and retrying EINTR.
+func flockFile(f *os.File, exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	for {
+		err := syscall.Flock(int(f.Fd()), how)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+func funlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

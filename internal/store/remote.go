@@ -1,0 +1,139 @@
+// The remote backend: a thin HTTP client for the store surface every
+// alsd daemon serves (GET/PUT /store/{hash}, GET /store/ for the full
+// dump). It lets a worker fleet share one dedup cache — a worker opened
+// with -store-remote persists into (and answers repeats from) the hub's
+// store, so a restarted worker forgets nothing the fleet ever computed.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// remoteBackend speaks the /store protocol:
+//
+//	GET /store/{hash}   200 + raw JSON payload | 404 absent
+//	PUT /store/{hash}   payload in the body → 204
+//	GET /store/         full dump, one JSONL record per line
+//
+// Transport failures surface as errors from Get/Put/Scan; the Store
+// wrapper's legacy Get treats them as misses (the cache is advisory)
+// while Decode — the path the scheduler and the daemon use — propagates
+// them, so a dead hub fails a sweep fast instead of silently recomputing.
+type remoteBackend struct {
+	base   string
+	client *http.Client
+}
+
+func openRemote(baseURL string, client *http.Client) (*remoteBackend, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote %q: %w", baseURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("store: remote %q: want an http(s) base URL like http://host:8080", baseURL)
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &remoteBackend{base: strings.TrimRight(u.String(), "/"), client: client}, nil
+}
+
+func (b *remoteBackend) Get(hash string) ([]byte, bool, error) {
+	resp, err := b.client.Get(b.base + "/store/" + hash)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: remote get %.12s…: %w", hash, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		p, err := io.ReadAll(io.LimitReader(resp.Body, embMaxVal+1))
+		if err != nil {
+			return nil, false, fmt.Errorf("store: remote get %.12s…: %w", hash, err)
+		}
+		if len(p) > embMaxVal {
+			return nil, false, fmt.Errorf("store: remote get %.12s…: payload exceeds %d bytes", hash, embMaxVal)
+		}
+		return p, true, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("store: remote get %.12s…: HTTP %d: %s", hash, resp.StatusCode, snippet(resp.Body))
+	}
+}
+
+func (b *remoteBackend) Put(hash string, payload []byte) error {
+	req, err := http.NewRequest(http.MethodPut, b.base+"/store/"+hash, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("store: remote put %.12s…: %w", hash, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: remote put %.12s…: %w", hash, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("store: remote put %.12s…: HTTP %d: %s", hash, resp.StatusCode, snippet(resp.Body))
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+	return nil
+}
+
+func (b *remoteBackend) Scan(fn func(hash string, payload []byte) error) error {
+	resp, err := b.client.Get(b.base + "/store/")
+	if err != nil {
+		return fmt.Errorf("store: remote scan: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("store: remote scan: HTTP %d: %s", resp.StatusCode, snippet(resp.Body))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil || r.Hash == "" {
+			return fmt.Errorf("store: remote scan: undecodable record line %q", truncateLine(line))
+		}
+		if err := fn(r.Hash, r.Payload); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: remote scan: %w", err)
+	}
+	return nil
+}
+
+// Close is a no-op: the backend holds no connection state beyond the
+// shared http.Client's pool.
+func (b *remoteBackend) Close() error { return nil }
+
+func snippet(r io.Reader) string {
+	raw, _ := io.ReadAll(io.LimitReader(r, 256))
+	s := strings.TrimSpace(string(raw))
+	if s == "" {
+		return "(empty body)"
+	}
+	return s
+}
+
+func truncateLine(line []byte) string {
+	if len(line) > 120 {
+		return string(line[:120]) + "…"
+	}
+	return string(line)
+}

@@ -1,16 +1,30 @@
-// Package store persists per-job experiment results as append-only JSONL
-// keyed by a canonical content hash of the job specification.
+// Package store persists per-job experiment results keyed by a canonical
+// content hash of the job specification, over a pluggable storage
+// backend.
 //
 // The store is the substrate of the experiment orchestrator's -resume and
-// caching behavior: a scheduler asks Get(hash) before running a job and
-// Put(hash, result) after, so a re-run — or a run killed halfway and
-// re-invoked — skips every finished cell. One line holds one record:
+// caching behavior and of the serving daemon's restart-safe result cache:
+// a scheduler asks Get(hash) before running a job and Put(hash, result)
+// after, so a re-run — or a run killed halfway and re-invoked — skips
+// every finished cell. Payloads are opaque JSON; keys are the hex SHA-256
+// content hash (Hash) plus derived keys such as "<hash>/front".
 //
-//	{"hash":"<hex sha-256>","payload":{...}}
+// Three backends implement the same content-addressed contract (the
+// Backend interface in backend.go; docs/STORAGE.md is the operator-facing
+// matrix):
 //
-// Records are flushed per Put, so a crash loses at most the line being
-// written; Open tolerates (and counts) corrupt or truncated lines, keeping
-// every decodable record before and after them.
+//   - JSONL (default): one {"hash":...,"payload":...} object per line,
+//     append-only, flushed per Put, corrupt-line tolerant. Bit-compatible
+//     with every store file this repo ever wrote. Single-process.
+//   - Embedded: a single-file, CRC-framed binary log safe for several
+//     daemons on one host via flock(2); torn tails from a SIGKILLed
+//     writer are detected and healed (embedded.go).
+//   - Remote: an HTTP client for the GET/PUT /store/{hash} surface every
+//     alsd serves, so a worker fleet shares one dedup cache (remote.go).
+//
+// Open auto-detects the format (an embedded file carries a magic header;
+// an http(s) target is remote; anything else is JSONL), so existing
+// callers and store files keep working unchanged.
 //
 // A Store can be instrumented with telemetry counters (Instrument) so a
 // serving daemon's /metrics endpoint reports cache traffic — lookups,
@@ -19,13 +33,15 @@
 package store
 
 import (
-	"bufio"
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 
 	"repro/internal/telemetry"
@@ -63,179 +79,231 @@ func canonicalize(raw []byte) ([]byte, error) {
 	return json.Marshal(v)
 }
 
-// record is one JSONL line.
-type record struct {
-	Hash    string          `json:"hash"`
-	Payload json.RawMessage `json:"payload"`
-}
-
-// Store is a hash-keyed result cache backed by one JSONL file. All methods
-// are safe for concurrent use.
+// Store is a hash-keyed result cache over one Backend. All methods are
+// safe for concurrent use. Create one with Open (auto-detect), OpenKind,
+// or a specific constructor (OpenJSONL, OpenEmbedded, OpenRemote).
 type Store struct {
-	mu      sync.Mutex
-	path    string
-	f       *os.File
-	w       *bufio.Writer
-	mem     map[string]json.RawMessage
-	order   []string // insertion order, for deterministic iteration
-	corrupt int
+	b    Backend
+	kind string // "jsonl", "embedded" or "remote"
+	desc string // path or base URL, for messages
 
 	// Optional telemetry (Instrument); nil counters are simply not bumped.
+	mu                  sync.Mutex
 	cPuts, cGets, cHits *telemetry.Counter
+}
+
+// Open loads (or creates) the store at target, auto-detecting the
+// backend: an http(s) URL is a remote store, a file carrying the embedded
+// magic header is an embedded store, anything else — including a new or
+// empty file — is the default JSONL format.
+func Open(target string) (*Store, error) {
+	return OpenKind("auto", target)
+}
+
+// OpenKind opens target as an explicit backend kind: "jsonl", "embedded",
+// "remote" (target is the base URL of an alsd serving /store), or
+// "auto"/"" for Open's detection.
+func OpenKind(kind, target string) (*Store, error) {
+	switch kind {
+	case "", "auto":
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+			return OpenRemote(target, nil)
+		}
+		embedded, err := sniffEmbedded(target)
+		if err != nil {
+			return nil, err
+		}
+		if embedded {
+			return OpenEmbedded(target)
+		}
+		return OpenJSONL(target)
+	case "jsonl":
+		return OpenJSONL(target)
+	case "embedded":
+		return OpenEmbedded(target)
+	case "remote":
+		return OpenRemote(target, nil)
+	default:
+		return nil, fmt.Errorf("store: unknown backend kind %q (valid: auto, jsonl, embedded, remote)", kind)
+	}
+}
+
+// sniffEmbedded reports whether the file at path starts with the embedded
+// backend's magic header. A missing or short file is not embedded.
+func sniffEmbedded(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, nil // missing/unreadable: let the real open report it
+	}
+	defer f.Close()
+	hdr := make([]byte, len(embMagic))
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return false, nil
+	}
+	return string(hdr) == embMagic, nil
+}
+
+// OpenJSONL opens target as a JSONL store (the default file format).
+func OpenJSONL(path string) (*Store, error) {
+	b, err := openJSONL(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{b: b, kind: "jsonl", desc: path}, nil
+}
+
+// OpenEmbedded opens target as an embedded (single-file binary log)
+// store, creating it if absent. The file may be shared by several
+// processes on one host; see embeddedBackend.
+func OpenEmbedded(path string) (*Store, error) {
+	b, err := openEmbedded(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{b: b, kind: "embedded", desc: path}, nil
+}
+
+// OpenRemote opens the store served by the alsd at baseURL (its
+// GET/PUT /store/{hash} surface). A nil client gets a 30-second-timeout
+// default.
+func OpenRemote(baseURL string, client *http.Client) (*Store, error) {
+	b, err := openRemote(baseURL, client)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{b: b, kind: "remote", desc: b.base}, nil
 }
 
 // Instrument attaches telemetry counters: puts counts Put calls, gets
 // counts Get/Decode lookups, hits the lookups that found a record. Any
-// counter may be nil. Counters are bumped under the store mutex, so
-// Instrument may be called at any time, including between operations of a
-// live daemon (in practice it is called once, right after Open).
+// counter may be nil. Instrument may be called at any time, including
+// between operations of a live daemon (in practice it is called once,
+// right after Open).
 func (s *Store) Instrument(puts, gets, hits *telemetry.Counter) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cPuts, s.cGets, s.cHits = puts, gets, hits
 }
 
-// Open loads (or creates) the store at path. Undecodable lines — e.g. the
-// tail of a run killed mid-write — are skipped and counted in Corrupt();
-// every well-formed record is kept. A record whose hash repeats overwrites
-// the earlier payload (last writer wins), matching append semantics.
-func Open(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: open: %w", err)
+func (s *Store) bump(c **telemetry.Counter) {
+	s.mu.Lock()
+	if *c != nil {
+		(*c).Inc()
 	}
-	s := &Store{path: path, f: f, mem: map[string]json.RawMessage{}}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var r record
-		if err := json.Unmarshal(line, &r); err != nil || r.Hash == "" || len(r.Payload) == 0 {
-			s.corrupt++
-			continue
-		}
-		if _, seen := s.mem[r.Hash]; !seen {
-			s.order = append(s.order, r.Hash)
-		}
-		s.mem[r.Hash] = append(json.RawMessage(nil), r.Payload...)
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: scan %s: %w", path, err)
-	}
-	// A run killed mid-write leaves an unterminated partial line at the
-	// tail. Terminate it before appending, or the first new record would
-	// be glued onto the garbage and lost at the next Open.
-	if end, err := f.Seek(0, 2); err == nil && end > 0 {
-		buf := make([]byte, 1)
-		if _, err := f.ReadAt(buf, end-1); err == nil && buf[0] != '\n' {
-			if _, err := f.Write([]byte("\n")); err != nil {
-				f.Close()
-				return nil, fmt.Errorf("store: terminate partial tail: %w", err)
-			}
-		}
-	}
-	s.w = bufio.NewWriter(f)
-	return s, nil
+	s.mu.Unlock()
 }
 
-// Get returns the stored payload for hash, if present.
+// Get returns the stored payload for hash, if present. A backend
+// infrastructure error (e.g. an unreachable remote store) reads as a
+// miss here — the cache is advisory on this legacy path; use Decode
+// where a transport failure must be distinguished from absence.
 func (s *Store) Get(hash string) (json.RawMessage, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cGets != nil {
-		s.cGets.Inc()
+	s.bump(&s.cGets)
+	p, ok, err := s.b.Get(hash)
+	if err != nil || !ok {
+		return nil, false
 	}
-	p, ok := s.mem[hash]
-	if ok && s.cHits != nil {
-		s.cHits.Inc()
-	}
-	return p, ok
+	s.bump(&s.cHits)
+	return p, true
 }
 
 // Decode unmarshals the stored payload for hash into out, reporting
 // whether the hash was present. A present-but-undecodable payload is an
-// error (the caller's schema disagrees with the file).
+// error (the caller's schema disagrees with the record), and so is a
+// backend infrastructure failure — absence alone is (false, nil).
 func (s *Store) Decode(hash string, out any) (bool, error) {
-	p, ok := s.Get(hash)
+	s.bump(&s.cGets)
+	p, ok, err := s.b.Get(hash)
+	if err != nil {
+		return false, err
+	}
 	if !ok {
 		return false, nil
 	}
+	s.bump(&s.cHits)
 	if err := json.Unmarshal(p, out); err != nil {
 		return true, fmt.Errorf("store: payload for %.12s…: %w", hash, err)
 	}
 	return true, nil
 }
 
-// Put marshals payload, appends the record to the file and flushes it, and
-// updates the in-memory index.
+// Put marshals payload and stores it under hash, overwriting any earlier
+// record (last writer wins). Local backends have flushed the record to
+// the file when Put returns.
 func (s *Store) Put(hash string, payload any) error {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("store: put: %w", err)
 	}
-	line, err := json.Marshal(record{Hash: hash, Payload: raw})
-	if err != nil {
-		return fmt.Errorf("store: put: %w", err)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cPuts != nil {
-		s.cPuts.Inc()
-	}
-	if _, err := s.w.Write(append(line, '\n')); err != nil {
-		return fmt.Errorf("store: append: %w", err)
-	}
-	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("store: flush: %w", err)
-	}
-	if _, seen := s.mem[hash]; !seen {
-		s.order = append(s.order, hash)
-	}
-	s.mem[hash] = raw
-	return nil
+	return s.PutRaw(hash, raw)
 }
 
-// Len counts distinct stored hashes.
+// PutRaw stores an already-marshaled JSON payload under hash. The payload
+// must be valid JSON — the JSONL format embeds it verbatim in its record
+// line, so garbage here would corrupt the line for every later reader.
+func (s *Store) PutRaw(hash string, raw json.RawMessage) error {
+	if !json.Valid(raw) {
+		return fmt.Errorf("store: put %.12s…: payload is not valid JSON", hash)
+	}
+	s.bump(&s.cPuts)
+	return s.b.Put(hash, raw)
+}
+
+// Scan visits every stored record in first-insertion order.
+func (s *Store) Scan(fn func(hash string, payload json.RawMessage) error) error {
+	return s.b.Scan(func(h string, p []byte) error { return fn(h, p) })
+}
+
+// Export writes every record as JSONL — exactly the default backend's
+// file format, so the output of Export (and of GET /store/ on a daemon)
+// is itself a valid JSONL store file. This is the migration path between
+// backends; see docs/STORAGE.md.
+func (s *Store) Export(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return s.b.Scan(func(h string, p []byte) error {
+		return enc.Encode(record{Hash: h, Payload: p})
+	})
+}
+
+// Len counts distinct stored hashes. Local backends answer from their
+// index; a remote store is scanned (0 on transport failure — Len is a
+// convenience for startup logging, not a correctness primitive).
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.mem)
+	if b, ok := s.b.(sizer); ok {
+		return b.Len()
+	}
+	n := 0
+	if err := s.b.Scan(func(string, []byte) error { n++; return nil }); err != nil {
+		return 0
+	}
+	return n
 }
 
 // Hashes returns the distinct stored hashes in first-insertion order.
 func (s *Store) Hashes() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]string(nil), s.order...)
-}
-
-// Corrupt reports how many undecodable lines Open skipped.
-func (s *Store) Corrupt() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.corrupt
-}
-
-// Path returns the backing file's path.
-func (s *Store) Path() string { return s.path }
-
-// Close flushes and closes the backing file. The in-memory index stays
-// readable; further Puts fail.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.f == nil {
+	var hs []string
+	if err := s.b.Scan(func(h string, _ []byte) error { hs = append(hs, h); return nil }); err != nil {
 		return nil
 	}
-	flushErr := s.w.Flush()
-	closeErr := s.f.Close()
-	s.f = nil
-	if flushErr != nil {
-		return fmt.Errorf("store: close: %w", flushErr)
-	}
-	return closeErr
+	return hs
 }
+
+// Corrupt reports how many undecodable records the backend skipped (and,
+// for the embedded backend, healed) at open. Remote stores report 0 —
+// corruption is accounted where the file lives.
+func (s *Store) Corrupt() int {
+	if b, ok := s.b.(corrupter); ok {
+		return b.Corrupt()
+	}
+	return 0
+}
+
+// Kind names the backend: "jsonl", "embedded" or "remote".
+func (s *Store) Kind() string { return s.kind }
+
+// Path returns the backing file's path, or the remote store's base URL.
+func (s *Store) Path() string { return s.desc }
+
+// Close releases the backend's resources. For file backends the
+// in-memory index stays readable; further Puts fail.
+func (s *Store) Close() error { return s.b.Close() }

@@ -20,15 +20,30 @@
 #      untraced single-process reference), and the merged tracecat render
 #      shows the whole causal chain — dispatch submits, worker queue
 #      waits, per-generation evaluation, store puts, critical path.
+#   5. Durability: an alsd SIGKILLed with accepted jobs still queued
+#      replays its write-ahead log on restart, every accepted submission
+#      completes, and each result is byte-identical to a fresh daemon
+#      recomputing the same requests (runtime_ns is the only wall-clock
+#      field and is excluded; see docs/STORAGE.md).
+#   6. Backend matrix: the same distributed sweep through workers running
+#      the embedded (binary-log) store backend stays byte-identical to
+#      the single-process reference.
+#   7. Shared store: a hub + satellite fleet where the satellite uses the
+#      hub's /store surface as its result store (-store-remote) renders
+#      byte-identical output, and every result lands in the hub's store.
 #
-# Requires: go, curl, jq. Ports default to 8491/8492 (W1_PORT/W2_PORT).
+# Requires: go, curl, jq. Ports default to 8491-8494 (W1_PORT..W4_PORT).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 W1_PORT=${W1_PORT:-8491}
 W2_PORT=${W2_PORT:-8492}
+W3_PORT=${W3_PORT:-8493}
+W4_PORT=${W4_PORT:-8494}
 W1=http://127.0.0.1:$W1_PORT
 W2=http://127.0.0.1:$W2_PORT
+W3=http://127.0.0.1:$W3_PORT
+W4=http://127.0.0.1:$W4_PORT
 
 work=$(mktemp -d)
 pids=()
@@ -53,9 +68,11 @@ wait_ready() { # url
   return 1
 }
 
-start_worker() { # port store-file; appends the pid to pids
-  "$work/alsd" -addr "127.0.0.1:$1" -store "$work/$2" -workers 2 \
-    >"$work/$2.log" 2>&1 &
+start_worker() { # port store-file [extra alsd flags...]; appends the pid to pids
+  local port=$1 sf=$2
+  shift 2
+  "$work/alsd" -addr "127.0.0.1:$port" -store "$work/$sf" -workers 2 "$@" \
+    >"$work/$sf.log" 2>&1 &
   pids+=($!)
 }
 
@@ -151,5 +168,107 @@ cmp "$work/single99.json" "$work/resume.json"
 say "draining the surviving worker"
 kill -TERM "${pids[0]}"
 wait "${pids[0]}"
+
+# ---- durability: SIGKILL mid-queue, WAL replay on restart ----------------
+# One slow worker and heavy per-job budgets (quick-scale jobs finish in
+# milliseconds — too fast to lose) so most submissions are still queued at
+# the kill. The restarted daemon must replay its WAL, finish every
+# accepted job, and each result must be byte-identical to a fresh daemon
+# recomputing the same requests (ids and wall-clock timestamps differ by
+# design; the result payload may not, except runtime_ns).
+wal_seeds=(101 102 103 104)
+wal_body() { # seed
+  printf '{"circuit":"Adder16","metric":"nmed","budget":0.0244,"seed":%d,"vectors":32768,"iterations":8}' "$1"
+}
+
+poll_done() { # url seed out-file; resubmits (dedup/cache hit) until done
+  local v
+  for _ in $(seq 1 600); do
+    v=$(curl -fsS -X POST "$1/v1/flows" -d "$(wal_body "$2")")
+    if [ "$(jq -re .status <<<"$v")" = done ]; then
+      jq -S '.result | del(.runtime_ns)' <<<"$v" >>"$3"
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "job with seed $2 on $1 never finished" >&2
+  return 1
+}
+
+say "durability: SIGKILL alsd with jobs queued, restart, WAL replay"
+"$work/alsd" -addr "127.0.0.1:$W3_PORT" -store "$work/crash.jsonl" \
+  -wal auto -workers 1 >"$work/crash1.log" 2>&1 &
+W3_PID=$!
+pids+=("$W3_PID")
+wait_ready "$W3"
+for seed in "${wal_seeds[@]}"; do
+  curl -fsS -X POST "$W3/v1/flows" -d "$(wal_body "$seed")" | jq -re .hash >/dev/null
+done
+kill -9 "$W3_PID"
+wait "$W3_PID" 2>/dev/null || true
+say "killed the daemon with ${#wal_seeds[@]} accepted submissions; restarting on the same store + WAL"
+
+"$work/alsd" -addr "127.0.0.1:$W3_PORT" -store "$work/crash.jsonl" \
+  -wal auto -workers 1 >"$work/crash2.log" 2>&1 &
+pids+=($!)
+wait_ready "$W3"
+grep -q '"wal opened"\|wal opened' "$work/crash2.log" \
+  || { echo "restarted daemon never opened the WAL" >&2; cat "$work/crash2.log" >&2; exit 1; }
+
+for seed in "${wal_seeds[@]}"; do
+  poll_done "$W3" "$seed" "$work/replayed.results"
+done
+replayed=$(curl -fsS "$W3/metrics" | awk '$1 == "als_wal_replayed_total" {print $2}')
+[ "${replayed:-0}" -ge 1 ] \
+  || { echo "restart replayed no WAL records (als_wal_replayed_total=$replayed)" >&2; exit 1; }
+say "all ${#wal_seeds[@]} submissions completed after restart ($replayed replayed from the WAL)"
+
+say "durability reference: fresh daemon recomputes the same requests"
+start_worker "$W4_PORT" crashref.jsonl
+wait_ready "$W4"
+for seed in "${wal_seeds[@]}"; do
+  poll_done "$W4" "$seed" "$work/recomputed.results"
+done
+cmp "$work/replayed.results" "$work/recomputed.results" \
+  || { echo "replayed results differ from a fresh recompute" >&2; exit 1; }
+say "replayed results byte-identical to fresh recompute"
+kill -TERM "${pids[@]: -2}" 2>/dev/null || true
+for pid in "${pids[@]: -2}"; do wait "$pid" 2>/dev/null || true; done
+
+# ---- backend matrix: the quick suite through embedded-backend workers ----
+say "backend matrix: distributed run on embedded-store workers"
+start_worker "$W1_PORT" w1.emb -store-backend embedded
+start_worker "$W2_PORT" w2.emb -store-backend embedded
+wait_ready "$W1"
+wait_ready "$W2"
+"$work/experiments" "${suite[@]}" -workers "$W1,$W2" >"$work/embedded.json"
+cmp "$work/single.json" "$work/embedded.json" \
+  || { echo "embedded-backend run differs from single-process run" >&2; exit 1; }
+[ "$(head -c 9 "$work/w1.emb")" = "ALSEMBED1" ] \
+  || { echo "w1.emb is not an embedded-format store" >&2; exit 1; }
+say "embedded backend byte-identical"
+kill -TERM "${pids[@]: -2}" 2>/dev/null || true
+for pid in "${pids[@]: -2}"; do wait "$pid" 2>/dev/null || true; done
+
+# ---- shared store: hub + satellite through the remote backend ------------
+# The hub serves its store at /store; the satellite has no store file of
+# its own and reads/writes the hub's over HTTP. Every cell either worker
+# computes is a cache hit for the other, and the sweep output stays
+# byte-identical to the single-process reference.
+say "shared store: hub (jsonl) + satellite (-store-remote hub)"
+start_worker "$W3_PORT" hub.jsonl -wal ""
+start_worker "$W4_PORT" satellite -store-remote "$W3" -wal ""
+wait_ready "$W3"
+wait_ready "$W4"
+"$work/experiments" "${suite[@]}" -workers "$W3,$W4" >"$work/remote.json"
+cmp "$work/single.json" "$work/remote.json" \
+  || { echo "remote-store run differs from single-process run" >&2; exit 1; }
+sat_executed=$(curl -fsS "$W4/healthz" | jq -re .stats.executed)
+[ "$sat_executed" -ge 1 ] \
+  || { echo "satellite executed no cells; the remote backend went unexercised" >&2; exit 1; }
+hub_records=$(curl -fsS "$W3/store/" | wc -l)
+[ "$hub_records" -ge 35 ] \
+  || { echo "hub store holds only $hub_records records for a 35-cell sweep" >&2; exit 1; }
+say "remote-store fleet byte-identical; satellite computed $sat_executed cells into the hub's $hub_records-record store"
 
 say "distributed smoke passed"
