@@ -108,6 +108,8 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error (debug adds the per-request access log)")
 		withPprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiles expose internals; keep off on untrusted networks)")
 		traceBuf     = flag.Int("trace-buf", trace.DefaultCapacity, "span ring-buffer capacity for GET /debug/traces (0 disables tracing)")
+		register     = flag.String("register", "", "coordinator base URL to register with (alscoord); heartbeats carry this daemon's queue depth and evals/sec")
+		advertise    = flag.String("advertise", "", "base URL the coordinator should reach this daemon at (default http://127.0.0.1<addr> when -addr is a bare port)")
 	)
 	flag.Parse()
 
@@ -199,6 +201,20 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	logger.Info("serving", "addr", *addr, "workers", *workers, "queue", *queueDepth)
 
+	var hb *heartbeater
+	if *register != "" {
+		self := *advertise
+		if self == "" {
+			if len(*addr) > 0 && (*addr)[0] == ':' {
+				self = "http://127.0.0.1" + *addr
+			} else {
+				self = "http://" + *addr
+			}
+		}
+		hb = newHeartbeater(*register, self, svc, logger)
+		go hb.run(ctx)
+	}
+
 	select {
 	case err := <-errc:
 		logger.Error("listener died", "error", err)
@@ -210,6 +226,9 @@ func main() {
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if hb != nil {
+		hb.deregister(shutdownCtx)
+	}
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		logger.Warn("http shutdown", "error", err)
 	}

@@ -1,0 +1,160 @@
+// Cluster membership for alsd: with -register, the daemon joins an
+// alscoord fleet and stays live by heartbeating its queue depth and
+// evaluation throughput (the same figures its own /metrics exposes). A
+// coordinator that forgot us (restart, expiry) answers a heartbeat with
+// 404 and we simply register again; a clean shutdown deregisters so the
+// coordinator fails our cells over immediately instead of waiting out
+// the expiry window.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+)
+
+// heartbeater keeps one alsd registered with a coordinator.
+type heartbeater struct {
+	coord  string // coordinator base URL, no trailing slash
+	self   string // our advertised base URL
+	svc    *service.Server
+	log    *slog.Logger
+	client *http.Client
+
+	id         string
+	interval   time.Duration
+	lastEvals  int64
+	lastSample time.Time
+}
+
+func newHeartbeater(coordURL, self string, svc *service.Server, log *slog.Logger) *heartbeater {
+	for len(coordURL) > 0 && coordURL[len(coordURL)-1] == '/' {
+		coordURL = coordURL[:len(coordURL)-1]
+	}
+	return &heartbeater{
+		coord:  coordURL,
+		self:   self,
+		svc:    svc,
+		log:    log,
+		client: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// post sends one JSON body and decodes the response into out (when
+// non-nil), returning the status code.
+func (h *heartbeater) post(ctx context.Context, path string, body, out any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.coord+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// registerOnce announces this daemon and records the id and cadence the
+// coordinator assigns.
+func (h *heartbeater) registerOnce(ctx context.Context) error {
+	var resp struct {
+		ID                string `json:"id"`
+		HeartbeatInterval string `json:"heartbeat_interval"`
+		ExpireAfter       int    `json:"expire_after"`
+	}
+	code, err := h.post(ctx, "/cluster/register", map[string]string{"url": h.self}, &resp)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("coordinator answered HTTP %d", code)
+	}
+	h.id = resp.ID
+	h.interval = 2 * time.Second
+	if d, err := time.ParseDuration(resp.HeartbeatInterval); err == nil && d > 0 {
+		h.interval = d
+	}
+	h.lastEvals = h.svc.EvalsTotal()
+	h.lastSample = time.Now()
+	h.log.Info("registered with coordinator", "coord", h.coord, "worker_id", h.id,
+		"advertise", h.self, "interval", h.interval.String())
+	return nil
+}
+
+// run registers (retrying until the coordinator is reachable) and then
+// heartbeats until ctx ends. A 404 means the coordinator no longer knows
+// us — re-register and carry on.
+func (h *heartbeater) run(ctx context.Context) {
+	for h.registerOnce(ctx) != nil {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Second):
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(h.interval):
+		}
+		evals := h.svc.EvalsTotal()
+		now := time.Now()
+		rate := 0.0
+		if dt := now.Sub(h.lastSample).Seconds(); dt > 0 {
+			rate = float64(evals-h.lastEvals) / dt
+		}
+		h.lastEvals, h.lastSample = evals, now
+		code, err := h.post(ctx, "/cluster/heartbeat", map[string]any{
+			"id":            h.id,
+			"queue_depth":   h.svc.QueueDepth(),
+			"evals_total":   evals,
+			"evals_per_sec": rate,
+		}, nil)
+		switch {
+		case err != nil:
+			h.log.Warn("heartbeat failed", "coord", h.coord, "error", err)
+		case code == http.StatusNotFound:
+			h.log.Warn("coordinator forgot us, re-registering", "coord", h.coord)
+			for h.registerOnce(ctx) != nil {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(time.Second):
+				}
+			}
+		case code != http.StatusOK:
+			h.log.Warn("heartbeat rejected", "coord", h.coord, "status", code)
+		}
+	}
+}
+
+// deregister tells the coordinator we are shutting down cleanly so it
+// fails our cells over now rather than after the expiry window.
+func (h *heartbeater) deregister(ctx context.Context) {
+	if h.id == "" {
+		return
+	}
+	if _, err := h.post(ctx, "/cluster/deregister", map[string]string{"id": h.id}, nil); err != nil {
+		h.log.Warn("deregister failed", "coord", h.coord, "error", err)
+		return
+	}
+	h.log.Info("deregistered from coordinator", "coord", h.coord, "worker_id", h.id)
+}

@@ -29,6 +29,14 @@
 // distributed run renders byte-identical json/csv output to a
 // single-machine run.
 //
+// With -coord the sweep goes through the cluster coordinator (alscoord)
+// instead of a hand-listed fleet: workers join by registering
+// (`alsd -register`), the coordinator schedules by observed throughput,
+// and this command is a thin client of the same job API — output stays
+// byte-identical to -workers and local runs:
+//
+//	experiments -exp all -coord http://coord:9090 -out results/
+//
 // -scale quick (default) runs a reduced optimizer budget suitable for a
 // laptop; -scale paper uses the paper's N=30, Imax=20 and a 1e5-class
 // Monte-Carlo sample. Machine-readable formats (json, csv) omit wall-clock
@@ -83,7 +91,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		iters    = fs.Int("iters", 0, "override iterations/rounds")
 		vectors  = fs.Int("vectors", 0, "override Monte-Carlo vector count")
 		jobs     = fs.Int("jobs", 0, "concurrent experiment cells (0 = GOMAXPROCS); with -workers, the local share (0 = remote only)")
-		workers  = fs.String("workers", "", "comma-separated alsd worker URLs; distribute cells across them by content hash")
+		workers  = fs.String("workers", "", "comma-separated alsd worker URLs; distribute cells across them by content hash (legacy static fleet)")
+		coordURL = fs.String("coord", "", "alscoord base URL; dispatch cells through the cluster coordinator (workers join by registering)")
 		outDir   = fs.String("out", "", "directory for the persistent result store and rendered reports")
 		backend  = fs.String("store-backend", "auto", "result-store backend for -out: auto, jsonl or embedded (see docs/STORAGE.md)")
 		resume   = fs.Bool("resume", false, "reuse finished cells from the -out result store")
@@ -172,7 +181,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "metrics on http://%s/metrics\n", *metrics)
 	}
 
-	runner, err := newJobRunner(*workers, *jobs, dm, tracer, stderr)
+	if *coordURL != "" && *workers != "" {
+		fmt.Fprintln(stderr, "-coord and -workers are mutually exclusive (the coordinator owns the fleet)")
+		return 2
+	}
+	workerList := *workers
+	if *coordURL != "" {
+		// The coordinator serves the same worker job API as any alsd, so
+		// coordinator mode is the legacy client pointed at one URL: batch
+		// submit, poll by hash, identical bytes out.
+		workerList = *coordURL
+	}
+	runner, err := newJobRunner(workerList, *jobs, dm, tracer, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2

@@ -1,0 +1,320 @@
+// Cluster-mode load: with -coord, loadgen drives an alscoord control
+// plane instead of individual daemons — batches go through POST
+// /v2/batches (tenant-tagged, chunked, 503 backpressure honoured) and,
+// with -webhook, a local callback sink subscribes to every hash before
+// anything is submitted and the run fails unless each hash is delivered
+// EXACTLY once with a valid HMAC signature. That sink is the
+// exactly-once-per-hash oracle the webhook subsystem is judged by.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/exp"
+	"repro/internal/service"
+)
+
+// clusterConfig is the -coord mode's knob set.
+type clusterConfig struct {
+	coord      string
+	batchJobs  int
+	chunk      int
+	webhook    bool
+	tenant     string
+	circuit    string
+	metric     string
+	budget     float64
+	seed       int64
+	timeout    time.Duration
+	sloP99     time.Duration
+	sloErrRate float64
+}
+
+// sink is the local webhook receiver: it verifies every envelope's
+// signature against the subscription secret and counts deliveries per
+// hash — the exactly-once assertion is a map inspection at the end.
+type sink struct {
+	secret string
+	mu     sync.Mutex
+	// deliveries counts signed, decodable envelopes per hash; badSig and
+	// badBody count rejected POSTs (any nonzero fails the run).
+	deliveries map[string]int
+	badSig     int
+	badBody    int
+}
+
+func (s *sink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read", http.StatusBadRequest)
+		return
+	}
+	if !coord.VerifySignature([]byte(s.secret), body, r.Header.Get(coord.SignatureHeader)) {
+		s.mu.Lock()
+		s.badSig++
+		s.mu.Unlock()
+		http.Error(w, "bad signature", http.StatusForbidden)
+		return
+	}
+	var env coord.Envelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Hash == "" {
+		s.mu.Lock()
+		s.badBody++
+		s.mu.Unlock()
+		http.Error(w, "bad envelope", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.deliveries[env.Hash]++
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+// runCluster is the -coord mode entry point; returns the process exit
+// code.
+func runCluster(cfg clusterConfig, stdout, stderr io.Writer) int {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+	defer cancel()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Build the job matrix: unique seeds make unique cells; every chunk of
+	// work is identified by content hash exactly as the cluster sees it.
+	jobs := make([]exp.Job, 0, cfg.batchJobs)
+	hashes := make([]string, 0, cfg.batchJobs)
+	for i := 0; i < cfg.batchJobs; i++ {
+		j := exp.Job{
+			Circuit: cfg.circuit,
+			Method:  "dcgwo",
+			Metric:  cfg.metric,
+			Budget:  cfg.budget,
+			Scale:   "quick",
+			Seed:    cfg.seed + int64(i),
+		}
+		// The canonical hash (not j.Hash() of the alias-spelled spec) is
+		// what the cluster indexes by and what webhook envelopes carry.
+		_, h, err := service.CanonicalJobSpec(j)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: hash: %v\n", err)
+			return 1
+		}
+		jobs = append(jobs, j)
+		hashes = append(hashes, h)
+	}
+
+	// The webhook sink subscribes BEFORE anything is submitted, so every
+	// result must arrive by push — polling is only the fallback clock.
+	var (
+		snk    *sink
+		subID  string
+		lsn    net.Listener
+		server *http.Server
+	)
+	if cfg.webhook {
+		var err error
+		lsn, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: webhook sink listen: %v\n", err)
+			return 1
+		}
+		snk = &sink{secret: fmt.Sprintf("loadgen-%d", cfg.seed), deliveries: map[string]int{}}
+		server = &http.Server{Handler: snk}
+		go server.Serve(lsn) //nolint:errcheck // closed at the end of the run
+		defer server.Close()
+
+		sub := map[string]any{
+			"url":    "http://" + lsn.Addr().String() + "/hook",
+			"secret": snk.secret,
+			"hashes": hashes,
+		}
+		raw, _ := json.Marshal(sub)
+		resp, err := client.Post(cfg.coord+"/v2/subscriptions", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: subscribe: %v\n", err)
+			return 1
+		}
+		var sv struct {
+			ID string `json:"id"`
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated || json.Unmarshal(body, &sv) != nil || sv.ID == "" {
+			fmt.Fprintf(stderr, "loadgen: subscribe: HTTP %d: %.200s\n", resp.StatusCode, body)
+			return 1
+		}
+		subID = sv.ID
+		fmt.Fprintf(stdout, "loadgen: webhook sink %s subscribed as %s (%d hashes)\n",
+			lsn.Addr().String(), subID, len(hashes))
+	}
+
+	// Submit in chunks; 503 is backpressure (tenant quota or draining) and
+	// follows the same back-off-and-resubmit contract as /v2/jobs.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	var (
+		lat     []time.Duration
+		retries int
+	)
+	start := time.Now()
+	for at := 0; at < len(jobs); at += cfg.chunk {
+		end := at + cfg.chunk
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		raw, _ := json.Marshal(map[string]any{
+			"jobs":   jobs[at:end],
+			"tenant": cfg.tenant,
+		})
+		for {
+			begin := time.Now()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.coord+"/v2/batches", bytes.NewReader(raw))
+			if err != nil {
+				fmt.Fprintf(stderr, "loadgen: batch: %v\n", err)
+				return 1
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				fmt.Fprintf(stderr, "loadgen: batch: %v\n", err)
+				return 1
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				retries++
+				select {
+				case <-ctx.Done():
+					fmt.Fprintf(stderr, "loadgen: batch: deadline exceeded while backing off\n")
+					return 1
+				case <-time.After(time.Duration(50+rng.Intn(200)) * time.Millisecond):
+				}
+				continue
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				fmt.Fprintf(stderr, "loadgen: batch: HTTP %d: %.200s\n", resp.StatusCode, body)
+				return 1
+			}
+			lat = append(lat, time.Since(begin))
+			break
+		}
+	}
+
+	// Wait for every hash to reach a terminal state via the job API; with
+	// -webhook the deliveries must also all land.
+	done := map[string]bool{}
+	for len(done) < len(hashes) {
+		if ctx.Err() != nil {
+			fmt.Fprintf(stderr, "loadgen: %d/%d cells finished before the deadline\n", len(done), len(hashes))
+			return 1
+		}
+		for _, h := range hashes {
+			if done[h] {
+				continue
+			}
+			resp, err := client.Get(cfg.coord + "/v1/jobs/" + h)
+			if err != nil {
+				fmt.Fprintf(stderr, "loadgen: poll %s: %v\n", h, err)
+				return 1
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				continue // not indexed yet (coordinator restart); keep polling
+			}
+			var v struct {
+				Status string `json:"status"`
+				Error  string `json:"error"`
+			}
+			if json.Unmarshal(body, &v) != nil {
+				fmt.Fprintf(stderr, "loadgen: poll %s: undecodable response\n", h)
+				return 1
+			}
+			switch v.Status {
+			case "done":
+				done[h] = true
+			case "failed":
+				fmt.Fprintf(stderr, "loadgen: cell %s failed: %s\n", h, v.Error)
+				return 1
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	ok := true
+	if cfg.webhook {
+		// Deliveries are asynchronous to the done transition; give the
+		// retry/backoff machinery a bounded grace period to flush.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			snk.mu.Lock()
+			got := len(snk.deliveries)
+			snk.mu.Unlock()
+			if got >= len(hashes) || time.Now().After(deadline) || ctx.Err() != nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		snk.mu.Lock()
+		for _, h := range hashes {
+			switch n := snk.deliveries[h]; {
+			case n == 0:
+				fmt.Fprintf(stderr, "loadgen: webhook: hash %s never delivered\n", h)
+				ok = false
+			case n > 1:
+				fmt.Fprintf(stderr, "loadgen: webhook: hash %s delivered %d times (want exactly 1)\n", h, n)
+				ok = false
+			}
+		}
+		if extra := len(snk.deliveries) - len(hashes); extra > 0 {
+			fmt.Fprintf(stderr, "loadgen: webhook: %d deliveries for unsubscribed hashes\n", extra)
+			ok = false
+		}
+		if snk.badSig > 0 || snk.badBody > 0 {
+			fmt.Fprintf(stderr, "loadgen: webhook: %d bad signatures, %d bad envelopes\n", snk.badSig, snk.badBody)
+			ok = false
+		}
+		snk.mu.Unlock()
+	}
+
+	var worst time.Duration
+	for _, d := range lat {
+		if d > worst {
+			worst = d
+		}
+	}
+	fmt.Fprintf(stdout, "loadgen: cluster run: %d cells in %d batch(es) done in %v (batch retries=%d, slowest submit %v)\n",
+		len(hashes), (len(jobs)+cfg.chunk-1)/cfg.chunk, elapsed.Round(time.Millisecond),
+		retries, worst.Round(time.Microsecond))
+	if cfg.webhook && ok {
+		fmt.Fprintf(stdout, "loadgen: webhook: %d/%d hashes delivered exactly once, all signatures valid\n",
+			len(hashes), len(hashes))
+	}
+	if worst > cfg.sloP99 {
+		fmt.Fprintf(stderr, "loadgen: SLO VIOLATION: slowest batch submit %v > %v\n", worst, cfg.sloP99)
+		ok = false
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Fprintln(stdout, "loadgen: all SLOs met")
+	return 0
+}
+
+// trimBase normalizes a coordinator URL flag value.
+func trimBase(u string) string {
+	u = strings.TrimSpace(u)
+	if u != "" && !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return strings.TrimRight(u, "/")
+}

@@ -137,12 +137,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sloP99     = fs.Duration("slo-p99", 2*time.Second, "SLO: maximum p99 submit latency")
 		sloErrRate = fs.Float64("slo-error-rate", 0.01, "SLO: maximum hard-error fraction of submissions")
 		checkTr    = fs.Bool("check-traces", false, "after the run, scrape each target's /debug/traces and require every accepted submit's trace to be complete (targets must run with tracing on)")
+		coordFlag  = fs.String("coord", "", "alscoord base URL: drive the cluster control plane instead of individual daemons (enables -batch/-webhook)")
+		batchJobs  = fs.Int("batch", 24, "with -coord: total cells submitted through POST /v2/batches")
+		batchChunk = fs.Int("batch-chunk", 8, "with -coord: cells per /v2/batches call")
+		webhook    = fs.Bool("webhook", false, "with -coord: subscribe a local callback sink to every hash and require exactly one signed delivery per hash")
+		tenant     = fs.String("tenant", "loadgen", "with -coord: tenant label for submitted batches")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+	if *coordFlag != "" {
+		return runCluster(clusterConfig{
+			coord:      trimBase(*coordFlag),
+			batchJobs:  *batchJobs,
+			chunk:      *batchChunk,
+			webhook:    *webhook,
+			tenant:     *tenant,
+			circuit:    *circuit,
+			metric:     *metric,
+			budget:     *budget,
+			seed:       *seed,
+			timeout:    *timeout,
+			sloP99:     *sloP99,
+			sloErrRate: *sloErrRate,
+		}, stdout, stderr)
 	}
 	cfg := config{
 		sessions:     *sessions,

@@ -1,0 +1,298 @@
+// The coordinator's write-ahead log. Like the service WAL it is a
+// newline-delimited JSON journal replayed on startup, but it covers the
+// control plane's promises instead of one daemon's queue: accepted cells
+// (with tenant and priority, so a replayed cell rejoins the same fair
+// queue), their terminal transitions, result subscriptions, and completed
+// webhook deliveries. A SIGKILLed coordinator therefore re-enqueues the
+// cells it owed, re-arms its subscriptions, and re-delivers exactly the
+// envelopes that never got a 2xx — at-least-once across the crash,
+// exactly-once within one process lifetime.
+//
+// Record shapes (one JSON object per line):
+//
+//	{"op":"accept","hash":"…","tenant":"acme","priority":2,"job":{…exp.Job…}}
+//	{"op":"done","hash":"…"}          // or "failed"
+//	{"op":"sub","sub_id":"sub-1","url":"http://…","secret":"…","hashes":["…"]}
+//	{"op":"delivered","sub_id":"sub-1","hash":"…"}
+package coord
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/exp"
+)
+
+// WAL op vocabulary.
+const (
+	walOpAccept    = "accept"
+	walOpDone      = "done"
+	walOpFailed    = "failed"
+	walOpSub       = "sub"
+	walOpDelivered = "delivered"
+)
+
+// walRecord is the on-disk union of every record shape.
+type walRecord struct {
+	Op       string   `json:"op"`
+	Hash     string   `json:"hash,omitempty"`
+	Tenant   string   `json:"tenant,omitempty"`
+	Priority int      `json:"priority,omitempty"`
+	Job      *exp.Job `json:"job,omitempty"`
+	SubID    string   `json:"sub_id,omitempty"`
+	URL      string   `json:"url,omitempty"`
+	Secret   string   `json:"secret,omitempty"`
+	Hashes   []string `json:"hashes,omitempty"`
+}
+
+// WALCell is one accepted cell with no terminal record — work a crashed
+// coordinator still owes.
+type WALCell struct {
+	Hash     string
+	Job      exp.Job
+	Tenant   string
+	Priority int
+}
+
+// WALSubscription is one recovered subscription: its registration plus
+// the hashes whose envelopes already got a 2xx before the crash.
+type WALSubscription struct {
+	ID        string
+	URL       string
+	Secret    string
+	Hashes    []string
+	Delivered []string
+}
+
+// WAL is the append-only journal. Open with OpenWAL; every append is
+// fsynced before it returns.
+type WAL struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	pending []WALCell
+	subs    []WALSubscription
+	corrupt int
+}
+
+// OpenWAL opens (creating if needed) the journal at path and scans it:
+// unresolved accepts become Pending, subscription state becomes Subs.
+// Undecodable lines are counted, not fatal, and a torn final line — the
+// SIGKILL landed mid-append — is healed so the next append starts clean.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("coord: open wal: %w", err)
+	}
+	w := &WAL{path: path, f: f}
+	open := map[string]*WALCell{}
+	subs := map[string]*WALSubscription{}
+	var order, subOrder []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r walRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			w.corrupt++
+			continue
+		}
+		switch r.Op {
+		case walOpAccept:
+			if r.Job == nil || r.Hash == "" {
+				w.corrupt++
+				continue
+			}
+			if _, ok := open[r.Hash]; !ok {
+				order = append(order, r.Hash)
+			}
+			open[r.Hash] = &WALCell{Hash: r.Hash, Job: *r.Job, Tenant: r.Tenant, Priority: r.Priority}
+		case walOpDone, walOpFailed:
+			delete(open, r.Hash)
+		case walOpSub:
+			if r.SubID == "" || r.URL == "" {
+				w.corrupt++
+				continue
+			}
+			if _, ok := subs[r.SubID]; !ok {
+				subOrder = append(subOrder, r.SubID)
+			}
+			subs[r.SubID] = &WALSubscription{ID: r.SubID, URL: r.URL, Secret: r.Secret, Hashes: r.Hashes}
+		case walOpDelivered:
+			if s, ok := subs[r.SubID]; ok {
+				s.Delivered = append(s.Delivered, r.Hash)
+			}
+		default:
+			w.corrupt++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("coord: scan wal: %w", err)
+	}
+	for _, h := range order {
+		if c, ok := open[h]; ok {
+			w.pending = append(w.pending, *c)
+		}
+	}
+	for _, id := range subOrder {
+		w.subs = append(w.subs, *subs[id])
+	}
+	if info, err := f.Stat(); err == nil && info.Size() > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], info.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("coord: heal wal tail: %w", err)
+			}
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("coord: seek wal: %w", err)
+	}
+	return w, nil
+}
+
+// Pending returns the accepted-but-unresolved cells found at open, in
+// first-accept order.
+func (w *WAL) Pending() []WALCell {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]WALCell(nil), w.pending...)
+}
+
+// Subs returns the subscriptions found at open, registration order.
+func (w *WAL) Subs() []WALSubscription {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]WALSubscription(nil), w.subs...)
+}
+
+// Corrupt reports how many undecodable lines the open scan skipped.
+func (w *WAL) Corrupt() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.corrupt
+}
+
+// Path returns the journal's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Accept records one accepted cell; durable before it returns.
+func (w *WAL) Accept(c WALCell) error {
+	return w.append(walRecord{Op: walOpAccept, Hash: c.Hash, Tenant: c.Tenant, Priority: c.Priority, Job: &c.Job})
+}
+
+// Resolve records a cell's terminal transition (walOpDone or walOpFailed).
+func (w *WAL) Resolve(op, hash string) error {
+	return w.append(walRecord{Op: op, Hash: hash})
+}
+
+// Sub records one subscription registration.
+func (w *WAL) Sub(s WALSubscription) error {
+	return w.append(walRecord{Op: walOpSub, SubID: s.ID, URL: s.URL, Secret: s.Secret, Hashes: s.Hashes})
+}
+
+// Delivered records one 2xx-acknowledged envelope, so a restart does not
+// re-deliver it.
+func (w *WAL) Delivered(subID, hash string) error {
+	return w.append(walRecord{Op: walOpDelivered, SubID: subID, Hash: hash})
+}
+
+func (w *WAL) append(r walRecord) error {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("coord: marshal wal record: %w", err)
+	}
+	raw = append(raw, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(raw); err != nil {
+		return fmt.Errorf("coord: append wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("coord: sync wal: %w", err)
+	}
+	return nil
+}
+
+// Compact rewrites the journal to exactly the live state — one accept per
+// still-pending cell, one sub plus its delivered records per subscription
+// — via tmp file + rename, then reopens for appending. The coordinator
+// calls it once per startup, after replay.
+func (w *WAL) Compact(cells []WALCell, subs []WALSubscription) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tmp := w.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("coord: compact wal: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	write := func(r walRecord) error {
+		if err := enc.Encode(r); err != nil {
+			f.Close()
+			os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+			return fmt.Errorf("coord: compact wal: %w", err)
+		}
+		return nil
+	}
+	for _, s := range subs {
+		if err := write(walRecord{Op: walOpSub, SubID: s.ID, URL: s.URL, Secret: s.Secret, Hashes: s.Hashes}); err != nil {
+			return err
+		}
+		for _, h := range s.Delivered {
+			if err := write(walRecord{Op: walOpDelivered, SubID: s.ID, Hash: h}); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range cells {
+		c := cells[i]
+		if err := write(walRecord{Op: walOpAccept, Hash: c.Hash, Tenant: c.Tenant, Priority: c.Priority, Job: &c.Job}); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("coord: compact wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("coord: compact wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("coord: compact wal: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		return fmt.Errorf("coord: compact wal: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("coord: compact wal: %w", err)
+	}
+	nf, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("coord: reopen wal: %w", err)
+	}
+	w.f = nf
+	return nil
+}
+
+// Close releases the journal file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

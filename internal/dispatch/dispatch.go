@@ -25,7 +25,6 @@
 package dispatch
 
 import (
-	"bytes"
 	"context"
 	crand "crypto/rand"
 	"encoding/hex"
@@ -139,12 +138,6 @@ type Stats struct {
 	TraceID string
 }
 
-// task is one pending cell and its cache key.
-type task struct {
-	job  exp.Job
-	hash string
-}
-
 // localLaneName aggregates every local executor slot in Stats.ByLane.
 const localLaneName = "local"
 
@@ -166,7 +159,7 @@ type shared struct {
 	runID string
 	// failover receives the unfinished cells of dead lanes; its capacity
 	// is the full pending count, so pushes never block.
-	failover chan *task
+	failover chan *Task
 	// done closes when remaining reaches zero.
 	done      chan struct{}
 	remaining atomic.Int64
@@ -176,6 +169,17 @@ type shared struct {
 	rs       exp.ResultSet
 	stats    *Stats
 	firstErr error
+	// deadBases records base URLs whose lane exhausted its retry budget,
+	// so a second lane configured against the same daemon dies on its
+	// first failure instead of re-probing a base already declared dead.
+	deadBases map[string]bool
+}
+
+// baseDead reports whether some lane already declared this base dead.
+func (s *shared) baseDead(base string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deadBases[base]
 }
 
 // Run executes jobs across the configured lanes and returns the ResultSet
@@ -273,15 +277,16 @@ func Run(ctx context.Context, jobs []exp.Job, opts Options) (exp.ResultSet, Stat
 	runCtx, cancel := context.WithCancel(trace.ContextWith(ctx, sweep))
 	defer cancel()
 	s := &shared{
-		ctx:      runCtx,
-		cancel:   cancel,
-		opts:     opts,
-		span:     sweep,
-		runID:    runID,
-		failover: make(chan *task, len(pending)),
-		done:     make(chan struct{}),
-		rs:       rs,
-		stats:    &stats,
+		ctx:       runCtx,
+		cancel:    cancel,
+		opts:      opts,
+		span:      sweep,
+		runID:     runID,
+		failover:  make(chan *Task, len(pending)),
+		done:      make(chan struct{}),
+		rs:        rs,
+		stats:     &stats,
+		deadBases: map[string]bool{},
 	}
 	s.remaining.Store(int64(len(pending)))
 	opts.Metrics.runStarted(len(pending))
@@ -291,10 +296,10 @@ func Run(ctx context.Context, jobs []exp.Job, opts Options) (exp.ResultSet, Stat
 	// to it. Placement is deterministic for a given fleet shape, but has
 	// no bearing on results — only on who computes what first.
 	laneCount := len(opts.Workers) + max(opts.LocalJobs, 0)
-	assigned := make([][]*task, laneCount)
+	assigned := make([][]*Task, laneCount)
 	for i := range pending {
-		t := &task{job: pending[i], hash: hashes[i]}
-		lane := laneForHash(t.hash, laneCount)
+		t := &Task{Job: pending[i], Hash: hashes[i]}
+		lane := laneForHash(t.Hash, laneCount)
 		assigned[lane] = append(assigned[lane], t)
 	}
 
@@ -302,10 +307,29 @@ func Run(ctx context.Context, jobs []exp.Job, opts Options) (exp.ResultSet, Stat
 	var wg sync.WaitGroup
 	for i, url := range opts.Workers {
 		wg.Add(1)
-		go func(url string, own []*task) {
+		go func(url string, own []*Task) {
 			defer wg.Done()
-			l := &remoteLane{s: s, name: url, base: strings.TrimRight(url, "/")}
-			l.run(own)
+			base := strings.TrimRight(url, "/")
+			sched := &runSched{s: s, name: url, base: base, own: own}
+			l := &Lane{
+				Name:         url,
+				Base:         base,
+				Client:       opts.Client,
+				SubmitBatch:  opts.SubmitBatch,
+				RetryBudget:  opts.RetryBudget,
+				Backoff:      opts.Backoff,
+				MaxBackoff:   opts.MaxBackoff,
+				PollInterval: opts.PollInterval,
+				Logf:         opts.Logf,
+				Metrics:      opts.Metrics,
+				Sched:        sched,
+			}
+			if leftovers, cause := l.Run(); cause != nil {
+				// The lane claims its partition lazily through Next/Fill, so
+				// on death the unclaimed remainder is still in sched.own —
+				// fail it over along with the cells the lane had in flight.
+				s.laneDied(url, base, cause, append(leftovers, sched.own...))
+			}
 		}(url, assigned[i])
 	}
 	// Each local slot is its own lane; the flow-internal evaluation pool
@@ -320,7 +344,7 @@ func Run(ctx context.Context, jobs []exp.Job, opts Options) (exp.ResultSet, Stat
 	}
 	for i := 0; i < opts.LocalJobs; i++ {
 		wg.Add(1)
-		go func(own []*task) {
+		go func(own []*Task) {
 			defer wg.Done()
 			runLocalLane(s, evalWorkers, own)
 		}(assigned[len(opts.Workers)+i])
@@ -413,19 +437,19 @@ func (s *shared) stamp(req *http.Request, sp *trace.Span) {
 
 // complete records one finished cell: persist first (a cell the store
 // never saw must not count as done for -resume), then publish.
-func (s *shared) complete(lane string, t *task, r exp.JobResult) error {
+func (s *shared) complete(lane string, t *Task, r exp.JobResult) error {
 	if s.opts.Store != nil {
 		putSpan := s.span.StartChild("store.put")
 		putSpan.SetAttr("lane", lane)
-		putSpan.SetAttr("hash", t.hash)
-		err := s.opts.Store.Put(t.hash, r)
+		putSpan.SetAttr("hash", t.Hash)
+		err := s.opts.Store.Put(t.Hash, r)
 		putSpan.End()
 		if err != nil {
 			return err
 		}
 	}
 	s.mu.Lock()
-	s.rs[t.hash] = r
+	s.rs[t.Hash] = r
 	s.stats.Executed++
 	s.stats.ByLane[lane]++
 	s.mu.Unlock()
@@ -449,12 +473,15 @@ func (s *shared) fail(err error) {
 // laneDied pushes a dead lane's unfinished cells to the failover pool; if
 // it was the last live lane and work remains, the run fails (the store
 // already holds every finished cell, so a -resume completes it later).
-func (s *shared) laneDied(name string, cause error, leftovers []*task) {
+func (s *shared) laneDied(name, base string, cause error, leftovers []*Task) {
 	s.opts.Logf("dispatch: lane %s dead (%v); failing over %d cell(s)", name, cause, len(leftovers))
 	s.opts.Metrics.laneDead(len(leftovers))
 	s.mu.Lock()
 	s.stats.DeadLanes = append(s.stats.DeadLanes, name)
 	s.stats.FailedOver += len(leftovers)
+	if base != "" {
+		s.deadBases[base] = true
+	}
 	s.mu.Unlock()
 	for _, t := range leftovers {
 		s.failover <- t
@@ -466,7 +493,7 @@ func (s *shared) laneDied(name string, cause error, leftovers []*task) {
 
 // next pops the lane's own queue, then blocks on the failover pool until
 // a task arrives, the run completes, or the run is cancelled.
-func (s *shared) next(own *[]*task) (*task, bool) {
+func (s *shared) next(own *[]*Task) (*Task, bool) {
 	if len(*own) > 0 {
 		t := (*own)[0]
 		*own = (*own)[1:]
@@ -498,13 +525,13 @@ func (s *shared) sleep(d time.Duration) {
 // runLocalLane executes cells in-process, one at a time. A job error here
 // is deterministic (the same cell fails identically everywhere), so it
 // aborts the run rather than failing over.
-func runLocalLane(s *shared, evalWorkers int, own []*task) {
+func runLocalLane(s *shared, evalWorkers int, own []*Task) {
 	for {
 		t, ok := s.next(&own)
 		if !ok {
 			return
 		}
-		r, err := t.job.RunContext(s.ctx, s.opts.Lib, evalWorkers)
+		r, err := t.Job.RunContext(s.ctx, s.opts.Lib, evalWorkers)
 		if err != nil {
 			if s.ctx.Err() == nil {
 				s.fail(fmt.Errorf("dispatch: local: %w", err))
@@ -518,290 +545,78 @@ func runLocalLane(s *shared, evalWorkers int, own []*task) {
 	}
 }
 
-// ---- remote lane -----------------------------------------------------------
+// ---- static-fleet lane scheduler -------------------------------------------
 
-// remoteLane drives one worker URL: submit batches of specs, poll results
-// by hash, stream completions back. All fields are goroutine-local.
-type remoteLane struct {
+// runSched binds one lane of a static-fleet Run to the run's shared
+// state: the lane's own hash partition feeds it first, then the failover
+// pool; completions and failures land in the run's ResultSet and
+// first-error slot. It is the LaneScheduler the legacy -workers mode has
+// always effectively been.
+type runSched struct {
 	s    *shared
 	name string
 	base string
-	// unsubmitted holds cells the worker has not accepted yet;
-	// outstanding maps accepted cells by hash until a poll resolves them.
-	unsubmitted []*task
-	outstanding map[string]*task
-	// failures counts consecutive transport-level failures; any success
-	// resets it, exceeding the retry budget kills the lane.
-	failures int
-	// resubmits counts cells this lane requeued because the worker forgot
-	// or cancelled them. Only the first one logs a line (a worker restart
-	// typically forgets a whole batch at once, and per-cell lines buried
-	// the interesting logs); the rest ride the als_dispatch_resubmits_total
-	// counter and the lane's exit summary.
-	resubmits int
+	own  []*Task
 }
 
-func (l *remoteLane) run(own []*task) {
-	l.unsubmitted = own
-	l.outstanding = map[string]*task{}
-	defer func() {
-		if l.resubmits > 1 {
-			l.s.opts.Logf("dispatch: lane %s resubmitted %d cells total", l.name, l.resubmits)
-		}
-	}()
-	for {
-		if l.idle() {
-			t, ok := l.s.next(&l.unsubmitted)
-			if !ok {
-				return
-			}
-			l.unsubmitted = append(l.unsubmitted, t)
-			l.drainFailover()
-		}
-		if err := l.step(); err != nil {
-			if errors.Is(err, errPermanent) {
-				return // the run itself is failing; nothing to fail over to
-			}
-			l.die(err)
-			return
-		}
-		if l.s.ctx.Err() != nil {
-			return
-		}
-	}
-}
+func (r *runSched) Next() (*Task, bool) { return r.s.next(&r.own) }
 
-func (l *remoteLane) idle() bool {
-	return len(l.unsubmitted) == 0 && len(l.outstanding) == 0
-}
-
-// drainFailover opportunistically batches up additional failed-over cells
-// behind the one next() delivered.
-func (l *remoteLane) drainFailover() {
-	for len(l.unsubmitted) < l.s.opts.SubmitBatch {
+// Fill opportunistically batches additional failed-over cells behind the
+// one Next delivered.
+func (r *runSched) Fill(n int) []*Task {
+	var out []*Task
+	for len(out) < n {
 		select {
-		case t := <-l.s.failover:
-			l.unsubmitted = append(l.unsubmitted, t)
+		case t := <-r.s.failover:
+			out = append(out, t)
 		default:
-			return
+			return out
 		}
 	}
+	return out
 }
 
-// step advances the lane one round: submit what the worker will take,
-// sweep outstanding results, pace the next poll.
-func (l *remoteLane) step() error {
-	if len(l.unsubmitted) > 0 {
-		if err := l.submit(); err != nil {
-			return err
-		}
-	}
-	if len(l.outstanding) > 0 {
-		if err := l.poll(); err != nil {
-			return err
-		}
-		if len(l.outstanding) > 0 {
-			l.s.sleep(l.s.opts.PollInterval)
-		}
-	}
-	return nil
+func (r *runSched) Context() context.Context { return r.s.ctx }
+
+// Offload keeps queue-full remainders lane-local: in the static fleet
+// the partition already is this lane's fair share.
+func (r *runSched) Offload([]*Task) bool { return false }
+
+func (r *runSched) Sleep(d time.Duration) { r.s.sleep(d) }
+
+func (r *runSched) Complete(t *Task, res exp.JobResult) error {
+	return r.s.complete(r.name, t, res)
 }
 
-// transient handles one transport-level failure: back off and retry until
-// the consecutive-failure budget is spent, then report the lane dead.
-func (l *remoteLane) transient(op string, err error) error {
-	l.failures++
-	if l.failures > l.s.opts.RetryBudget {
-		return fmt.Errorf("%s failed %d consecutive time(s): %w", op, l.failures, err)
-	}
-	l.s.opts.Metrics.retried(l.name)
-	backoff := l.s.opts.Backoff << (l.failures - 1)
-	if backoff > l.s.opts.MaxBackoff {
-		backoff = l.s.opts.MaxBackoff
-	}
-	l.s.opts.Logf("dispatch: lane %s: %s failed (attempt %d/%d, retrying in %v): %v",
-		l.name, op, l.failures, l.s.opts.RetryBudget+1, backoff, err)
-	l.s.sleep(backoff)
-	return nil
+// JobFailed aborts the whole run: the failure is deterministic, so the
+// cell would fail identically on every other lane too.
+func (r *runSched) JobFailed(t *Task, msg string) error {
+	err := fmt.Errorf("dispatch: job %s failed on %s: %s", t.Job, r.name, msg)
+	r.s.fail(err)
+	return err
 }
 
-// die hands every cell this lane still owns to the failover pool.
-func (l *remoteLane) die(cause error) {
-	leftovers := append([]*task(nil), l.unsubmitted...)
-	for _, t := range l.outstanding {
-		leftovers = append(leftovers, t)
+func (r *runSched) Fatal(err error) { r.s.fail(err) }
+
+// Lookup consults the run's (possibly fleet-shared) store, so a cell a
+// worker forgot is completed from persisted state instead of re-running
+// when any other party already computed it.
+func (r *runSched) Lookup(hash string) (exp.JobResult, bool) {
+	if r.s.opts.Store == nil {
+		return exp.JobResult{}, false
 	}
-	l.s.laneDied(l.name, cause, leftovers)
+	var res exp.JobResult
+	if ok, err := r.s.opts.Store.Decode(hash, &res); err != nil || !ok {
+		return exp.JobResult{}, false
+	}
+	return res, true
 }
 
-// submit offers the worker one batch of specs. The accepted prefix moves
-// to outstanding; on queue-full the remainder simply waits for a later
-// round (the worker is alive, just saturated), while draining and
-// validation failures are terminal for the lane and run respectively.
-func (l *remoteLane) submit() error {
-	n := min(len(l.unsubmitted), l.s.opts.SubmitBatch)
-	batch := l.unsubmitted[:n]
-	jobs := make([]exp.Job, n)
-	for i, t := range batch {
-		jobs[i] = t.job
-	}
-	body, err := json.Marshal(service.BatchRequest{Jobs: jobs})
-	if err != nil {
-		l.s.fail(fmt.Errorf("dispatch: marshal batch: %w", err))
-		return errPermanent
-	}
-	req, err := http.NewRequestWithContext(l.s.ctx, http.MethodPost, l.base+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		l.s.fail(err)
-		return errPermanent
-	}
-	req.Header.Set("Content-Type", "application/json")
-	sp := l.s.span.StartChild("dispatch.submit")
-	sp.SetAttr("lane", l.name)
-	sp.SetAttr("jobs", n)
-	l.s.stamp(req, sp)
-	resp, err := l.s.opts.Client.Do(req)
-	if err != nil {
-		sp.SetAttr("error", err.Error())
-		sp.End()
-		if l.s.ctx.Err() != nil {
-			return nil
-		}
-		return l.transient("submit", err)
-	}
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-	resp.Body.Close()
-	sp.SetAttr("http.status", resp.StatusCode)
-	sp.End()
-	if err != nil {
-		return l.transient("submit", err)
-	}
+func (r *runSched) Stamp(req *http.Request, sp *trace.Span) { r.s.stamp(req, sp) }
 
-	switch resp.StatusCode {
-	case http.StatusOK, http.StatusServiceUnavailable:
-		var br service.BatchResponse
-		if err := json.Unmarshal(raw, &br); err != nil {
-			return l.transient("submit", fmt.Errorf("undecodable response: %w", err))
-		}
-		if len(br.Jobs) > len(batch) {
-			return l.transient("submit", fmt.Errorf("worker accepted %d of %d jobs", len(br.Jobs), len(batch)))
-		}
-		for i, v := range br.Jobs {
-			if v.Hash != batch[i].hash {
-				l.s.fail(fmt.Errorf("dispatch: %s: job %s hashed to %.12s… on the worker, %.12s… here — incompatible worker build",
-					l.name, batch[i].job, v.Hash, batch[i].hash))
-				return errPermanent
-			}
-			l.outstanding[v.Hash] = batch[i]
-		}
-		l.unsubmitted = l.unsubmitted[len(br.Jobs):]
-		if resp.StatusCode == http.StatusServiceUnavailable {
-			if br.Reason == service.ReasonDraining {
-				return fmt.Errorf("worker is draining: %s", br.Error)
-			}
-			// Queue full: not a failure — the worker is alive and will make
-			// room as it finishes cells. Let the poll pace the next attempt.
-			l.failures = 0
-			if len(l.outstanding) == 0 {
-				l.s.sleep(l.s.opts.PollInterval)
-			}
-			return nil
-		}
-		l.failures = 0
-		return nil
-	case http.StatusBadRequest:
-		l.s.fail(fmt.Errorf("dispatch: %s rejected batch: %s", l.name, errorBody(raw)))
-		return errPermanent
-	default:
-		return l.transient("submit", fmt.Errorf("HTTP %d: %s", resp.StatusCode, errorBody(raw)))
-	}
-}
+func (r *runSched) StartSpan(name string) *trace.Span { return r.s.span.StartChild(name) }
 
-// poll sweeps the outstanding set once. Finished cells complete, failed
-// cells abort the run (job failures are deterministic), a 404 — a worker
-// restarted or evicted between submit and poll — requeues the cell for
-// resubmission.
-func (l *remoteLane) poll() error {
-	for hash, t := range l.outstanding {
-		if l.s.ctx.Err() != nil {
-			return nil
-		}
-		req, err := http.NewRequestWithContext(l.s.ctx, http.MethodGet, l.base+"/v1/jobs/"+hash, nil)
-		if err != nil {
-			l.s.fail(err)
-			return errPermanent
-		}
-		sp := l.s.span.StartChild("dispatch.poll")
-		sp.SetAttr("lane", l.name)
-		sp.SetAttr("hash", hash)
-		l.s.stamp(req, sp)
-		resp, err := l.s.opts.Client.Do(req)
-		if err != nil {
-			sp.SetAttr("error", err.Error())
-			sp.End()
-			if l.s.ctx.Err() != nil {
-				return nil
-			}
-			return l.transient("poll", err)
-		}
-		raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-		resp.Body.Close()
-		sp.SetAttr("http.status", resp.StatusCode)
-		sp.End()
-		if err != nil {
-			return l.transient("poll", err)
-		}
-		switch resp.StatusCode {
-		case http.StatusOK:
-		case http.StatusNotFound:
-			l.failures = 0
-			delete(l.outstanding, hash)
-			l.unsubmitted = append(l.unsubmitted, t)
-			l.noteResubmit(fmt.Sprintf("dispatch: lane %s forgot %.12s… (worker restarted?); resubmitting", l.name, hash))
-			continue
-		default:
-			return l.transient("poll", fmt.Errorf("HTTP %d: %s", resp.StatusCode, errorBody(raw)))
-		}
-		var v service.JobView
-		if err := json.Unmarshal(raw, &v); err != nil {
-			return l.transient("poll", fmt.Errorf("undecodable job view: %w", err))
-		}
-		l.failures = 0
-		switch v.Status {
-		case service.StatusDone:
-			if v.Result == nil {
-				return l.transient("poll", fmt.Errorf("done view for %.12s… carries no result", hash))
-			}
-			delete(l.outstanding, hash)
-			if err := l.s.complete(l.name, t, *v.Result); err != nil {
-				l.s.fail(err)
-				return errPermanent
-			}
-		case service.StatusFailed:
-			l.s.fail(fmt.Errorf("dispatch: job %s failed on %s: %s", t.job, l.name, v.Error))
-			return errPermanent
-		case service.StatusCancelled:
-			// The worker cancelled it (drain timeout, operator action); the
-			// cell itself is fine — run it elsewhere.
-			delete(l.outstanding, hash)
-			l.unsubmitted = append(l.unsubmitted, t)
-			l.noteResubmit(fmt.Sprintf("dispatch: lane %s cancelled %.12s…; resubmitting", l.name, hash))
-		}
-	}
-	return nil
-}
-
-// noteResubmit counts one requeued cell. The first one per lane logs the
-// given line (with a pointer to the counter); later ones stay quiet — a
-// restarted worker forgets its whole outstanding set at once, and one
-// line per cell used to drown the run log.
-func (l *remoteLane) noteResubmit(line string) {
-	l.s.opts.Metrics.resubmitted(l.name)
-	l.resubmits++
-	if l.resubmits == 1 {
-		l.s.opts.Logf("%s (further lane resubmissions counted in als_dispatch_resubmits_total)", line)
-	}
-}
+func (r *runSched) Hopeless() bool { return r.s.baseDead(r.base) }
 
 // errorBody extracts {"error": ...} from a response body for messages.
 func errorBody(raw []byte) string {

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -215,8 +216,27 @@ type Server struct {
 	jobs     map[string]*jobState
 	order    []string          // job IDs in submission order
 	byHash   map[string]string // content hash → job ID (latest)
-	stats    Stats
+	// tombs remembers terminal jobs whose full state is gone — evicted
+	// from the table, or finished by a previous process and recovered from
+	// the WAL's job snapshot — so their ids keep resolving. Bounded at
+	// maxTombstones, oldest forgotten first.
+	tombs     map[string]jobTomb
+	tombOrder []string
+	stats     Stats
 }
+
+// jobTomb is the durable residue of a terminal job: enough to answer
+// "what happened to id X" (and, for done jobs, re-fetch the result from
+// the store) after everything else about it is gone.
+type jobTomb struct {
+	hash   string
+	status Status
+}
+
+// maxTombstones bounds the remembered terminal-id set. Beyond it the
+// oldest mappings are forgotten; their results stay store-addressable by
+// content hash either way.
+const maxTombstones = 4096
 
 // New starts a Server with opts.Workers worker goroutines. The caller
 // owns opts.Store and closes it after Drain/Close returns.
@@ -278,6 +298,18 @@ func New(opts Options) *Server {
 		queue:       make(chan *jobState, depth+len(pending)),
 		jobs:        map[string]*jobState{},
 		byHash:      map[string]string{},
+		tombs:       map[string]jobTomb{},
+	}
+	// Load the durable job table before anything can allocate an id: the
+	// sequence must restart past every remembered id so a fresh job never
+	// collides with one a previous process already promised a client.
+	if opts.WAL != nil {
+		for _, wj := range opts.WAL.Jobs() {
+			s.rememberLocked(wj.ID, wj.Hash, Status(wj.Status))
+			if n := idSeq(wj.ID); n > s.seq {
+				s.seq = n
+			}
+		}
 	}
 	s.metrics = newServerMetrics(reg, s)
 	if s.store != nil {
@@ -320,10 +352,45 @@ func (s *Server) replayWAL(pending []WALPending) {
 			live = append(live, WALPending{Hash: j.spec.hash, Req: j.spec.request()})
 		}
 	}
+	jobsSnap := make([]WALJob, 0, len(s.tombOrder))
+	for _, id := range s.tombOrder {
+		t := s.tombs[id]
+		jobsSnap = append(jobsSnap, WALJob{ID: id, Hash: t.hash, Status: string(t.status)})
+	}
 	s.mu.Unlock()
-	if err := s.wal.Compact(live); err != nil {
+	if err := s.wal.Compact(live, jobsSnap); err != nil {
 		s.log.Warn("wal compaction failed", "error", err)
 	}
+}
+
+// rememberLocked records a terminal id → hash/status tombstone, evicting
+// the oldest beyond maxTombstones. Held under s.mu once the server is
+// serving (New calls it before any concurrency exists).
+func (s *Server) rememberLocked(id, hash string, st Status) {
+	if id == "" || !st.terminal() {
+		return
+	}
+	if _, ok := s.tombs[id]; !ok {
+		s.tombOrder = append(s.tombOrder, id)
+	}
+	s.tombs[id] = jobTomb{hash: hash, status: st}
+	for len(s.tombOrder) > maxTombstones {
+		delete(s.tombs, s.tombOrder[0])
+		s.tombOrder = s.tombOrder[1:]
+	}
+}
+
+// idSeq parses the numeric tail of a job id ("f%06d" from newJobLocked);
+// 0 for anything malformed.
+func idSeq(id string) int {
+	if len(id) < 2 || id[0] != 'f' {
+		return 0
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // walAppend records one WAL transition (nil-safe without a WAL): op is
@@ -342,10 +409,12 @@ func (s *Server) walAppend(j *jobState, op, hash string) {
 		req := j.spec.request()
 		err = s.wal.Accept(hash, req)
 	} else {
+		var id string
 		if j != nil {
 			span = j.parent.StartChild("wal.append")
+			id = j.id
 		}
-		err = s.wal.Resolve(op, hash)
+		err = s.wal.Resolve(op, hash, id)
 	}
 	span.SetAttr("op", op)
 	if err != nil {
@@ -503,6 +572,9 @@ func (s *Server) evictLocked() {
 			if s.byHash[j.spec.hash] == id {
 				delete(s.byHash, j.spec.hash)
 			}
+			// The id keeps resolving (status + store-backed result) after
+			// the full state is dropped.
+			s.rememberLocked(id, j.spec.hash, j.status)
 			continue
 		}
 		kept = append(kept, id)
@@ -510,15 +582,44 @@ func (s *Server) evictLocked() {
 	s.order = kept
 }
 
-// Job returns a point-in-time view of one job.
+// Job returns a point-in-time view of one job. Terminal jobs that were
+// evicted from the table — or finished by a previous process and
+// recovered from the WAL's job snapshot — resolve to a synthesized view:
+// identity and final status survive, and a done job's result is re-read
+// from the persistent store; per-run detail (spec, progress, timings) is
+// gone.
 func (s *Server) Job(id string) (JobView, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		if t, ok := s.tombs[id]; ok {
+			return s.tombViewLocked(id, t), true
+		}
 		return JobView{}, false
 	}
 	return s.viewLocked(j), true
+}
+
+// tombViewLocked synthesizes the view of a tombstoned terminal job;
+// s.mu held.
+func (s *Server) tombViewLocked(id string, t jobTomb) JobView {
+	v := JobView{ID: id, Hash: t.hash, Status: t.status}
+	switch t.status {
+	case StatusDone:
+		v.Cached = true
+		if s.store != nil {
+			var r exp.JobResult
+			if ok, err := s.store.Decode(t.hash, &r); err == nil && ok {
+				v.Result = &r
+			}
+		}
+	case StatusFailed:
+		v.Error = "job failed; detail evicted from the job table"
+	case StatusCancelled:
+		v.Error = "job cancelled; detail evicted from the job table"
+	}
+	return v
 }
 
 // Jobs lists every job in submission order.
@@ -531,6 +632,16 @@ func (s *Server) Jobs() []JobView {
 	}
 	return out
 }
+
+// QueueDepth reports how many accepted jobs are waiting for a worker —
+// the backlog figure a registered worker's heartbeat carries to its
+// coordinator.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// EvalsTotal reports the total circuit evaluations finished runs have
+// performed (the als_evaluations_total counter) — the throughput basis a
+// coordinator's adaptive scheduler works from.
+func (s *Server) EvalsTotal() int64 { return s.metrics.evaluations.Value() }
 
 // Stats returns the server's counters.
 func (s *Server) Stats() Stats {
@@ -548,6 +659,11 @@ func (s *Server) Cancel(id string) (JobView, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		// A tombstoned job is terminal by definition: like any terminal
+		// job, cancel leaves it untouched and reports its state.
+		if t, ok := s.tombs[id]; ok {
+			return s.tombViewLocked(id, t), true
+		}
 		return JobView{}, false
 	}
 	switch j.status {

@@ -523,8 +523,14 @@ func TestJobTableEviction(t *testing.T) {
 	if n := len(s.Jobs()); n > 2 {
 		t.Errorf("job table holds %d entries, want <= MaxJobs=2", n)
 	}
-	if _, ok := s.Job(ids[0]); ok {
-		t.Error("oldest terminal job must have been evicted")
+	// Eviction bounds memory but no longer breaks id polling: the oldest
+	// terminal job resolves through its id→hash tombstone, result re-read
+	// from the store (per-run detail is gone by design).
+	v0, ok := s.Job(ids[0])
+	if !ok {
+		t.Error("evicted terminal job must still resolve by id (tombstone)")
+	} else if v0.Status != StatusDone || v0.Result == nil {
+		t.Errorf("tombstoned job view = status %s, result %v; want done with a store-read result", v0.Status, v0.Result)
 	}
 	// The evicted job's result is still one store lookup away.
 	req.Seed = 1

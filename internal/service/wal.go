@@ -13,7 +13,15 @@
 // per line, append-only,
 //
 //	{"op":"accept","hash":"<content hash>","req":{...Request...}}
-//	{"op":"done","hash":"<content hash>"}        // or "failed"/"cancelled"
+//	{"op":"done","hash":"<content hash>","id":"f000123"}   // or "failed"/"cancelled"
+//	{"op":"job","id":"f000123","hash":"<content hash>","status":"done"}
+//
+// Terminal records carry the job's table ID (PR 10; absent in older
+// logs, which still parse), and "job" records — written by Compact — are
+// the durable job-table snapshot: id → hash/status mappings that let a
+// restarted daemon keep answering /v1 and /v2 polls for jobs that
+// finished (or were evicted) before the crash, instead of 404ing ids it
+// once promised.
 //
 // The file is corrupt-tolerant the same way the JSONL store is: an
 // undecodable line (the torn tail of a SIGKILLed append) is skipped and
@@ -34,13 +42,22 @@ import (
 )
 
 // walOpAccept marks an accepted submission; terminal records use the
-// job's Status string ("done", "failed", "cancelled") as their op.
-const walOpAccept = "accept"
+// job's Status string ("done", "failed", "cancelled") as their op, and
+// walOpJob records one row of the compacted job-table snapshot.
+const (
+	walOpAccept = "accept"
+	walOpJob    = "job"
+)
 
 // walRecord is one WAL line.
 type walRecord struct {
 	Op   string `json:"op"`
 	Hash string `json:"hash"`
+	// ID is the job-table id, present on terminal and job records so the
+	// id → hash mapping survives a restart.
+	ID string `json:"id,omitempty"`
+	// Status is present on job (snapshot) records only.
+	Status string `json:"status,omitempty"`
 	// Req is present on accept records only: the validated submission,
 	// canonicalized so replay re-validates to the identical content hash.
 	Req *Request `json:"req,omitempty"`
@@ -53,6 +70,15 @@ type WALPending struct {
 	Req  Request
 }
 
+// WALJob is one durable job-table row: a terminal job id and where its
+// result lives. A restarted Server loads these as tombstones so old ids
+// keep resolving.
+type WALJob struct {
+	ID     string
+	Hash   string
+	Status string
+}
+
 // WAL is the submission write-ahead log. Open it with OpenWAL, hand it to
 // service.New via Options.WAL (the Server replays and compacts it), and
 // Close it after Drain/Close returns. Appends are serialized and synced
@@ -62,6 +88,7 @@ type WAL struct {
 	path    string
 	f       *os.File
 	pending []WALPending
+	jobs    []WALJob
 	corrupt int
 }
 
@@ -75,7 +102,8 @@ func OpenWAL(path string) (*WAL, error) {
 	}
 	w := &WAL{path: path, f: f}
 	open := map[string]*WALPending{} // hash → live accept
-	var order []string
+	jobs := map[string]WALJob{}      // id → terminal row (last wins)
+	var order, jobOrder []string
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	for sc.Scan() {
@@ -100,6 +128,21 @@ func OpenWAL(path string) (*WAL, error) {
 			open[r.Hash] = &WALPending{Hash: r.Hash, Req: *r.Req}
 		case string(StatusDone), string(StatusFailed), string(StatusCancelled):
 			delete(open, r.Hash)
+			if r.ID != "" {
+				if _, seen := jobs[r.ID]; !seen {
+					jobOrder = append(jobOrder, r.ID)
+				}
+				jobs[r.ID] = WALJob{ID: r.ID, Hash: r.Hash, Status: r.Op}
+			}
+		case walOpJob:
+			if r.ID == "" || r.Status == "" {
+				w.corrupt++
+				continue
+			}
+			if _, seen := jobs[r.ID]; !seen {
+				jobOrder = append(jobOrder, r.ID)
+			}
+			jobs[r.ID] = WALJob{ID: r.ID, Hash: r.Hash, Status: r.Status}
 		default:
 			w.corrupt++
 		}
@@ -112,6 +155,9 @@ func OpenWAL(path string) (*WAL, error) {
 		if p, ok := open[h]; ok {
 			w.pending = append(w.pending, *p)
 		}
+	}
+	for _, id := range jobOrder {
+		w.jobs = append(w.jobs, jobs[id])
 	}
 	// Newline-terminate a torn tail so the next append starts a fresh line
 	// (same heal the JSONL store applies).
@@ -136,6 +182,14 @@ func (w *WAL) Pending() []WALPending {
 	return append([]WALPending(nil), w.pending...)
 }
 
+// Jobs returns the durable job-table rows found at open (snapshot
+// records plus terminal records carrying ids), oldest first.
+func (w *WAL) Jobs() []WALJob {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]WALJob(nil), w.jobs...)
+}
+
 // Corrupt reports how many undecodable lines the open scan skipped.
 func (w *WAL) Corrupt() int {
 	w.mu.Lock()
@@ -152,9 +206,11 @@ func (w *WAL) Accept(hash string, req Request) error {
 	return w.append(walRecord{Op: walOpAccept, Hash: hash, Req: &req})
 }
 
-// Resolve records a terminal transition (op is the Status string).
-func (w *WAL) Resolve(op, hash string) error {
-	return w.append(walRecord{Op: op, Hash: hash})
+// Resolve records a terminal transition (op is the Status string). The
+// job id, when known, makes the id → hash mapping durable; "" is fine
+// (replay-rejection records have no table entry).
+func (w *WAL) Resolve(op, hash, id string) error {
+	return w.append(walRecord{Op: op, Hash: hash, ID: id})
 }
 
 func (w *WAL) append(r walRecord) error {
@@ -179,12 +235,13 @@ func (w *WAL) append(r walRecord) error {
 	return nil
 }
 
-// Compact rewrites the log to hold exactly live (one accept record each),
-// via tmp file + rename, and reopens it for appending. The Server calls
-// it once per startup, after replay; a Resolve racing the rewrite is
-// lost with the old file, which only means the next restart replays a
-// store-answered submission — harmless, by the dedup contract.
-func (w *WAL) Compact(live []WALPending) error {
+// Compact rewrites the log to hold exactly live (one accept record each)
+// plus the durable job-table snapshot (one job record per remembered
+// terminal id), via tmp file + rename, and reopens it for appending. The
+// Server calls it once per startup, after replay; a Resolve racing the
+// rewrite is lost with the old file, which only means the next restart
+// replays a store-answered submission — harmless, by the dedup contract.
+func (w *WAL) Compact(live []WALPending, jobs []WALJob) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -197,6 +254,13 @@ func (w *WAL) Compact(live []WALPending) error {
 	}
 	bw := bufio.NewWriter(f)
 	enc := json.NewEncoder(bw)
+	for i := range jobs {
+		if err := enc.Encode(walRecord{Op: walOpJob, ID: jobs[i].ID, Hash: jobs[i].Hash, Status: jobs[i].Status}); err != nil {
+			f.Close()
+			os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+			return fmt.Errorf("service: compact wal: %w", err)
+		}
+	}
 	for i := range live {
 		if err := enc.Encode(walRecord{Op: walOpAccept, Hash: live[i].Hash, Req: &live[i].Req}); err != nil {
 			f.Close()

@@ -221,7 +221,7 @@ func TestWALTerminalNotReplayed(t *testing.T) {
 	}
 	// The healed file must accept appends on a fresh line: reopen and
 	// check the new record parses.
-	if err := wal.Resolve(string(StatusCancelled), pending[0].Hash); err != nil {
+	if err := wal.Resolve(string(StatusCancelled), pending[0].Hash, ""); err != nil {
 		t.Fatal(err)
 	}
 	wal.Close()
@@ -237,7 +237,7 @@ func TestWALTerminalNotReplayed(t *testing.T) {
 
 // TestWALCompaction: after a restart replays and the jobs finish, the
 // next open finds nothing pending and a log proportional to the live set
-// (here: empty), not to history.
+// plus the bounded job-table snapshot — not to submission history.
 func TestWALCompaction(t *testing.T) {
 	dir := t.TempDir()
 	s, _, wal := walServer(t, dir, Options{Workers: 1})
@@ -274,13 +274,25 @@ func TestWALCompaction(t *testing.T) {
 	defer wal3.Close()
 	s2 := New(Options{Store: st2, WAL: wal3, Logf: t.Logf})
 	s2.Close()
-	info, err := os.Stat(wal.Path())
+	raw, err := os.ReadFile(wal.Path())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Size() != 0 {
-		raw, _ := os.ReadFile(wal.Path())
-		t.Fatalf("compacted WAL is %d bytes, want 0:\n%s", info.Size(), raw)
+	// No accepts survive a clean run; what remains is exactly the durable
+	// job-table snapshot (one job record per finished id), so the file is
+	// bounded by maxTombstones no matter how much history ran through.
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("compacted WAL has %d records, want 3 job-snapshot rows:\n%s", len(lines), raw)
+	}
+	for _, ln := range lines {
+		var r walRecord
+		if err := json.Unmarshal([]byte(ln), &r); err != nil {
+			t.Fatalf("compacted record %q: %v", ln, err)
+		}
+		if r.Op != walOpJob || r.ID == "" || r.Status != string(StatusDone) {
+			t.Fatalf("compacted record = %+v, want a done job-snapshot row", r)
+		}
 	}
 }
 
@@ -344,12 +356,28 @@ func TestWALRecordShapeFrozen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Legacy shape (no id) must still render byte-identically: old logs
+	// and new daemons interoperate in both directions.
 	if want := `{"op":"done","hash":"abc"}`; string(terminal) != want {
 		t.Errorf("terminal record = %s, want %s", terminal, want)
 	}
-	for _, op := range []string{walOpAccept, string(StatusDone), string(StatusFailed), string(StatusCancelled)} {
+	withID, err := json.Marshal(walRecord{Op: string(StatusDone), Hash: "abc", ID: "f000007"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"op":"done","hash":"abc","id":"f000007"}`; string(withID) != want {
+		t.Errorf("id-carrying terminal record = %s, want %s", withID, want)
+	}
+	snap, err := json.Marshal(walRecord{Op: walOpJob, Hash: "abc", ID: "f000007", Status: string(StatusDone)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"op":"job","hash":"abc","id":"f000007","status":"done"}`; string(snap) != want {
+		t.Errorf("job-snapshot record = %s, want %s", snap, want)
+	}
+	for _, op := range []string{walOpAccept, walOpJob, string(StatusDone), string(StatusFailed), string(StatusCancelled)} {
 		switch op {
-		case "accept", "done", "failed", "cancelled":
+		case "accept", "job", "done", "failed", "cancelled":
 		default:
 			t.Errorf("op vocabulary changed: %q", op)
 		}
@@ -423,5 +451,101 @@ func TestWALDedupSingleExecution(t *testing.T) {
 	}
 	if n := s.Stats().Executed; n != 1 {
 		t.Fatalf("deduped replay executed %d times, want 1", n)
+	}
+}
+
+// TestWALJobTableSurvivesRestart is the durable-job-table property: a
+// job id handed to a client before a crash keeps resolving on the
+// restarted daemon — terminal status intact and the done result re-read
+// from the store — and fresh ids never collide with remembered ones.
+func TestWALJobTableSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, _, wal1 := walServer(t, dir, Options{Workers: 1})
+	v, err := s1.Submit(context.Background(), quickReq(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitServerDone(t, s1, v.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("seed job ended %q", done.Status)
+	}
+	s1.Close()
+	wal1.Close()
+
+	st2, err := store.Open(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	wal2, err := OpenWAL(wal1.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	s2 := New(Options{Store: st2, WAL: wal2, Logf: t.Logf})
+	defer s2.Close()
+
+	got, ok := s2.Job(v.ID)
+	if !ok {
+		t.Fatalf("restarted daemon forgot job id %s", v.ID)
+	}
+	if got.Status != StatusDone || got.Hash != v.Hash || !got.Cached {
+		t.Fatalf("recovered view = %+v, want done/%s from store", got, v.Hash)
+	}
+	if got.Result == nil || got.Result.RatioCPD != done.Result.RatioCPD || got.Result.Err != done.Result.Err {
+		t.Fatalf("recovered result %+v differs from original %+v", got.Result, done.Result)
+	}
+	// Cancel of a remembered terminal id reports it untouched, like any
+	// other terminal job.
+	if cv, ok := s2.Cancel(v.ID); !ok || cv.Status != StatusDone {
+		t.Fatalf("Cancel(%s) on restarted daemon = (%+v, %v)", v.ID, cv, ok)
+	}
+	// The id sequence restarts past every remembered id: a new submission
+	// must not reuse the promised id.
+	nv, err := s2.Submit(context.Background(), quickReq(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.ID == v.ID {
+		t.Fatalf("fresh job reused remembered id %s", v.ID)
+	}
+	if idSeq(nv.ID) <= idSeq(v.ID) {
+		t.Fatalf("fresh id %s does not follow remembered id %s", nv.ID, v.ID)
+	}
+	waitServerDone(t, s2, nv.ID)
+}
+
+// TestEvictedJobIDStillResolves: terminal-job eviction (MaxJobs) leaves a
+// tombstone behind, so a client polling an old id gets its final status
+// and store-backed result instead of a 404.
+func TestEvictedJobIDStillResolves(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := walServer(t, dir, Options{Workers: 1, MaxJobs: 2})
+	var views []JobView
+	for seed := int64(81); seed <= 83; seed++ {
+		v, err := s.Submit(context.Background(), quickReq(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := waitServerDone(t, s, v.ID)
+		if done.Status != StatusDone {
+			t.Fatalf("job %s ended %q", v.ID, done.Status)
+		}
+		views = append(views, done)
+	}
+	// MaxJobs 2 forces the oldest terminal job out when the third arrives.
+	if n := len(s.Jobs()); n >= 3 {
+		t.Fatalf("job table holds %d jobs, eviction never happened", n)
+	}
+	first := views[0]
+	got, ok := s.Job(first.ID)
+	if !ok {
+		t.Fatalf("evicted job id %s no longer resolves", first.ID)
+	}
+	if got.Status != StatusDone || got.Hash != first.Hash || got.Result == nil {
+		t.Fatalf("evicted view = %+v, want done/%s with store-backed result", got, first.Hash)
+	}
+	if got.Result.RatioCPD != first.Result.RatioCPD {
+		t.Fatalf("evicted result %+v differs from original %+v", got.Result, first.Result)
 	}
 }

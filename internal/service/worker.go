@@ -79,6 +79,21 @@ func ValidateJobSpec(j exp.Job) error {
 	return err
 }
 
+// CanonicalJobSpec validates a job spec and returns its canonical form
+// plus the content hash every worker in the fleet will compute for it.
+// Method, metric and scale names accept the same aliases the flow API
+// does ("dcgwo", "sasimi", ...), but the HASH is always of the canonical
+// spelling — an intake layer that indexes cells by hash MUST canonicalize
+// first, or an alias-spelled submission gets filed under a hash no worker
+// ever reports back.
+func CanonicalJobSpec(j exp.Job) (exp.Job, string, error) {
+	sp, err := validate(RequestFromJob(j))
+	if err != nil {
+		return exp.Job{}, "", err
+	}
+	return sp.job, sp.hash, nil
+}
+
 // JobByHash resolves a job by content hash: first against the live job
 // table (latest submission wins, any status), then against the persistent
 // store — so a worker restarted between submit and fetch, or one whose

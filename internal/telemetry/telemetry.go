@@ -356,6 +356,117 @@ func (v *CounterVec) write(w io.Writer) error {
 	return nil
 }
 
+// GaugeVec is a gauge family partitioned by label values — the
+// cluster-facing sibling of CounterVec (e.g. per-tenant queue depth,
+// per-worker observed throughput). Children share CounterVec's storage
+// and exposition machinery; only the TYPE line and the settable/decrement
+// semantics differ.
+type GaugeVec struct {
+	nameStr, help string
+	labels        []string
+
+	mu       sync.Mutex
+	children map[string]*vecChild
+	order    []string
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("telemetry: GaugeVec needs at least one label")
+	}
+	v := &GaugeVec{nameStr: name, help: help, labels: labels, children: map[string]*vecChild{}}
+	r.register(v)
+	return v
+}
+
+// With returns the series for the given label values (created on first
+// use). Callers on hot paths should resolve once and hold the child.
+func (v *GaugeVec) With(values ...string) *VecGauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: %s wants %d label value(s), got %d", v.nameStr, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[key]
+	if !ok {
+		c = &vecChild{labelValues: append([]string(nil), values...)}
+		v.children[key] = c
+		v.order = append(v.order, key)
+	}
+	return &VecGauge{c}
+}
+
+// Forget drops the series for the given label values, so a retired
+// source (a deregistered worker, an idle tenant) stops appearing in the
+// exposition instead of freezing at its last value forever.
+func (v *GaugeVec) Forget(values ...string) {
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.children[key]; !ok {
+		return
+	}
+	delete(v.children, key)
+	for i, k := range v.order {
+		if k == key {
+			v.order = append(v.order[:i], v.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// VecGauge is one series of a GaugeVec.
+type VecGauge struct{ c *vecChild }
+
+// Set replaces the value.
+func (g *VecGauge) Set(n int64) { g.c.v.Store(n) }
+
+// Add shifts the value by n (negative allowed).
+func (g *VecGauge) Add(n int64) { g.c.v.Add(n) }
+
+// Inc adds 1; Dec subtracts 1.
+func (g *VecGauge) Inc() { g.c.v.Add(1) }
+func (g *VecGauge) Dec() { g.c.v.Add(-1) }
+
+// Value returns the series' current value.
+func (g *VecGauge) Value() int64 { return g.c.v.Load() }
+
+func (v *GaugeVec) name() string { return v.nameStr }
+
+func (v *GaugeVec) write(w io.Writer) error {
+	if err := writeHeader(w, v.nameStr, v.help, "gauge"); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	keys := append([]string(nil), v.order...)
+	sort.Strings(keys)
+	type row struct {
+		labels string
+		val    int64
+	}
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		c := v.children[k]
+		var b strings.Builder
+		for i, lv := range c.labelValues {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", v.labels[i], escapeLabel(lv))
+		}
+		rows = append(rows, row{labels: b.String(), val: c.v.Load()})
+	}
+	v.mu.Unlock()
+	for _, rw := range rows {
+		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", v.nameStr, rw.labels, rw.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ---- histogram -------------------------------------------------------------
 
 // DefBuckets is a latency-shaped default bucket layout in seconds,

@@ -233,3 +233,46 @@ func TestParseTolerance(t *testing.T) {
 		t.Error("malformed line parsed without error")
 	}
 }
+
+// TestGaugeVec pins the labeled-gauge family: TYPE gauge, sorted series,
+// settable/decrementable children, and Forget dropping a retired series
+// from the exposition.
+func TestGaugeVec(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.GaugeVec("depth", "Per-tenant depth.", "tenant")
+	a := v.With("acme")
+	b := v.With("zeta")
+	a.Set(7)
+	a.Add(-2)
+	b.Inc()
+	b.Dec()
+	b.Inc()
+	if a.Value() != 5 || b.Value() != 1 {
+		t.Fatalf("values = %d, %d; want 5, 1", a.Value(), b.Value())
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP depth Per-tenant depth.\n# TYPE depth gauge\ndepth{tenant=\"acme\"} 5\ndepth{tenant=\"zeta\"} 1\n"
+	if sb.String() != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	v.Forget("acme")
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "acme") {
+		t.Errorf("forgotten series still exposed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "depth{tenant=\"zeta\"} 1") {
+		t.Errorf("surviving series lost:\n%s", sb.String())
+	}
+	// Re-resolving a forgotten series starts a fresh child.
+	if v.With("acme").Value() != 0 {
+		t.Error("re-created series kept its old value")
+	}
+}

@@ -31,8 +31,14 @@
 #   7. Shared store: a hub + satellite fleet where the satellite uses the
 #      hub's /store surface as its result store (-store-remote) renders
 #      byte-identical output, and every result lands in the hub's store.
+#   8. Cluster mode: workers REGISTER with an alscoord control plane
+#      (instead of the client naming them with -workers), and an
+#      `experiments -coord` sweep is byte-identical to the single-process
+#      reference — including when one registered worker is SIGKILLed
+#      mid-sweep and the coordinator drains it and fails its cells over.
 #
-# Requires: go, curl, jq. Ports default to 8491-8494 (W1_PORT..W4_PORT).
+# Requires: go, curl, jq. Ports default to 8491-8495 (W1_PORT..W4_PORT,
+# COORD_PORT).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,10 +46,12 @@ W1_PORT=${W1_PORT:-8491}
 W2_PORT=${W2_PORT:-8492}
 W3_PORT=${W3_PORT:-8493}
 W4_PORT=${W4_PORT:-8494}
+COORD_PORT=${COORD_PORT:-8495}
 W1=http://127.0.0.1:$W1_PORT
 W2=http://127.0.0.1:$W2_PORT
 W3=http://127.0.0.1:$W3_PORT
 W4=http://127.0.0.1:$W4_PORT
+COORD=http://127.0.0.1:$COORD_PORT
 
 work=$(mktemp -d)
 pids=()
@@ -58,6 +66,7 @@ say() { echo "== $*"; }
 go build -o "$work/alsd" ./cmd/alsd
 go build -o "$work/experiments" ./cmd/experiments
 go build -o "$work/tracecat" ./cmd/tracecat
+go build -o "$work/alscoord" ./cmd/alscoord
 
 wait_ready() { # url
   for _ in $(seq 1 100); do
@@ -270,5 +279,61 @@ hub_records=$(curl -fsS "$W3/store/" | wc -l)
 [ "$hub_records" -ge 35 ] \
   || { echo "hub store holds only $hub_records records for a 35-cell sweep" >&2; exit 1; }
 say "remote-store fleet byte-identical; satellite computed $sat_executed cells into the hub's $hub_records-record store"
+
+# ---- cluster mode: registration, -coord sweep, mid-sweep worker kill -----
+# The coordinator owns the fleet: workers register with it (-register),
+# heartbeat, and the experiments client names only the coordinator. The
+# short heartbeat cadence makes a silent worker expire within ~a second.
+say "cluster mode: alscoord + 2 registered workers"
+kill -TERM "${pids[@]: -2}" 2>/dev/null || true
+for pid in "${pids[@]: -2}"; do wait "$pid" 2>/dev/null || true; done
+"$work/alscoord" -addr "127.0.0.1:$COORD_PORT" -store "$work/coord.jsonl" \
+  -hb-interval 300ms -expire-after 2 >"$work/coord.log" 2>&1 &
+pids+=($!)
+wait_ready "$COORD"
+start_worker "$W1_PORT" cw1.jsonl -register "$COORD"
+start_worker "$W2_PORT" cw2.jsonl -register "$COORD"
+CW2_PID=${pids[-1]}
+wait_ready "$W1"
+wait_ready "$W2"
+for _ in $(seq 1 100); do
+  [ "$(curl -fsS "$COORD/cluster/workers" | jq -re length)" = 2 ] && break
+  sleep 0.1
+done
+[ "$(curl -fsS "$COORD/cluster/workers" | jq -re length)" = 2 ] \
+  || { echo "workers never registered with the coordinator" >&2; cat "$work/coord.log" >&2; exit 1; }
+say "both workers registered; -coord sweep must match the single-process reference"
+"$work/experiments" "${suite[@]}" -coord "$COORD" >"$work/coord.json" 2>"$work/coordrun.log"
+cmp "$work/single.json" "$work/coord.json" \
+  || { echo "-coord run differs from single-process run" >&2; exit 1; }
+say "cluster-mode output byte-identical"
+
+say "cluster failover: SIGKILL one registered worker mid-sweep"
+coord_suite=(-exp table2 -format json -seed 77 -vectors 32768 -iters 8)
+"$work/experiments" "${coord_suite[@]}" -jobs 4 >"$work/single77.json"
+base=$(curl -fsS "$W2/healthz" | jq -re .stats.executed)
+(
+  while :; do
+    ex=$(curl -fsS "$W2/healthz" 2>/dev/null | jq -re .stats.executed) || exit 0
+    if [ "$ex" -gt "$base" ]; then
+      kill -9 "$CW2_PID"
+      echo "killed registered worker (pid $CW2_PID) after $((ex - base)) cell(s) of this sweep"
+      exit 0
+    fi
+    sleep 0.05
+  done
+) &
+killer=$!
+"$work/experiments" "${coord_suite[@]}" -coord "$COORD" \
+  >"$work/coord77.json" 2>"$work/coord77.log"
+wait "$killer"
+cmp "$work/single77.json" "$work/coord77.json" \
+  || { echo "cluster failover run differs from single-process run" >&2; exit 1; }
+dropped=$(curl -fsS "$COORD/metrics" | awk '$1 == "als_cluster_workers_expired_total" {print $2}')
+[ "${dropped:-0}" -ge 1 ] \
+  || { echo "coordinator never drained the killed worker (als_cluster_workers_expired_total=$dropped)" >&2; exit 1; }
+[ "$(curl -fsS "$COORD/cluster/workers" | jq -re length)" = 1 ] \
+  || { echo "killed worker still in the registry" >&2; exit 1; }
+say "cluster failover byte-identical; killed worker drained from the registry"
 
 say "distributed smoke passed"

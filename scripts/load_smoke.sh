@@ -25,14 +25,23 @@
 # request span + terminal job.run for queued ones), and the script spot
 # checks /debug/traces and the queue-wait histogram afterwards.
 #
-# Requires: go, curl. Ports default to 8493/8494 (L1_PORT/L2_PORT).
+# Finally it repeats the exercise in cluster mode: an alscoord control
+# plane with two REGISTERED workers takes a mixed batch/webhook load
+# through /v2/batches, and loadgen's local callback sink fails the run
+# unless every hash is delivered exactly once with a valid HMAC
+# signature. The coordinator's own telemetry is asserted afterwards.
+#
+# Requires: go, curl. Ports default to 8493/8494/8496
+# (L1_PORT/L2_PORT/LC_PORT).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 L1_PORT=${L1_PORT:-8493}
 L2_PORT=${L2_PORT:-8494}
+LC_PORT=${LC_PORT:-8496}
 L1=http://127.0.0.1:$L1_PORT
 L2=http://127.0.0.1:$L2_PORT
+LC=http://127.0.0.1:$LC_PORT
 SESSIONS=${SESSIONS:-200}
 PER_SESSION=${PER_SESSION:-2}
 
@@ -48,6 +57,7 @@ say() { echo "== $*"; }
 
 go build -o "$work/alsd" ./cmd/alsd
 go build -o "$work/loadgen" ./cmd/loadgen
+go build -o "$work/alscoord" ./cmd/alscoord
 
 wait_ready() { # url
   for _ in $(seq 1 100); do
@@ -58,10 +68,12 @@ wait_ready() { # url
   return 1
 }
 
-start_worker() { # port store-file; appends the pid to pids
-  "$work/alsd" -addr "127.0.0.1:$1" -store "$work/$2" -workers 2 \
-    -log-format json -log-level debug -pprof -trace-buf 32768 \
-    >"$work/$2.log" 2>&1 &
+start_worker() { # port store-file [extra alsd flags...]; appends the pid to pids
+  local port=$1 sf=$2
+  shift 2
+  "$work/alsd" -addr "127.0.0.1:$port" -store "$work/$sf" -workers 2 \
+    -log-format json -log-level debug -pprof -trace-buf 32768 "$@" \
+    >"$work/$sf.log" 2>&1 &
   pids+=($!)
 }
 
@@ -133,5 +145,63 @@ grep -q '"msg":"http request"' "$work/l1.jsonl.log" \
 say "draining the fleet"
 kill -TERM "${pids[0]}" "${pids[1]}"
 wait "${pids[0]}" "${pids[1]}"
+
+# ---- cluster mode: coordinator + registered workers, batch + webhook -----
+say "cluster mode: alscoord + 2 registered workers under batch/webhook load"
+"$work/alscoord" -addr "127.0.0.1:$LC_PORT" -store "$work/cluster.jsonl" \
+  -hb-interval 300ms -log-format json >"$work/coord.log" 2>&1 &
+pids+=($!)
+wait_ready "$LC"
+start_worker "$L1_PORT" c1.jsonl -register "$LC"
+start_worker "$L2_PORT" c2.jsonl -register "$LC"
+wait_ready "$L1"
+wait_ready "$L2"
+for _ in $(seq 1 100); do
+  n=$(curl -fsS "$LC/cluster/workers" | grep -c '"id"' || true)
+  [ "$n" = 2 ] && break
+  sleep 0.1
+done
+[ "${n:-0}" = 2 ] \
+  || { echo "workers never registered with the coordinator" >&2; cat "$work/coord.log" >&2; exit 1; }
+
+say "mixed batch intake with a webhook sink asserting exactly-once delivery"
+"$work/loadgen" -coord "$LC" -batch 24 -batch-chunk 8 -webhook \
+  -timeout 4m | tee "$work/cluster.out"
+grep -q "all SLOs met" "$work/cluster.out"
+grep -q "delivered exactly once, all signatures valid" "$work/cluster.out"
+
+say "asserting the cluster telemetry moved"
+# The batch run can finish inside one heartbeat interval; wait for the
+# first beat to land before freezing the counters.
+for _ in $(seq 1 50); do
+  hb=$(metric "$LC" als_cluster_heartbeats_total || echo 0)
+  awk -v v="$hb" 'BEGIN { exit !(v > 0) }' && break
+  sleep 0.1
+done
+curl -fsS "$LC/metrics" >"$work/coordmetrics.txt"
+for m in als_cluster_heartbeats_total als_webhook_deliveries_total; do
+  v=$(metric "$LC" "$m") \
+    || { echo "coordinator metric $m missing" >&2; cat "$work/coordmetrics.txt" >&2; exit 1; }
+  awk -v v="$v" 'BEGIN { exit !(v > 0) }' \
+    || { echo "coordinator metric $m never moved (= $v)" >&2; exit 1; }
+done
+workers_live=$(metric "$LC" als_cluster_workers)
+[ "${workers_live%.*}" = "2" ] \
+  || { echo "als_cluster_workers = $workers_live, want 2" >&2; exit 1; }
+deliv=$(metric "$LC" als_webhook_deliveries_total)
+[ "${deliv%.*}" -eq 24 ] \
+  || { echo "als_webhook_deliveries_total = $deliv, want 24" >&2; exit 1; }
+say "cluster accepted the batches, workers stayed registered, 24/24 webhook deliveries"
+
+say "graceful deregistration on worker shutdown"
+kill -TERM "${pids[@]: -2}" 2>/dev/null || true
+for pid in "${pids[@]: -2}"; do wait "$pid" 2>/dev/null || true; done
+for _ in $(seq 1 50); do
+  left=$(metric "$LC" als_cluster_workers)
+  [ "${left%.*}" = "0" ] && break
+  sleep 0.1
+done
+[ "${left%.*}" = "0" ] \
+  || { echo "als_cluster_workers = $left after both workers deregistered" >&2; exit 1; }
 
 say "load smoke passed"
